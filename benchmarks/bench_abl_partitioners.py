@@ -1,0 +1,74 @@
+"""Ablation A: multilevel (METIS-style) vs geometric partitioning.
+
+DESIGN.md calls out the partitioner as a substitution; this bench
+quantifies what the multilevel scheme buys over naive strips (and how it
+compares to the strong geometric baselines) in edge cut and in simulated
+makespan of the distributed solver — the two quantities the paper's
+Sec. 6.2 cares about.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+
+from harness import make_problem
+from repro.amt.cluster import Network
+from repro.partition.geometric import (block_partition,
+                                       recursive_coordinate_bisection,
+                                       strip_partition)
+from repro.partition.graph import grid_dual_graph
+from repro.partition.kway import partition_graph
+from repro.partition.metrics import edge_cut
+from repro.reporting.tables import format_table
+from repro.solver.distributed import DistributedSolver
+
+SD_AXIS = 16
+NODES = 8
+NUM_STEPS = 5
+
+
+def partitions():
+    graph = grid_dual_graph(SD_AXIS, SD_AXIS)
+    return graph, {
+        "multilevel": partition_graph(graph, NODES, seed=0),
+        "blocks": block_partition(SD_AXIS, SD_AXIS, NODES),
+        "strips": strip_partition(SD_AXIS, SD_AXIS, NODES),
+        "rcb": recursive_coordinate_bisection(graph, NODES),
+    }
+
+
+def makespan_of(parts) -> float:
+    model, grid, sd_grid = make_problem(800, SD_AXIS)
+    # a communication-dominated network: per-node egress time for a bad
+    # cut exceeds the per-node compute time, so the cut drives makespan
+    net = Network(latency=2e-5, bandwidth=1e6)
+    solver = DistributedSolver(model, grid, sd_grid, parts,
+                               num_nodes=NODES, network=net,
+                               compute_numerics=False)
+    return solver.run(None, NUM_STEPS).makespan
+
+
+@lru_cache(maxsize=1)
+def ablation_rows():
+    graph, cands = partitions()
+    rows = []
+    for name, parts in cands.items():
+        rows.append([name, edge_cut(graph, parts), makespan_of(parts) * 1e3])
+    return rows
+
+
+def test_abl_partitioners(benchmark):
+    rows = ablation_rows()
+    print("\n" + format_table(
+        ["partitioner", "edge cut", "makespan (ms)"], rows,
+        title="Ablation A — partitioner choice "
+              f"(16x16 SDs, {NODES} nodes, expensive network)"))
+    by_name = {r[0]: r for r in rows}
+    # the multilevel partitioner must beat naive strips on both metrics
+    assert by_name["multilevel"][1] < by_name["strips"][1]
+    assert by_name["multilevel"][2] < by_name["strips"][2]
+    # and be within 30% of the ideal block layout's cut on this grid
+    assert by_name["multilevel"][1] <= 1.3 * by_name["blocks"][1]
+
+    graph, _ = partitions()
+    benchmark(lambda: partition_graph(graph, NODES, seed=1))

@@ -1,0 +1,41 @@
+"""Figure 9: strong scaling of the shared-memory asynchronous solver.
+
+Paper caption: mesh 400x400, eps = 8h, 20 timesteps; the mesh is divided
+into 1x1 / 2x2 / 4x4 / 8x8 equal SDs; speedup of 1/2/4 CPUs with the
+single-CPU time as baseline.  Reproduced shape: speedup is pinned at 1
+when there is a single SD (nothing to parallelize), and approaches the
+CPU count once #SDs >= #CPUs.
+"""
+
+import math
+
+from harness import run_shared_memory, shared_memory_speedups
+from repro.reporting.tables import format_series
+
+MESH = 400
+SD_AXES = (1, 2, 4, 8)          # 1, 4, 16, 64 SDs
+CPUS = (1, 2, 4)
+
+
+def test_fig09_strong_scaling_shared(benchmark):
+    series = shared_memory_speedups(MESH, SD_AXES, CPUS)
+    sd_counts = [a * a for a in SD_AXES]
+    print("\n" + format_series(
+        "#SDs", sd_counts,
+        {f"{c}CPU": series[c] for c in CPUS},
+        title="Figure 9 — strong scaling, shared memory "
+              f"(mesh {MESH}x{MESH}, eps=8h, 20 steps)"))
+
+    for c in CPUS:
+        # single SD cannot be split: speedup exactly 1
+        assert series[c][0] == 1.0
+        # speedup never exceeds the CPU count
+        assert all(s <= c + 1e-9 for s in series[c])
+        # with 64 SDs the speedup saturates near the CPU count
+        assert series[c][-1] > 0.9 * c
+    # monotone in #SDs for multi-CPU runs
+    for c in (2, 4):
+        assert all(b >= a - 1e-9 for a, b in zip(series[c], series[c][1:]))
+    assert not any(math.isnan(s) for c in CPUS for s in series[c])
+
+    benchmark(lambda: run_shared_memory(MESH, 4, 4, num_steps=2))

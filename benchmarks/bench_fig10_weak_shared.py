@@ -1,0 +1,33 @@
+"""Figure 10: weak scaling of the shared-memory asynchronous solver.
+
+Paper caption: SD size fixed at 50x50 DPs, the number of SDs grows along
+both axes (total mesh 50n x 50n, n = 1..8), eps = 8h, 20 timesteps;
+series for 1/2/4 workers.  Reproduced shape: speedup starts at 1 for a
+single SD and rises to the worker count as SDs multiply, independent of
+the absolute problem size.
+"""
+
+from harness import run_shared_memory, weak_scaling_speedups
+from repro.reporting.tables import format_series
+
+SD_SIZE = 50
+SD_AXES = (1, 2, 3, 4, 5, 6, 7, 8)
+CPUS = (1, 2, 4)
+
+
+def test_fig10_weak_scaling_shared(benchmark):
+    series = weak_scaling_speedups(SD_SIZE, SD_AXES, CPUS, distributed=False)
+    sd_counts = [n * n for n in SD_AXES]
+    print("\n" + format_series(
+        "#SDs", sd_counts,
+        {f"{c}CPU": series[c] for c in CPUS},
+        title="Figure 10 — weak scaling, shared memory "
+              f"(SD size {SD_SIZE}x{SD_SIZE}, mesh 50n x 50n, eps=8h, 20 steps)"))
+
+    assert series[1] == [1.0] * len(SD_AXES)
+    for c in (2, 4):
+        assert series[c][0] == 1.0          # one SD: no parallelism
+        assert series[c][-1] > 0.9 * c      # 64 SDs: near-linear
+        assert all(s <= c + 1e-9 for s in series[c])
+
+    benchmark(lambda: run_shared_memory(SD_SIZE * 4, 4, 4, num_steps=2))

@@ -1,0 +1,38 @@
+"""Figure 11: strong scaling of the distributed solver.
+
+Paper caption: mesh 400x400, eps = 8h, 20 timesteps, SDs 1x1/2x2/4x4/8x8;
+1, 2 and 4 nodes with the paper's manual layouts (halves for 2 nodes,
+quadrants for 4 — Sec. 8.3).  Reproduced shape: linear speedup in node
+count once #SDs >= #nodes, capped at 1 for a single SD, with a small
+penalty from the ghost exchange relative to the shared-memory Fig. 9.
+"""
+
+import math
+
+from harness import run_distributed, distributed_speedups
+from repro.reporting.tables import format_series
+
+MESH = 400
+SD_AXES = (1, 2, 4, 8)
+NODES = (1, 2, 4)
+
+
+def test_fig11_strong_scaling_distributed(benchmark):
+    series = distributed_speedups(MESH, SD_AXES, NODES, "blocks")
+    sd_counts = [a * a for a in SD_AXES]
+    print("\n" + format_series(
+        "#SDs", sd_counts,
+        {f"{n}Node": series[n] for n in NODES},
+        title="Figure 11 — strong scaling, distributed "
+              f"(mesh {MESH}x{MESH}, eps=8h, 20 steps, block layout)"))
+
+    for n in NODES:
+        vals = [v for v in series[n] if not math.isnan(v)]
+        # speedup bounded by node count
+        assert all(v <= n + 1e-9 for v in vals)
+        # 64 SDs: within 15% of linear (ghost exchange costs a little)
+        assert series[n][-1] > 0.85 * n
+    # a single SD cannot be distributed
+    assert series[2][0] != series[2][0] or series[2][0] == 1.0  # nan or 1
+
+    benchmark(lambda: run_distributed(MESH, 4, 4, "blocks", num_steps=2))

@@ -1,0 +1,37 @@
+"""Figure 12: weak scaling of the distributed solver with METIS layouts.
+
+Paper caption: SD size 50x50, n x n SDs (total mesh 50n x 50n), eps = 8h,
+20 timesteps, 1/2/4 nodes; "the distribution of SDs across the
+computational nodes is done using METIS" — here our multilevel
+partitioner.  Reproduced shape: speedup approaches the node count with
+growing SD counts, irrespective of problem size.
+"""
+
+import math
+
+from harness import run_distributed, weak_scaling_speedups
+from repro.reporting.tables import format_series
+
+SD_SIZE = 50
+SD_AXES = (1, 2, 3, 4, 5, 6, 7, 8)
+NODES = (1, 2, 4)
+
+
+def test_fig12_weak_scaling_distributed(benchmark):
+    series = weak_scaling_speedups(SD_SIZE, SD_AXES, NODES,
+                                   distributed=True, partitioner="metis")
+    sd_counts = [n * n for n in SD_AXES]
+    print("\n" + format_series(
+        "#SDs", sd_counts,
+        {f"{n}Node": series[n] for n in NODES},
+        title="Figure 12 — weak scaling, distributed, METIS-style "
+              f"partitioning (SD {SD_SIZE}x{SD_SIZE}, mesh 50n x 50n)"))
+
+    assert series[1] == [1.0] * len(SD_AXES)
+    for n in (2, 4):
+        vals = [v for v in series[n] if not math.isnan(v)]
+        assert all(v <= n + 1e-9 for v in vals)
+        assert series[n][-1] > 0.8 * n  # 64 SDs: near-linear
+
+    benchmark(lambda: run_distributed(SD_SIZE * 4, 4, 4, "metis",
+                                      num_steps=2))

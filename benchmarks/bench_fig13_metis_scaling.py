@@ -1,0 +1,49 @@
+"""Figure 13: distributed scaling with METIS partitioning, 1..16 nodes.
+
+Paper caption: mesh 800x800, 16x16 SDs of 50x50 DPs, eps = 8h, 20
+timesteps, METIS distribution across a varying number of nodes, plotted
+against the optimal (linear) speedup.  Reproduced shape: near-linear
+speedup with a slight roll-off at higher node counts as the number of
+boundary SDs (and hence the data exchange) grows.
+"""
+
+from functools import lru_cache
+
+from harness import run_distributed
+from repro.reporting.tables import format_series
+
+MESH = 800
+SD_AXIS = 16
+NODE_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+@lru_cache(maxsize=1)
+def fig13_series():
+    base = run_distributed(MESH, SD_AXIS, 1, "metis")
+    measured = []
+    for n in NODE_COUNTS:
+        t = base if n == 1 else run_distributed(MESH, SD_AXIS, n, "metis")
+        measured.append(base / t)
+    return measured
+
+
+def test_fig13_distributed_scaling_metis(benchmark):
+    measured = fig13_series()
+    optimal = [float(n) for n in NODE_COUNTS]
+    print("\n" + format_series(
+        "#nodes", list(NODE_COUNTS),
+        {"Measured": measured, "Optimal": optimal},
+        title="Figure 13 — distributed scaling with METIS-style "
+              f"partitioning (mesh {MESH}x{MESH}, 16x16 SDs of 50x50)"))
+
+    # near-linear: within 25% of optimal everywhere
+    for n, s in zip(NODE_COUNTS, measured):
+        assert s <= n + 1e-9
+        assert s > 0.75 * n, f"{n} nodes: speedup {s:.2f} too far from linear"
+    # monotone increase with node count
+    assert all(b > a for a, b in zip(measured, measured[1:]))
+    # the roll-off: efficiency at 16 nodes below efficiency at 2 nodes
+    assert measured[-1] / 16 <= measured[1] / 2 + 1e-9
+
+    benchmark(lambda: run_distributed(MESH, SD_AXIS, 16, "metis",
+                                      num_steps=1))

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Load balancing for distributed nonlocal
+models within asynchronous many-task systems" (Gadikar, Diehl, Jha;
+IPPS 2021, arXiv:2102.03819).
+
+Quick tour of the public API (see README.md for a walkthrough):
+
+>>> from repro import (UniformGrid, NonlocalHeatModel, ManufacturedProblem,
+...                    SerialSolver)
+>>> grid = UniformGrid(64, 64)
+>>> model = NonlocalHeatModel(epsilon=8 * grid.h)
+>>> problem = ManufacturedProblem(model, grid)
+>>> solver = SerialSolver(model, grid, source=problem.source)
+>>> result = solver.run(problem.initial_condition(), num_steps=20,
+...                     exact=problem.exact)
+>>> result.total_error < 1e-2
+True
+
+Sub-packages:
+
+* :mod:`repro.amt` — HPX-like runtime (futures, executor, simulated
+  cluster, AGAS, performance counters);
+* :mod:`repro.partition` — from-scratch multilevel graph partitioner
+  (METIS substitute) + geometric baselines;
+* :mod:`repro.mesh` — grids, sub-domains, stencils, decomposition;
+* :mod:`repro.solver` — serial / shared-memory-async / distributed
+  solvers for the nonlocal heat equation;
+* :mod:`repro.core` — the paper's load-balancing algorithm;
+* :mod:`repro.models` — crack and node-interference workload models;
+* :mod:`repro.reporting` — text rendering for the benchmark harness.
+"""
+
+from .amt import (ConstantSpeed, Network, PiecewiseSpeed, SimCluster,
+                  TaskExecutor)
+from .core import (IntervalPolicy, LoadBalancer, NeverBalance,
+                   ThresholdPolicy)
+from .mesh import Decomposition, SubdomainGrid, UniformGrid, build_stencil
+from .models import Crack, crack_work_factors
+from .partition import (block_partition, partition_graph, partition_sd_grid,
+                        strip_partition)
+from .solver import (AsyncSolver, DistributedSolver, ManufacturedProblem,
+                     NonlocalHeatModel, SerialSolver, solve_manufactured)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantSpeed", "Network", "PiecewiseSpeed", "SimCluster", "TaskExecutor",
+    "IntervalPolicy", "LoadBalancer", "NeverBalance", "ThresholdPolicy",
+    "Decomposition", "SubdomainGrid", "UniformGrid", "build_stencil",
+    "Crack", "crack_work_factors",
+    "block_partition", "partition_graph", "partition_sd_grid",
+    "strip_partition",
+    "AsyncSolver", "DistributedSolver", "ManufacturedProblem",
+    "NonlocalHeatModel", "SerialSolver", "solve_manufactured",
+    "__version__",
+]

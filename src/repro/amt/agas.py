@@ -1,0 +1,106 @@
+"""Active Global Address Space (AGAS) — a symbolic name registry.
+
+HPX registers performance counters and distributed objects in AGAS so any
+locality can resolve them by name (paper Sec. 5, Fig. 3).  Our cluster is
+in-process, so AGAS reduces to a hierarchical name -> object registry with
+the same resolution semantics: globally unique symbolic paths such as
+``/counters/node3/busy_time`` or ``/objects/sd/17``.
+
+The registry supports prefix queries (used by ``reset_all`` over all
+busy-time counters) and enforces single registration per name, which has
+caught real bookkeeping bugs in the load-balancer tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = ["AddressSpace", "AgasError"]
+
+
+class AgasError(KeyError):
+    """Raised for unknown names or duplicate registrations."""
+
+
+class AddressSpace:
+    """Thread-safe symbolic-name registry.
+
+    Names are ``/``-separated paths.  They are stored flat (no directory
+    objects); hierarchy exists only through prefix queries, which matches
+    how HPX's counter names behave.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Any] = {}
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not name or not name.startswith("/"):
+            raise AgasError(f"AGAS names must start with '/': {name!r}")
+        # collapse duplicate separators, strip trailing slash
+        parts = [p for p in name.split("/") if p]
+        if not parts:
+            raise AgasError("empty AGAS name")
+        return "/" + "/".join(parts)
+
+    def register(self, name: str, obj: Any) -> None:
+        """Bind ``obj`` to ``name``; duplicate names are an error."""
+        key = self._normalize(name)
+        with self._lock:
+            if key in self._entries:
+                raise AgasError(f"name already registered: {key}")
+            self._entries[key] = obj
+
+    def unregister(self, name: str) -> Any:
+        """Remove and return the object bound to ``name``."""
+        key = self._normalize(name)
+        with self._lock:
+            try:
+                return self._entries.pop(key)
+            except KeyError:
+                raise AgasError(f"unknown name: {key}") from None
+
+    def resolve(self, name: str) -> Any:
+        """Return the object bound to ``name``."""
+        key = self._normalize(name)
+        with self._lock:
+            try:
+                return self._entries[key]
+            except KeyError:
+                raise AgasError(f"unknown name: {key}") from None
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` is currently bound."""
+        try:
+            key = self._normalize(name)
+        except AgasError:
+            return False
+        with self._lock:
+            return key in self._entries
+
+    def query(self, prefix: str) -> List[Tuple[str, Any]]:
+        """Return sorted ``(name, object)`` pairs under ``prefix``.
+
+        ``prefix`` matches whole path components: querying ``/counters``
+        returns ``/counters/node0/busy_time`` but not ``/countersX``.
+        """
+        key = self._normalize(prefix)
+        needle = key + "/"
+        with self._lock:
+            hits = [(n, o) for n, o in self._entries.items()
+                    if n == key or n.startswith(needle)]
+        return sorted(hits)
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())

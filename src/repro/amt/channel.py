@@ -1,0 +1,135 @@
+"""HPX-style one-shot channels, generation-indexed.
+
+HPX applications commonly exchange ghost zones through
+``hpx::lcos::channel``: the producer ``set``s a value for timestep ``k``,
+the consumer ``get``s a future for that generation, and either side may
+arrive first.  This module provides the same decoupling for the runtimes
+here:
+
+* :class:`Channel` — a single producer/consumer pipe indexed by an
+  integer generation; ``get`` before ``set`` returns a pending future,
+  ``set`` before ``get`` buffers the value.
+* :class:`ChannelTable` — a keyed collection (e.g. one channel per
+  (source SD, destination SD) pair), registered through AGAS so both
+  ends can resolve it by name.
+
+Each generation is single-assignment — setting a generation twice is an
+error, which catches double-send bugs in exchange code.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .agas import AddressSpace
+from .future import Future
+
+__all__ = ["Channel", "ChannelTable", "ChannelError"]
+
+
+class ChannelError(RuntimeError):
+    """Raised on channel protocol violations (double set/get)."""
+
+
+class Channel:
+    """A generation-indexed single-assignment pipe.
+
+    Thread-safe; usable both from the real executor and the DES runtime.
+    Generations are independent: out-of-order set/get across generations
+    is fine, matching HPX's channel semantics.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._values: Dict[int, Any] = {}
+        self._futures: Dict[int, Future] = {}
+        self._consumed: set = set()
+        self._set_gens: set = set()
+
+    def set(self, generation: int, value: Any = None) -> None:
+        """Publish ``value`` for ``generation`` (exactly once)."""
+        with self._lock:
+            if generation in self._set_gens:
+                raise ChannelError(
+                    f"channel {self.name!r}: generation {generation} already set")
+            self._set_gens.add(generation)
+            fut = self._futures.pop(generation, None)
+            if fut is None:
+                self._values[generation] = value
+                return
+        fut._set_value(value)
+
+    def get(self, generation: int) -> Future:
+        """Future for ``generation``'s value (each generation read once)."""
+        with self._lock:
+            if generation in self._consumed:
+                raise ChannelError(
+                    f"channel {self.name!r}: generation {generation} already got")
+            self._consumed.add(generation)
+            if generation in self._values:
+                value = self._values.pop(generation)
+                ready = True
+            else:
+                fut = Future()
+                self._futures[generation] = fut
+                return fut
+        out = Future()
+        out._set_value(value)
+        return out
+
+    def pending_generations(self) -> int:
+        """Generations with a waiting consumer but no value yet."""
+        with self._lock:
+            return len(self._futures)
+
+    def buffered_generations(self) -> int:
+        """Generations with a value but no consumer yet."""
+        with self._lock:
+            return len(self._values)
+
+
+class ChannelTable:
+    """Named channels, one per key, optionally AGAS-registered.
+
+    Keys are arbitrary hashables (the solvers use ``(src_sd, dst_sd)``).
+    Channels are created lazily on first access from either side.
+    """
+
+    PREFIX = "/channels"
+
+    def __init__(self, agas: Optional[AddressSpace] = None,
+                 namespace: str = "ghost") -> None:
+        self.agas = agas
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._channels: Dict[Hashable, Channel] = {}
+
+    def channel(self, key: Hashable) -> Channel:
+        """The channel for ``key``, created (and registered) on demand."""
+        with self._lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                name = f"{self.PREFIX}/{self.namespace}/{key!r}"
+                ch = Channel(name)
+                self._channels[key] = ch
+                if self.agas is not None:
+                    self.agas.register(name, ch)
+            return ch
+
+    def set(self, key: Hashable, generation: int, value: Any = None) -> None:
+        """``channel(key).set(generation, value)``."""
+        self.channel(key).set(generation, value)
+
+    def get(self, key: Hashable, generation: int) -> Future:
+        """``channel(key).get(generation)``."""
+        return self.channel(key).get(generation)
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(num channels, pending gets, buffered sets)`` snapshot."""
+        with self._lock:
+            chans = list(self._channels.values())
+        return (len(chans),
+                sum(c.pending_generations() for c in chans),
+                sum(c.buffered_generations() for c in chans))

@@ -1,0 +1,398 @@
+"""Simulated distributed cluster with real computation and virtual time.
+
+This is the substitution for the paper's HPX/MPI Skylake cluster (see
+DESIGN.md).  The key idea: tasks submitted to a :class:`SimCluster` carry
+both
+
+* a **work amount** (abstract work units, e.g. DP-updates × stencil size)
+  that determines how long the task occupies a simulated core, and
+* an optional **action** (a real Python callable, typically a NumPy
+  kernel) that executes when the task completes, so the distributed solver
+  produces genuinely correct temperatures while the clock is virtual.
+
+Nodes have a bounded core count and a per-core speed *trace* (work units
+per virtual second, possibly time-varying — that is how heterogeneous and
+time-varying compute capacity from the paper's Sec. 4 challenge 4 enters).
+Messages pay ``latency + bytes/bandwidth`` and serialize on the sender's
+egress link.  Busy time is accumulated into
+:class:`repro.amt.counters.BusyTimeCounter` instances registered in AGAS,
+which is exactly what the load balancer polls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from .agas import AddressSpace
+from .counters import BusyTimeCounter, CounterRegistry
+from .des import SimulationError, Simulator
+from .future import Future, when_all
+
+__all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "Network",
+           "SimNode", "SimTask", "SimCluster"]
+
+
+# ---------------------------------------------------------------------------
+# speed traces
+# ---------------------------------------------------------------------------
+
+class SpeedTrace:
+    """Per-core compute rate as a function of virtual time.
+
+    Subclasses implement :meth:`rate` and :meth:`time_to_complete`.  The
+    latter answers "starting at ``t0``, how long until ``work`` units are
+    done?", i.e. it inverts the integral of the rate.  Keeping this on the
+    trace lets piecewise traces integrate exactly instead of sampling the
+    rate at task start.
+    """
+
+    def rate(self, t: float) -> float:
+        """Instantaneous work units per second at virtual time ``t``."""
+        raise NotImplementedError
+
+    def time_to_complete(self, work: float, t0: float) -> float:
+        """Seconds to finish ``work`` units when starting at ``t0``."""
+        raise NotImplementedError
+
+
+class ConstantSpeed(SpeedTrace):
+    """A fixed rate; the common case for homogeneous scaling studies."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def time_to_complete(self, work: float, t0: float) -> float:
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        return work / self._rate
+
+
+class PiecewiseSpeed(SpeedTrace):
+    """Piecewise-constant rate over ``[t_i, t_{i+1})`` intervals.
+
+    Used to emulate nodes whose capacity changes over time (external jobs
+    being scheduled alongside ours — the paper's motivating scenario for
+    dynamic balancing).  Completion times integrate the rate exactly
+    across breakpoints.
+
+    Parameters
+    ----------
+    breakpoints:
+        Strictly increasing times ``t_1 < t_2 < ...``; the rate before
+        ``t_1`` is ``rates[0]``, between ``t_i`` and ``t_{i+1}`` it is
+        ``rates[i]``, and after the last breakpoint ``rates[-1]``.
+    rates:
+        ``len(breakpoints) + 1`` positive rates.
+    """
+
+    def __init__(self, breakpoints: Sequence[float], rates: Sequence[float]) -> None:
+        if len(rates) != len(breakpoints) + 1:
+            raise ValueError("need len(rates) == len(breakpoints) + 1")
+        if any(r <= 0 for r in rates):
+            raise ValueError("all rates must be positive")
+        if any(b2 <= b1 for b1, b2 in zip(breakpoints, breakpoints[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        self._bp = [float(b) for b in breakpoints]
+        self._rates = [float(r) for r in rates]
+
+    def rate(self, t: float) -> float:
+        for i, b in enumerate(self._bp):
+            if t < b:
+                return self._rates[i]
+        return self._rates[-1]
+
+    def time_to_complete(self, work: float, t0: float) -> float:
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        remaining = float(work)
+        t = float(t0)
+        # walk segments, consuming work at each segment's rate
+        for i, b in enumerate(self._bp):
+            if t >= b:
+                continue
+            seg_rate = self._rates[i]
+            seg_capacity = (b - t) * seg_rate
+            if remaining <= seg_capacity:
+                return (t + remaining / seg_rate) - t0
+            remaining -= seg_capacity
+            t = b
+        return (t + remaining / self._rates[-1]) - t0
+
+
+# ---------------------------------------------------------------------------
+# network
+# ---------------------------------------------------------------------------
+
+class Network:
+    """Latency + bandwidth message-cost model with per-node egress links.
+
+    ``transfer_time(nbytes) = latency + nbytes / bandwidth``; concurrent
+    sends from the same node additionally serialize on that node's egress
+    link (a NIC can only push one message at a time), which reproduces the
+    "boundary SDs grow with node count ⇒ slight roll-off" effect visible
+    in the paper's Fig. 13.
+
+    Intra-node messages are free and instantaneous: the paper's SDs on the
+    same node share memory.
+    """
+
+    def __init__(self, latency: float = 5e-6, bandwidth: float = 1.25e9,
+                 serialize_egress: bool = True) -> None:
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.serialize_egress = serialize_egress
+        self._egress_free: Dict[int, float] = {}
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def wire_time(self, nbytes: int) -> float:
+        """Pure serialization time of ``nbytes`` on the wire."""
+        return nbytes / self.bandwidth
+
+    def plan_send(self, src: int, dst: int, nbytes: int, now: float) -> float:
+        """Account a message and return its virtual delivery time."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if src == dst:
+            return now
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        start = now
+        if self.serialize_egress:
+            start = max(now, self._egress_free.get(src, 0.0))
+            self._egress_free[src] = start + self.wire_time(nbytes)
+        return start + self.latency + self.wire_time(nbytes)
+
+    def reset_stats(self) -> None:
+        """Zero the byte/message counters (egress state is kept)."""
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+
+# ---------------------------------------------------------------------------
+# nodes and tasks
+# ---------------------------------------------------------------------------
+
+class SimTask:
+    """A unit of simulated work bound to a node.
+
+    The task's :attr:`future` resolves — at the task's virtual completion
+    time — with the return value of ``action()`` (or ``None``).
+    """
+
+    __slots__ = ("node_id", "work", "action", "future", "label")
+
+    def __init__(self, node_id: int, work: float,
+                 action: Optional[Callable[[], Any]], label: str) -> None:
+        self.node_id = node_id
+        self.work = float(work)
+        self.action = action
+        self.future: Future = Future()
+        self.label = label
+
+
+class SimNode:
+    """A simulated compute node: bounded cores + a speed trace.
+
+    Scheduling is FIFO per node: ready tasks wait in a queue and occupy a
+    core for ``trace.time_to_complete(work, start)`` virtual seconds.  The
+    node's :class:`BusyTimeCounter` accumulates core-seconds of execution.
+    """
+
+    def __init__(self, node_id: int, cores: int, trace: SpeedTrace,
+                 counter: BusyTimeCounter) -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.node_id = node_id
+        self.cores = cores
+        self.trace = trace
+        self.counter = counter
+        self.free_cores = cores
+        self.ready: Deque[SimTask] = deque()
+        self.tasks_completed = 0
+        self.work_completed = 0.0
+
+    def busy_time(self) -> float:
+        """Window busy core-seconds (since last counter reset)."""
+        return self.counter.value()
+
+
+class SimCluster:
+    """The distributed-machine model: nodes + network + virtual clock.
+
+    Typical usage by the distributed solver::
+
+        cluster = SimCluster(num_nodes=4, cores_per_node=1)
+        fut = cluster.submit(node_id=2, work=1e6, action=kernel)
+        msg = cluster.send(src=0, dst=1, nbytes=8*512, payload=ghost_array)
+        cluster.run()            # drain virtual time
+        ghost = msg.get()        # delivered payload
+
+    Determinism: with identical submission order, the virtual schedule is
+    bit-identical across runs (no wall-clock coupling anywhere).
+    """
+
+    def __init__(self, num_nodes: int, cores_per_node: int = 1,
+                 speeds: Optional[Sequence[SpeedTrace]] = None,
+                 network: Optional[Network] = None,
+                 agas: Optional[AddressSpace] = None) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.sim = Simulator()
+        self.agas = agas if agas is not None else AddressSpace()
+        self.counters = CounterRegistry(self.agas)
+        self.network = network if network is not None else Network()
+        if speeds is None:
+            speeds = [ConstantSpeed(1.0) for _ in range(num_nodes)]
+        if len(speeds) != num_nodes:
+            raise ValueError(f"need {num_nodes} speed traces, got {len(speeds)}")
+        self.nodes: List[SimNode] = []
+        self._net_counters = []
+        for i in range(num_nodes):
+            counter = self.counters.create_busy_time(f"node{i}")
+            self.nodes.append(SimNode(i, cores_per_node, speeds[i], counter))
+            # networking counters (the paper's future-work item): bytes
+            # crossing each node's NIC, resettable like busy_time
+            self._net_counters.append(
+                (self.counters.create(f"node{i}", "bytes_sent"),
+                 self.counters.create(f"node{i}", "bytes_received")))
+        self._window_start = 0.0
+
+    # -- submission --------------------------------------------------------
+    def submit(self, node_id: int, work: float,
+               action: Optional[Callable[[], Any]] = None,
+               deps: Sequence[Future] = (), label: str = "task") -> Future:
+        """Queue a task on ``node_id`` once all ``deps`` are ready.
+
+        Returns the task's future.  ``deps`` are typically message futures
+        (ghost data) or other task futures; the task enters the node's
+        ready queue at the virtual time the last dependency resolves,
+        which is how communication/computation overlap arises naturally.
+        """
+        node = self._node(node_id)
+        task = SimTask(node_id, work, action, label)
+        if not deps:
+            self._enqueue(node, task)
+        else:
+            when_all(list(deps))._add_callback(lambda _f: self._enqueue(node, task))
+        return task.future
+
+    def timer(self, delay: float, payload: Any = None) -> Future:
+        """A future that resolves ``delay`` virtual seconds from now.
+
+        Used to model serial per-task spawn overhead (a node's scheduler
+        enqueues tasks one after another) and any other fixed delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        fut = Future()
+        if delay == 0:
+            fut._set_value(payload)
+        else:
+            self.sim.schedule_after(delay, lambda: fut._set_value(payload),
+                                    priority=0)
+        return fut
+
+    def send(self, src: int, dst: int, nbytes: int, payload: Any = None) -> Future:
+        """Send ``payload`` from node ``src`` to ``dst``; future resolves on delivery."""
+        self._node(src)
+        self._node(dst)
+        if src != dst:
+            self._net_counters[src][0].add(nbytes)
+            self._net_counters[dst][1].add(nbytes)
+        fut = Future()
+        arrival = self.network.plan_send(src, dst, nbytes, self.sim.now)
+        if arrival <= self.sim.now:
+            fut._set_value(payload)
+        else:
+            # priority 0: deliveries fire before same-time task completions
+            self.sim.schedule(arrival, lambda: fut._set_value(payload), priority=0)
+        return fut
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Drain the event queue; return final virtual time."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    # -- accounting -----------------------------------------------------------
+    def busy_time(self, node_id: int) -> float:
+        """Window busy core-seconds of ``node_id``."""
+        return self._node(node_id).busy_time()
+
+    def busy_fraction(self, node_id: int) -> float:
+        """Busy core-seconds / available core-seconds in the window."""
+        node = self._node(node_id)
+        span = (self.sim.now - self._window_start) * node.cores
+        if span <= 0:
+            return 0.0
+        return node.busy_time() / span
+
+    def idle_time(self, node_id: int) -> float:
+        """Available minus busy core-seconds in the current window."""
+        node = self._node(node_id)
+        span = (self.sim.now - self._window_start) * node.cores
+        return max(0.0, span - node.busy_time())
+
+    def bytes_sent(self, node_id: int) -> float:
+        """Window bytes sent by ``node_id`` (networking counter)."""
+        self._node(node_id)
+        return self._net_counters[node_id][0].value()
+
+    def bytes_received(self, node_id: int) -> float:
+        """Window bytes received by ``node_id`` (networking counter)."""
+        self._node(node_id)
+        return self._net_counters[node_id][1].value()
+
+    def reset_counters(self) -> None:
+        """Reset all counters (busy + networking); restart the window clock."""
+        self.counters.reset_all()
+        self._window_start = self.sim.now
+
+    # -- internals ---------------------------------------------------------
+    def _node(self, node_id: int) -> SimNode:
+        if not 0 <= node_id < len(self.nodes):
+            raise SimulationError(f"unknown node id {node_id}")
+        return self.nodes[node_id]
+
+    def _enqueue(self, node: SimNode, task: SimTask) -> None:
+        node.ready.append(task)
+        self._dispatch(node)
+
+    def _dispatch(self, node: SimNode) -> None:
+        while node.free_cores > 0 and node.ready:
+            task = node.ready.popleft()
+            node.free_cores -= 1
+            start = self.sim.now
+            duration = node.trace.time_to_complete(task.work, start)
+            token = node.counter.begin_work(start)
+            # priority 1: completions fire after same-time message deliveries
+            self.sim.schedule(start + duration,
+                              lambda t=task, n=node, tok=token: self._complete(n, t, tok),
+                              priority=1)
+
+    def _complete(self, node: SimNode, task: SimTask, token: int) -> None:
+        node.counter.end_work(self.sim.now, token)
+        node.free_cores += 1
+        node.tasks_completed += 1
+        node.work_completed += task.work
+        try:
+            result = task.action() if task.action is not None else None
+        except BaseException as exc:  # noqa: BLE001 - forwarded to future
+            task.future._set_exception(exc)
+        else:
+            task.future._set_value(result)
+        self._dispatch(node)

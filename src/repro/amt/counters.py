@@ -1,0 +1,155 @@
+"""Performance counters modelled on ``hpx::performance_counters``.
+
+The load balancer (paper Sec. 7) polls exactly one counter —
+``busy_time`` per node — and resets all counters after each balancing
+iteration (Algorithm 1, line 35) so every node's busy fraction is measured
+over the same window.  This module provides:
+
+* :class:`Counter` — monotone accumulator with an observation window
+  (``value`` since the last reset, ``total`` since creation).
+* :class:`BusyTimeCounter` — adds interval tracking so a node can mark
+  ``begin_work``/``end_work`` spans; overlapping spans from multiple cores
+  accumulate additively, mirroring HPX's per-thread aggregation.
+* :class:`CounterRegistry` — AGAS-backed lookup and the ``reset_all``
+  bulk operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .agas import AddressSpace
+
+__all__ = ["Counter", "BusyTimeCounter", "CounterRegistry", "BUSY_TIME"]
+
+#: Canonical counter kind polled by the load balancer.
+BUSY_TIME = "busy_time"
+
+
+class Counter:
+    """A resettable accumulator.
+
+    ``value()`` reports the accumulation since the most recent
+    :meth:`reset`; ``total()`` reports the lifetime accumulation.  The
+    distinction matters: Algorithm 1 computes node power from the *window*
+    value so that stale history does not mask recent slowdowns.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._window = 0.0
+        self._lifetime = 0.0
+
+    def add(self, amount: float) -> None:
+        """Accumulate ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._window += amount
+        self._lifetime += amount
+
+    def value(self) -> float:
+        """Accumulation since the last reset."""
+        return self._window
+
+    def total(self) -> float:
+        """Lifetime accumulation (never reset)."""
+        return self._lifetime
+
+    def reset(self) -> None:
+        """Zero the observation window (lifetime total is preserved)."""
+        self._window = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name} window={self._window:.6g}>"
+
+
+class BusyTimeCounter(Counter):
+    """Busy-time accumulator fed by explicit work intervals.
+
+    Each simulated core (or real worker thread) brackets task execution
+    with ``begin_work(t)`` / ``end_work(t)``; the counter accumulates the
+    interval lengths.  Concurrent intervals add up — two cores busy for
+    one second contribute two busy-seconds, exactly like summing HPX's
+    per-worker idle-rate counters.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._open: Dict[int, float] = {}
+        self._next_token = 0
+
+    def begin_work(self, now: float) -> int:
+        """Open a work interval at time ``now``; returns a token."""
+        token = self._next_token
+        self._next_token += 1
+        self._open[token] = now
+        return token
+
+    def end_work(self, now: float, token: int) -> None:
+        """Close the interval identified by ``token`` at time ``now``."""
+        try:
+            start = self._open.pop(token)
+        except KeyError:
+            raise ValueError(f"unknown work token {token}") from None
+        if now < start:
+            raise ValueError(f"end_work at t={now} before begin at t={start}")
+        self.add(now - start)
+
+    def open_intervals(self) -> int:
+        """Number of currently open work intervals (busy cores)."""
+        return len(self._open)
+
+
+class CounterRegistry:
+    """Registry of named counters, resolvable through AGAS.
+
+    Counter names follow the HPX convention
+    ``/counters/<locality>/<kind>`` (e.g. ``/counters/node2/busy_time``).
+    """
+
+    PREFIX = "/counters"
+
+    def __init__(self, agas: Optional[AddressSpace] = None) -> None:
+        self.agas = agas if agas is not None else AddressSpace()
+
+    def _name(self, locality: str, kind: str) -> str:
+        return f"{self.PREFIX}/{locality}/{kind}"
+
+    def create_busy_time(self, locality: str) -> BusyTimeCounter:
+        """Create and register the busy-time counter for ``locality``."""
+        counter = BusyTimeCounter(self._name(locality, BUSY_TIME))
+        self.agas.register(counter.name, counter)
+        return counter
+
+    def create(self, locality: str, kind: str) -> Counter:
+        """Create and register a generic counter."""
+        counter = Counter(self._name(locality, kind))
+        self.agas.register(counter.name, counter)
+        return counter
+
+    def get(self, locality: str, kind: str) -> Counter:
+        """Resolve a counter; raises ``AgasError`` if missing."""
+        return self.agas.resolve(self._name(locality, kind))
+
+    def busy_time(self, locality: str) -> float:
+        """Window busy time for ``locality`` (convenience accessor)."""
+        return self.get(locality, BUSY_TIME).value()
+
+    def all_of_kind(self, kind: str) -> List[Counter]:
+        """All registered counters whose kind matches ``kind``, sorted by name."""
+        return [obj for name, obj in self.agas.query(self.PREFIX)
+                if name.rsplit("/", 1)[-1] == kind]
+
+    def reset_all(self, kind: Optional[str] = None) -> int:
+        """Reset every counter (optionally only of ``kind``); return count.
+
+        This is Algorithm 1 line 35:
+        ``reset_all(hpx::performance_counters::busy_time)``.
+        """
+        count = 0
+        for name, obj in self.agas.query(self.PREFIX):
+            if kind is not None and name.rsplit("/", 1)[-1] != kind:
+                continue
+            obj.reset()
+            count += 1
+        return count

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map to the library's main entry points so the paper's
+experiments can be rerun without writing a script:
+
+* ``validate``  — the Fig. 8 convergence sweep (error vs h);
+* ``solve``     — one manufactured-problem solve with error report;
+* ``scale``     — a strong-scaling sweep on the simulated cluster;
+* ``balance``   — the Fig. 14 iterated balancing demo;
+* ``partition`` — partition an SD grid and print quality metrics.
+
+All output is plain text via :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for testability)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Nonlocal-model load balancing reproduction (IPPS 2021)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("validate", help="Fig. 8 convergence sweep")
+    v.add_argument("--max-exponent", type=int, default=6,
+                   help="finest mesh is 2^N (default 6)")
+    v.add_argument("--steps", type=int, default=10)
+
+    s = sub.add_parser("solve", help="one manufactured solve")
+    s.add_argument("--nx", type=int, default=64)
+    s.add_argument("--eps-factor", type=float, default=8.0)
+    s.add_argument("--steps", type=int, default=20)
+    s.add_argument("--source", choices=("continuum", "discrete"),
+                   default="continuum")
+
+    c = sub.add_parser("scale", help="strong scaling on the simulated cluster")
+    c.add_argument("--mesh", type=int, default=400)
+    c.add_argument("--sds", type=int, default=8, help="SDs per axis")
+    c.add_argument("--max-nodes", type=int, default=8)
+    c.add_argument("--steps", type=int, default=20)
+
+    b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
+    b.add_argument("--sds", type=int, default=5, help="SDs per axis")
+    b.add_argument("--nodes", type=int, default=4)
+    b.add_argument("--iterations", type=int, default=3)
+
+    g = sub.add_parser("partition", help="partition an SD grid")
+    g.add_argument("--sds", type=int, default=16, help="SDs per axis")
+    g.add_argument("--nodes", type=int, default=4)
+    g.add_argument("--method", choices=("multilevel", "blocks", "strips",
+                                        "rcb", "spectral"),
+                   default="multilevel")
+    return p
+
+
+def _cmd_validate(args) -> int:
+    from .reporting.tables import print_series
+    from .solver.serial import solve_manufactured
+    hs, errors = [], []
+    for n in range(2, args.max_exponent + 1):
+        nx = 2 ** n
+        res = solve_manufactured(nx, eps_factor=2, num_steps=args.steps,
+                                 dt=0.05 / (nx * nx), source_mode="continuum")
+        hs.append(1.0 / nx)
+        errors.append(res.total_error)
+    print_series("h", hs, {"total error e": errors},
+                 title="Convergence validation (paper Fig. 8)")
+    ok = all(b < a for a, b in zip(errors, errors[1:]))
+    print(f"\nmonotone decrease: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+def _cmd_solve(args) -> int:
+    from .mesh.grid import UniformGrid
+    from .solver.exact import ManufacturedProblem
+    from .solver.model import NonlocalHeatModel
+    from .solver.serial import SerialSolver
+    grid = UniformGrid(args.nx, args.nx)
+    model = NonlocalHeatModel(epsilon=args.eps_factor * grid.h)
+    prob = ManufacturedProblem(model, grid, source_mode=args.source)
+    solver = SerialSolver(model, grid, source=prob.source)
+    res = solver.run(prob.initial_condition(), args.steps, exact=prob.exact)
+    print(f"mesh {args.nx}x{args.nx}, eps = {model.epsilon:.4g}, "
+          f"dt = {solver.dt:.3e}, steps = {args.steps}")
+    print(f"total error e = {res.total_error:.4e}")
+    print(f"final-step error e_N = {res.errors[-1]:.4e}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from .reporting.tables import print_series
+    from .mesh.grid import UniformGrid
+    from .mesh.subdomain import SubdomainGrid
+    from .partition.kway import partition_sd_grid
+    from .solver.distributed import DistributedSolver
+    from .solver.model import NonlocalHeatModel
+    grid = UniformGrid(args.mesh, args.mesh)
+    model = NonlocalHeatModel(epsilon=8 * grid.h)
+    sd_grid = SubdomainGrid(args.mesh, args.mesh, args.sds, args.sds)
+    node_counts = [n for n in (1, 2, 4, 8, 12, 16, 24, 32)
+                   if n <= min(args.max_nodes, args.sds * args.sds)]
+    times = []
+    for n in node_counts:
+        parts = partition_sd_grid(args.sds, args.sds, n, seed=0)
+        solver = DistributedSolver(model, grid, sd_grid, parts, num_nodes=n,
+                                   compute_numerics=False)
+        times.append(solver.run(None, args.steps).makespan)
+    speedups = [times[0] / t for t in times]
+    print_series("#nodes", node_counts,
+                 {"speedup": speedups,
+                  "optimal": [float(n) for n in node_counts]},
+                 title=f"Strong scaling (mesh {args.mesh}^2, "
+                       f"{args.sds}x{args.sds} SDs, eps=8h)")
+    return 0
+
+
+def _cmd_balance(args) -> int:
+    from .core.balancer import LoadBalancer
+    from .mesh.subdomain import SubdomainGrid
+    from .reporting.ownership import render_ownership_sequence
+    k = args.nodes
+    sds = args.sds
+    sd_grid = SubdomainGrid(4 * sds, 4 * sds, sds, sds)
+    lb = LoadBalancer(sd_grid)
+    parts = np.zeros(sds * sds, dtype=np.int64)
+    for i in range(1, k):  # one corner-ish SD per other node
+        parts[sds * sds - i] = i
+    snapshots = [parts.copy()]
+    for _ in range(args.iterations):
+        busy = np.maximum(
+            np.bincount(parts, minlength=k).astype(float), 1e-9)
+        parts = lb.balance_step(parts, k, busy).parts_after
+        snapshots.append(parts.copy())
+    print(render_ownership_sequence(
+        sd_grid, snapshots,
+        labels=[f"iter {i}" for i in range(len(snapshots))]))
+    counts = np.bincount(parts, minlength=k)
+    print(f"\nfinal SDs per node: {list(counts)}")
+    spread = int(counts.max() - counts.min())
+    print(f"max-min spread: {spread}")
+    return 0 if spread <= 2 else 1
+
+
+def _cmd_partition(args) -> int:
+    from .partition.geometric import (block_partition,
+                                      recursive_coordinate_bisection,
+                                      strip_partition)
+    from .partition.graph import grid_dual_graph
+    from .partition.kway import partition_graph
+    from .partition.metrics import evaluate_partition
+    from .partition.spectral import spectral_partition
+    from .reporting.ownership import render_ownership
+    from .mesh.subdomain import SubdomainGrid
+    sds, k = args.sds, args.nodes
+    graph = grid_dual_graph(sds, sds)
+    if args.method == "multilevel":
+        parts = partition_graph(graph, k, seed=0)
+    elif args.method == "blocks":
+        parts = block_partition(sds, sds, k)
+    elif args.method == "strips":
+        parts = strip_partition(sds, sds, k)
+    elif args.method == "rcb":
+        parts = recursive_coordinate_bisection(graph, k)
+    else:
+        parts = spectral_partition(graph, k)
+    rep = evaluate_partition(graph, parts, k)
+    sd_grid = SubdomainGrid(4 * sds, 4 * sds, sds, sds)
+    print(render_ownership(sd_grid, parts,
+                           title=f"{args.method} partition, k={k}:"))
+    print(f"\nedge cut: {rep.cut:g}   imbalance: {rep.imbalance:.3f}   "
+          f"contiguous: {rep.contiguous}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "validate": _cmd_validate,
+        "solve": _cmd_solve,
+        "scale": _cmd_scale,
+        "balance": _cmd_balance,
+        "partition": _cmd_partition,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: SD-level load balancing (Sec. 7).
+
+* :mod:`repro.core.power` — eqs. (8)-(10): node power from busy-time
+  counters, expected SD shares, load imbalance.
+* :mod:`repro.core.tree` — dependency tree + topological processing order.
+* :mod:`repro.core.transfer` — direction-uniform, contiguity-preserving
+  SD selection.
+* :mod:`repro.core.balancer` — the Algorithm 1 driver.
+* :mod:`repro.core.policy` — when-to-balance strategies.
+"""
+
+from .balancer import BalanceResult, LoadBalancer
+from .policy import (BalancePolicy, IntervalPolicy, NeverBalance,
+                     ThresholdPolicy)
+from .power import (compute_power, expected_sds, imbalance_ratio, integer_targets,
+                    load_imbalance)
+from .smoothing import SmoothedPowerEstimator
+from .transfer import (TransferPlan, apply_transfers,
+                       naive_select_transfers, select_transfers)
+from .tree import DependencyTree, build_dependency_tree, topological_order
+
+__all__ = [
+    "BalanceResult", "LoadBalancer",
+    "BalancePolicy", "IntervalPolicy", "NeverBalance", "ThresholdPolicy",
+    "compute_power", "expected_sds", "imbalance_ratio", "integer_targets", "load_imbalance",
+    "SmoothedPowerEstimator",
+    "TransferPlan", "apply_transfers", "naive_select_transfers",
+    "select_transfers",
+    "DependencyTree", "build_dependency_tree", "topological_order",
+]

@@ -1,0 +1,72 @@
+"""Balance-triggering policies: when should Algorithm 1 run?
+
+The paper runs the balancing step "at the end of the timestep" (Fig. 4);
+in practice one balances on an interval, or only when the busy-time
+spread exceeds a threshold (running Algorithm 1 on a balanced cluster
+wastes migration bandwidth).  These small strategy objects let the
+distributed solver and the ablation benches swap policies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .power import imbalance_ratio
+
+__all__ = ["BalancePolicy", "NeverBalance", "IntervalPolicy",
+           "ThresholdPolicy"]
+
+
+class BalancePolicy:
+    """Decides, after each timestep, whether to run a balancing step."""
+
+    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+        """``step`` is the 0-based index of the step that just finished."""
+        raise NotImplementedError
+
+
+class NeverBalance(BalancePolicy):
+    """Baseline: load balancing disabled."""
+
+    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+        return False
+
+
+class IntervalPolicy(BalancePolicy):
+    """Balance every ``interval`` timesteps (the paper's per-step check
+    generalized; ``interval=1`` reproduces Fig. 4's flow)."""
+
+    def __init__(self, interval: int = 1) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+
+    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+        return (step + 1) % self.interval == 0
+
+
+class ThresholdPolicy(BalancePolicy):
+    """Balance when the busy-time spread exceeds a ratio threshold.
+
+    ``ratio`` is max/mean busy time; 1.0 is perfectly balanced.  A
+    threshold of 1.1 triggers once some node is 10% busier than average.
+    An optional minimum interval rate-limits consecutive balancing steps
+    (migration has a cost).
+    """
+
+    def __init__(self, ratio: float = 1.1, min_interval: int = 1) -> None:
+        if ratio < 1.0:
+            raise ValueError(f"ratio must be >= 1.0, got {ratio}")
+        if min_interval < 1:
+            raise ValueError(f"min_interval must be >= 1, got {min_interval}")
+        self.ratio = ratio
+        self.min_interval = min_interval
+        self._last_balance = -10 ** 9
+
+    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+        if step - self._last_balance < self.min_interval:
+            return False
+        if imbalance_ratio(busy_times) >= self.ratio:
+            self._last_balance = step
+            return True
+        return False

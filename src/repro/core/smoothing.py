@@ -1,0 +1,90 @@
+"""Smoothed power estimation for noisy busy-time measurements.
+
+On a real machine the busy-time window is polluted by OS jitter,
+measurement granularity, and transient interference; balancing on raw
+single-window readings makes Algorithm 1 chase noise (migrations cost
+real bandwidth).  :class:`SmoothedPowerEstimator` keeps an exponentially
+weighted moving average of each node's measured power and exposes a
+drop-in ``busy_times``-like view for the balancer: the smoothed power is
+converted back to an *effective* busy time so ``LoadBalancer
+.balance_step`` needs no changes.
+
+This is the "specific performance counters" direction the paper lists as
+future work, made concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .power import compute_power
+
+__all__ = ["SmoothedPowerEstimator"]
+
+
+class SmoothedPowerEstimator:
+    """EWMA filter over per-node power measurements.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size.
+    alpha:
+        EWMA weight of the newest measurement in ``(0, 1]``; 1.0
+        reproduces raw (unsmoothed) behaviour.
+    """
+
+    def __init__(self, num_nodes: int, alpha: float = 0.4) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0,1], got {alpha}")
+        self.num_nodes = num_nodes
+        self.alpha = alpha
+        self._power: Optional[np.ndarray] = None
+        self.updates = 0
+
+    def update(self, node_loads: Sequence[float],
+               busy_times: Sequence[float]) -> np.ndarray:
+        """Fold one measurement window in; returns the smoothed power."""
+        loads = np.asarray(node_loads, dtype=np.float64)
+        busy = np.asarray(busy_times, dtype=np.float64)
+        if len(loads) != self.num_nodes or len(busy) != self.num_nodes:
+            raise ValueError(
+                f"need {self.num_nodes} loads and busy times, got "
+                f"{len(loads)}/{len(busy)}")
+        raw = compute_power(loads, busy)
+        if self._power is None:
+            self._power = raw.copy()
+        else:
+            self._power = self.alpha * raw + (1 - self.alpha) * self._power
+        self.updates += 1
+        return self._power.copy()
+
+    @property
+    def power(self) -> np.ndarray:
+        """Current smoothed power (raises before the first update)."""
+        if self._power is None:
+            raise RuntimeError("no measurements folded in yet")
+        return self._power.copy()
+
+    def effective_busy_times(self, node_loads: Sequence[float]) -> np.ndarray:
+        """Busy times implied by the smoothed power for the given loads.
+
+        ``LoadBalancer.balance_step`` recovers power as ``load / busy``;
+        feeding it ``load / smoothed_power`` therefore makes it balance
+        on the smoothed estimate.  Nodes with zero load get a unit busy
+        time (their power falls back to the measured mean inside
+        ``compute_power`` anyway).
+        """
+        loads = np.asarray(node_loads, dtype=np.float64)
+        power = self.power
+        busy = np.where(loads > 0, loads / power, 1.0)
+        return busy
+
+    def reset(self) -> None:
+        """Forget all history (e.g. after a known reconfiguration)."""
+        self._power = None
+        self.updates = 0

@@ -1,0 +1,13 @@
+"""Workload-heterogeneity models that create the load imbalance the
+paper's balancer corrects: crack geometry (:mod:`repro.models.crack`) and
+time-varying node capacity (:mod:`repro.models.workload`)."""
+
+from .crack import Crack, crack_work_factors
+from .workload import (heterogeneous_constant, random_interference,
+                       staircase_degradation, step_interference)
+
+__all__ = [
+    "Crack", "crack_work_factors",
+    "heterogeneous_constant", "random_interference",
+    "staircase_degradation", "step_interference",
+]

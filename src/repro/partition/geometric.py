@@ -1,0 +1,112 @@
+"""Geometric baseline partitioners: blocks, strips, coordinate bisection.
+
+The paper's distributed experiments (Sec. 8.3) describe a manual scheme
+for 1/2/4 nodes — "divided into 2 equal sized halves", "4 equal sized
+squares" — before switching to METIS for Fig. 13.  These geometric
+partitioners reproduce that manual scheme, provide the baselines the
+partitioner ablation (Abl. A) compares against, and serve as cheap
+fallbacks for rectangular SD grids.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["strip_partition", "block_partition", "recursive_coordinate_bisection",
+           "grid_blocks_for_k"]
+
+
+def strip_partition(nx: int, ny: int, k: int, axis: int = 0) -> np.ndarray:
+    """Split the SD grid into ``k`` contiguous strips along ``axis``.
+
+    ``axis=0`` cuts vertical strips (columns grouped), ``axis=1``
+    horizontal.  Strip sizes differ by at most one column/row.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+    n_lines = nx if axis == 0 else ny
+    # boundaries of nearly equal chunks
+    cuts = np.linspace(0, n_lines, k + 1).round().astype(np.int64)
+    line_part = np.zeros(n_lines, dtype=np.int64)
+    for p in range(k):
+        line_part[cuts[p]:cuts[p + 1]] = p
+    parts = np.empty(nx * ny, dtype=np.int64)
+    for iy in range(ny):
+        for ix in range(nx):
+            parts[iy * nx + ix] = line_part[ix if axis == 0 else iy]
+    return parts
+
+
+def grid_blocks_for_k(k: int) -> Tuple[int, int]:
+    """Factor ``k`` into the most square ``(kx, ky)`` block layout."""
+    best = (k, 1)
+    for kx in range(1, int(np.sqrt(k)) + 1):
+        if k % kx == 0:
+            best = (k // kx, kx)
+    return best
+
+
+def block_partition(nx: int, ny: int, k: int) -> np.ndarray:
+    """Split the SD grid into a ``kx × ky`` block layout (``kx*ky = k``).
+
+    For k=4 on a square grid this reproduces the paper's "4 equal sized
+    squares, each assigned to distinct computational nodes".
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    kx, ky = grid_blocks_for_k(k)
+    cuts_x = np.linspace(0, nx, kx + 1).round().astype(np.int64)
+    cuts_y = np.linspace(0, ny, ky + 1).round().astype(np.int64)
+    col_block = np.zeros(nx, dtype=np.int64)
+    row_block = np.zeros(ny, dtype=np.int64)
+    for b in range(kx):
+        col_block[cuts_x[b]:cuts_x[b + 1]] = b
+    for b in range(ky):
+        row_block[cuts_y[b]:cuts_y[b + 1]] = b
+    parts = np.empty(nx * ny, dtype=np.int64)
+    for iy in range(ny):
+        for ix in range(nx):
+            parts[iy * nx + ix] = row_block[iy] * kx + col_block[ix]
+    return parts
+
+
+def recursive_coordinate_bisection(graph: Graph, k: int) -> np.ndarray:
+    """Recursive coordinate bisection (RCB) on vertex coordinates.
+
+    Splits along the longer extent at the weighted median, recursively.
+    Needs ``graph.coords``; used as the strongest geometric baseline in
+    the partitioner ablation.
+    """
+    if graph.coords is None:
+        raise ValueError("RCB requires vertex coordinates")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = graph.num_vertices
+    parts = np.zeros(n, dtype=np.int64)
+    _rcb(graph.coords, graph.vwgt, np.arange(n, dtype=np.int64), k, 0, parts)
+    return parts
+
+
+def _rcb(coords: np.ndarray, vwgt: np.ndarray, idx: np.ndarray,
+         k: int, first: int, parts: np.ndarray) -> None:
+    if k == 1 or len(idx) == 0:
+        parts[idx] = first
+        return
+    k_left = k // 2
+    frac = k_left / k
+    pts = coords[idx]
+    extent = pts.max(axis=0) - pts.min(axis=0)
+    axis = int(np.argmax(extent))
+    order = idx[np.argsort(pts[:, axis], kind="stable")]
+    cum = np.cumsum(vwgt[order])
+    total = cum[-1]
+    split = int(np.searchsorted(cum, frac * total))
+    split = min(max(split, 1), len(order) - 1) if len(order) > 1 else len(order)
+    _rcb(coords, vwgt, order[:split], k_left, first, parts)
+    _rcb(coords, vwgt, order[split:], k - k_left, first + k_left, parts)

@@ -1,0 +1,12 @@
+"""Text rendering of benchmark outputs: series tables and ownership grids."""
+
+from .ownership import (ownership_counts, render_ownership,
+                        render_ownership_sequence)
+from .tables import format_series, format_table, print_series, print_table
+from .trace import TaskInterval, TraceRecorder, render_gantt
+
+__all__ = [
+    "ownership_counts", "render_ownership", "render_ownership_sequence",
+    "format_series", "format_table", "print_series", "print_table",
+    "TaskInterval", "TraceRecorder", "render_gantt",
+]

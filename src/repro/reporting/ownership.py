@@ -1,0 +1,62 @@
+"""ASCII rendering of SD ownership grids (paper Figs. 2, 6, 14).
+
+The paper's load-balancing figures are colored SD grids; we render the
+same information as character grids (one symbol per node) so the Fig. 14
+reproduction can show the ownership evolving across balancing
+iterations directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.subdomain import SubdomainGrid
+
+__all__ = ["render_ownership", "render_ownership_sequence", "ownership_counts"]
+
+#: Symbols for up to 36 nodes.
+_SYMBOLS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_ownership(sd_grid: SubdomainGrid, parts: Sequence[int],
+                     title: str = "") -> str:
+    """Render the SD ownership as a character grid.
+
+    Row 0 (the bottom of the domain, smallest y) is printed last so the
+    picture matches the usual mathematical orientation of the figures.
+    """
+    grid = sd_grid.ownership_grid(np.asarray(parts))
+    if grid.size and grid.max() >= len(_SYMBOLS):
+        raise ValueError(f"cannot render more than {len(_SYMBOLS)} nodes")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in reversed(range(grid.shape[0])):
+        lines.append(" ".join(_SYMBOLS[int(p)] for p in grid[row]))
+    return "\n".join(lines)
+
+
+def render_ownership_sequence(sd_grid: SubdomainGrid,
+                              snapshots: Sequence[Sequence[int]],
+                              labels: Optional[Sequence[str]] = None,
+                              gap: str = "   ") -> str:
+    """Render several ownership snapshots side by side (Fig. 14 style)."""
+    if labels is not None and len(labels) != len(snapshots):
+        raise ValueError("one label per snapshot required")
+    blocks = [render_ownership(sd_grid, s).split("\n") for s in snapshots]
+    width = max(len(line) for block in blocks for line in block)
+    lines: List[str] = []
+    if labels is not None:
+        lines.append(gap.join(lbl.ljust(width) for lbl in labels))
+    for row in range(len(blocks[0])):
+        lines.append(gap.join(block[row].ljust(width) for block in blocks))
+    return "\n".join(lines)
+
+
+def ownership_counts(parts: Sequence[int], num_nodes: int) -> List[int]:
+    """SDs per node, as a plain list (for table rows)."""
+    counts = np.bincount(np.asarray(parts, dtype=np.int64),
+                         minlength=num_nodes)
+    return [int(c) for c in counts]

@@ -1,0 +1,85 @@
+"""ASCII table/series rendering for the benchmark harness.
+
+The paper's figures are line plots; offline we print the same series as
+aligned text tables so every benchmark regenerates its figure's data in a
+directly comparable form (EXPERIMENTS.md records paper-vs-measured from
+these printouts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+Number = Union[int, float]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 4, title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[_fmt(v, precision) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, x_values: Sequence[Number],
+                  series: Dict[str, Sequence[Number]],
+                  precision: int = 4, title: str = "") -> str:
+    """Render figure-style data: one x column plus one column per series.
+
+    ``series`` maps a series name (e.g. ``"2CPU"``) to its y values,
+    which must parallel ``x_values``.
+    """
+    headers: List[str] = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name, ys in series.items():
+            if len(ys) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(ys)} values, expected {len(x_values)}")
+            row.append(ys[i])
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                precision: int = 4, title: str = "") -> None:
+    """``format_table`` to stdout."""
+    print(format_table(headers, rows, precision=precision, title=title))
+
+
+def print_series(x_label: str, x_values: Sequence[Number],
+                 series: Dict[str, Sequence[Number]],
+                 precision: int = 4, title: str = "") -> None:
+    """``format_series`` to stdout."""
+    print(format_series(x_label, x_values, series,
+                        precision=precision, title=title))

@@ -1,0 +1,119 @@
+"""Execution tracing and ASCII Gantt rendering for simulated runs.
+
+A :class:`TraceRecorder` attached to a :class:`repro.amt.cluster
+.SimCluster` records every task's (node, label, start, end) interval;
+:func:`render_gantt` draws the schedule as per-node text lanes.  This is
+how the communication/computation overlap of the paper's Fig. 4 becomes
+*visible* offline: Case-2 lanes fill the gap in which Case-1 tasks wait
+for their ghost messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..amt.cluster import SimCluster, SimNode, SimTask
+
+__all__ = ["TaskInterval", "TraceRecorder", "render_gantt"]
+
+
+class TaskInterval:
+    """One executed task: which node ran what, from when to when."""
+
+    __slots__ = ("node_id", "label", "start", "end")
+
+    def __init__(self, node_id: int, label: str, start: float, end: float) -> None:
+        self.node_id = node_id
+        self.label = label
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TaskInterval n{self.node_id} {self.label!r} "
+                f"[{self.start:.3g},{self.end:.3g})>")
+
+
+class TraceRecorder:
+    """Records task execution intervals from a SimCluster.
+
+    Attach *before* submitting work::
+
+        cluster = SimCluster(4)
+        trace = TraceRecorder(cluster)
+        ... submit / run ...
+        print(render_gantt(trace.intervals, cluster.now))
+
+    Implementation: wraps the cluster's ``_dispatch``/``_complete`` pair
+    to observe start and end times; the wrapped methods delegate to the
+    originals, so scheduling behaviour is unchanged (asserted by tests).
+    """
+
+    def __init__(self, cluster: SimCluster) -> None:
+        self.cluster = cluster
+        self.intervals: List[TaskInterval] = []
+        self._starts = {}
+        original_dispatch = cluster._dispatch
+        original_complete = cluster._complete
+        recorder = self
+
+        def dispatch(node: SimNode) -> None:
+            # observe which tasks leave the ready queue: snapshot, then
+            # compare; cheaper to wrap _complete for ends and infer
+            # starts from (end - duration) — but duration depends on the
+            # speed trace, so record starts directly by hooking the
+            # queue pop via a shim around the deque.
+            before = list(node.ready)
+            original_dispatch(node)
+            after = set(id(t) for t in node.ready)
+            for task in before:
+                if id(task) not in after:
+                    recorder._starts[id(task)] = recorder.cluster.sim.now
+
+        def complete(node: SimNode, task: SimTask, token: int) -> None:
+            start = recorder._starts.pop(id(task), None)
+            end = recorder.cluster.sim.now
+            if start is not None:
+                recorder.intervals.append(
+                    TaskInterval(node.node_id, task.label, start, end))
+            original_complete(node, task, token)
+
+        cluster._dispatch = dispatch  # type: ignore[method-assign]
+        cluster._complete = complete  # type: ignore[method-assign]
+
+    def intervals_of_node(self, node_id: int) -> List[TaskInterval]:
+        """This node's intervals, in start order."""
+        out = [iv for iv in self.intervals if iv.node_id == node_id]
+        out.sort(key=lambda iv: iv.start)
+        return out
+
+
+def render_gantt(intervals: Sequence[TaskInterval], makespan: float,
+                 width: int = 72, num_nodes: Optional[int] = None,
+                 label_chars: int = 1) -> str:
+    """Render intervals as one text lane per node.
+
+    Each lane is ``width`` characters spanning ``[0, makespan]``; a task
+    paints its first ``label_chars`` label characters over its time
+    span, idle time shows as ``.``.  Overlapping tasks on multi-core
+    nodes overwrite left to right (the lane shows *occupancy*, not per
+    -core detail).
+    """
+    if makespan <= 0:
+        return "(empty schedule)"
+    if num_nodes is None:
+        num_nodes = 1 + max((iv.node_id for iv in intervals), default=0)
+    lanes = [["."] * width for _ in range(num_nodes)]
+    for iv in intervals:
+        a = int(iv.start / makespan * width)
+        b = max(a + 1, int(iv.end / makespan * width))
+        glyph = (iv.label[:label_chars] or "#").ljust(1)[0]
+        for x in range(a, min(b, width)):
+            lanes[iv.node_id][x] = glyph
+    lines = [f"t=0 {'-' * (width - 8)} t={makespan:.3g}"]
+    for n, lane in enumerate(lanes):
+        lines.append(f"n{n} |{''.join(lane)}|")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Shared-memory futurized solver (paper Sec. 8.2).
+
+The mesh is divided into SDs that are updated by asynchronous tasks on a
+thread pool (:class:`repro.amt.executor.TaskExecutor`) sharing the global
+temperature arrays — the paper's "multi-threaded version using
+asynchronous execution, e.g. futurization".  Each timestep submits one
+task per SD; tasks read the previous-step array (including their ghost
+halo, all local in shared memory) and write their block of the next-step
+array, so tasks within a step are data-race free by construction.
+
+NumPy's convolution releases the GIL for the bulk of each task, so this
+runtime exhibits genuine parallelism; the *deterministic* scaling studies
+for Figs. 9–10 nevertheless run on the simulated single node (see
+``benchmarks/``) to keep the plotted shapes machine-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..amt.executor import TaskExecutor
+from ..amt.future import when_all
+from ..mesh.grid import UniformGrid
+from ..mesh.subdomain import SubdomainGrid
+from .kernel import NonlocalOperator, stable_dt
+from .model import NonlocalHeatModel
+from .serial import SolveResult
+from .exact import step_error
+
+__all__ = ["AsyncSolver"]
+
+
+class AsyncSolver:
+    """Futurized SD-parallel forward-Euler integrator.
+
+    Parameters
+    ----------
+    model, grid:
+        Problem definition and discretization.
+    sd_grid:
+        SD decomposition of the mesh (the unit of tasking).
+    num_threads:
+        Worker threads ("CPUs" in the paper's Figs. 9–10).
+    source, dt:
+        As in :class:`repro.solver.serial.SerialSolver`.
+    """
+
+    def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
+                 sd_grid: SubdomainGrid, num_threads: int = 1,
+                 source: Optional[Callable[[float], np.ndarray]] = None,
+                 dt: Optional[float] = None) -> None:
+        if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
+            raise ValueError(
+                f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
+                f"but mesh is {grid.nx}x{grid.ny}")
+        self.model = model
+        self.grid = grid
+        self.sd_grid = sd_grid
+        self.operator = NonlocalOperator(model, grid)
+        self.source = source
+        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        self.num_threads = num_threads
+
+    def _sd_task(self, sd: int, u_old: np.ndarray, u_new: np.ndarray,
+                 b: Optional[np.ndarray], t: float) -> None:
+        """Update one SD block: read halo from ``u_old``, write ``u_new``."""
+        R = self.operator.radius
+        rect = self.sd_grid.rect(sd)
+        halo = self.sd_grid.halo_rect(sd, R)
+        # assemble the zero-extended padded block
+        padded = np.zeros((rect.height + 2 * R, rect.width + 2 * R))
+        dy0 = halo.y0 - (rect.y0 - R)
+        dx0 = halo.x0 - (rect.x0 - R)
+        padded[dy0:dy0 + halo.height, dx0:dx0 + halo.width] = u_old[halo.slices()]
+        rhs = self.operator.apply_block(padded)
+        if b is not None:
+            rhs = rhs + b[rect.slices()]
+        u_new[rect.slices()] = u_old[rect.slices()] + self.dt * rhs
+
+    def run(self, u0: np.ndarray, num_steps: int,
+            exact: Optional[Callable[[float], np.ndarray]] = None) -> SolveResult:
+        """Integrate ``num_steps`` steps; same contract as the serial solver."""
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be >= 0, got {num_steps}")
+        u_old = np.array(u0, dtype=np.float64, copy=True)
+        if u_old.shape != self.grid.shape:
+            raise ValueError(f"u0 shape {u_old.shape} != grid {self.grid.shape}")
+        u_new = np.empty_like(u_old)
+        times = [0.0]
+        errors: Optional[List[float]] = None
+        if exact is not None:
+            errors = [step_error(self.grid, u_old, exact(0.0))]
+        t = 0.0
+        sds = list(range(self.sd_grid.num_subdomains))
+        with TaskExecutor(self.num_threads, name="async-solver") as ex:
+            for _ in range(num_steps):
+                b = None if self.source is None else self.source(t)
+                futs = [ex.async_(self._sd_task, sd, u_old, u_new, b, t)
+                        for sd in sds]
+                for f in when_all(futs).get():
+                    f.get()  # surface any task exception
+                u_old, u_new = u_new, u_old
+                t += self.dt
+                times.append(t)
+                if exact is not None:
+                    errors.append(step_error(self.grid, u_old, exact(t)))
+        return SolveResult(u_old.copy(), times, errors)

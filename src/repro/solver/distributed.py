@@ -1,0 +1,361 @@
+"""Distributed solver on the simulated cluster (paper Secs. 6 & 8.3).
+
+Each timestep reproduces the schedule of the paper's Fig. 4:
+
+1. **ghost exchange** — for every SD whose halo crosses a node boundary,
+   a message (latency + bytes/bandwidth, egress-serialized) is sent from
+   the owner of the data to the owner of the SD;
+2. **Case-2 computation** — every SD immediately runs a task for its DPs
+   that do not depend on foreign data;
+3. **Case-1 computation** — a second task per SD, dependent on that SD's
+   incoming ghost messages, covers the remaining DPs (communication is
+   hidden behind the Case-2 work);
+4. **step barrier** — when all SD tasks of the step have completed, the
+   balancing policy is consulted; if it fires, Algorithm 1 redistributes
+   SDs, migration messages are charged, counters are reset, and the next
+   step starts once migrations have arrived.
+
+Numerics are real (each SD block update is executed with the NumPy
+kernel and validated against the serial solver); *time* is virtual (see
+DESIGN.md substitution 1).  Set ``compute_numerics=False`` for pure
+scaling studies where only the schedule matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..amt.cluster import Network, SimCluster, SpeedTrace
+from ..amt.future import Future, when_all
+from ..core.balancer import BalanceResult, LoadBalancer
+from ..core.policy import BalancePolicy, NeverBalance
+from ..mesh.decomposition import BYTES_PER_DP, Decomposition
+from ..mesh.grid import UniformGrid
+from ..mesh.subdomain import SubdomainGrid
+from .exact import step_error
+from .kernel import NonlocalOperator, stable_dt
+from .model import NonlocalHeatModel
+
+__all__ = ["DistributedResult", "DistributedSolver"]
+
+
+class DistributedResult:
+    """Everything the paper's evaluation reads off a distributed run."""
+
+    def __init__(self) -> None:
+        #: final temperature field (None when numerics were skipped)
+        self.u: Optional[np.ndarray] = None
+        #: virtual seconds from first task to last barrier
+        self.makespan: float = 0.0
+        #: virtual duration of each timestep
+        self.step_durations: List[float] = []
+        #: per-step errors vs the exact solution (eq. 7), if requested
+        self.errors: Optional[List[float]] = None
+        #: SD ownership after each balancing event (step, parts)
+        self.parts_history: List = []
+        #: BalanceResult per triggered balancing step
+        self.balance_results: List[BalanceResult] = []
+        #: ghost bytes sent over the run
+        self.ghost_bytes: int = 0
+        #: SD migration bytes charged by balancing
+        self.migration_bytes: int = 0
+        #: per-node busy time accumulated over the whole run
+        self.busy_total: Optional[np.ndarray] = None
+
+    @property
+    def total_error(self) -> Optional[float]:
+        """Summed eq.-(7) error (None without an exact reference)."""
+        return None if self.errors is None else float(np.sum(self.errors))
+
+
+class DistributedSolver:
+    """SD-distributed forward-Euler integrator with optional balancing.
+
+    Parameters
+    ----------
+    model, grid, sd_grid:
+        Problem definition, discretization, SD geometry.
+    parts:
+        Initial SD ownership (e.g. from
+        :func:`repro.partition.kway.partition_sd_grid`).
+    num_nodes:
+        Cluster size; ``parts`` entries must lie in ``[0, num_nodes)``.
+    cores_per_node, speeds, network:
+        Simulated-cluster configuration (see :class:`repro.amt.cluster
+        .SimCluster`); ``speeds`` in DP-update-flops per virtual second.
+    source, dt:
+        As in the serial solver.
+    work_factors:
+        Optional per-SD work multipliers (< 1 inside a crack — see
+        :mod:`repro.models.crack`); scales simulated task cost only.
+    balancer, policy:
+        Load balancing configuration; default is balancing disabled.
+    overlap:
+        ``False`` disables the Case-1/Case-2 split (every SD task waits
+        for its ghosts) — the ablation baseline for Sec. 6.3.
+    compute_numerics:
+        ``False`` skips the NumPy kernels (schedule-only run).
+    domain_mask:
+        Optional :class:`repro.mesh.domain.DomainMask` for non-square
+        domains (the paper's future-work item): inactive SDs run no
+        tasks, exchange no ghosts, and their temperature is pinned to
+        zero — the ``Dc`` condition extended to internal voids.
+    spawn_overhead:
+        Serial per-task scheduling cost in virtual seconds: each node's
+        i-th task of a step only becomes runnable ``i * spawn_overhead``
+        after the step starts.  This is the Amdahl component that makes
+        real AMT speedups saturate below the core count (HPX task
+        overheads are on the order of a microsecond); 0 disables it.
+    """
+
+    def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
+                 sd_grid: SubdomainGrid, parts: Sequence[int],
+                 num_nodes: int, cores_per_node: int = 1,
+                 speeds: Optional[Sequence[SpeedTrace]] = None,
+                 network: Optional[Network] = None,
+                 source: Optional[Callable[[float], np.ndarray]] = None,
+                 dt: Optional[float] = None,
+                 work_factors: Optional[Sequence[float]] = None,
+                 balancer: Optional[LoadBalancer] = None,
+                 policy: Optional[BalancePolicy] = None,
+                 overlap: bool = True,
+                 compute_numerics: bool = True,
+                 domain_mask=None,
+                 spawn_overhead: float = 0.0) -> None:
+        if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
+            raise ValueError(
+                f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
+                f"but mesh is {grid.nx}x{grid.ny}")
+        self.model = model
+        self.grid = grid
+        self.sd_grid = sd_grid
+        self.parts = np.asarray(parts, dtype=np.int64).copy()
+        self.num_nodes = num_nodes
+        self.operator = NonlocalOperator(model, grid)
+        self.source = source
+        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if work_factors is None:
+            self.work_factors = np.ones(sd_grid.num_subdomains)
+        else:
+            self.work_factors = np.asarray(work_factors, dtype=np.float64)
+            if len(self.work_factors) != sd_grid.num_subdomains:
+                raise ValueError("work_factors must have one entry per SD")
+            if np.any(self.work_factors < 0):
+                raise ValueError("work_factors must be non-negative")
+        self.balancer = balancer
+        self.policy = policy if policy is not None else NeverBalance()
+        self.overlap = overlap
+        self.compute_numerics = compute_numerics
+        if speeds is None:
+            # ~1 Gflop/s per core: puts per-SD task times (microseconds)
+            # on the same scale as the default network's latency and
+            # per-message wire times, the regime the paper operates in
+            from ..amt.cluster import ConstantSpeed
+            speeds = [ConstantSpeed(1e9) for _ in range(num_nodes)]
+        if spawn_overhead < 0:
+            raise ValueError(f"spawn_overhead must be >= 0, got {spawn_overhead}")
+        self.spawn_overhead = float(spawn_overhead)
+        self.cluster = SimCluster(num_nodes, cores_per_node=cores_per_node,
+                                  speeds=speeds, network=network)
+        self.domain_mask = domain_mask
+        if domain_mask is not None:
+            if domain_mask.sd_grid is not sd_grid and (
+                    (domain_mask.sd_grid.sd_nx, domain_mask.sd_grid.sd_ny)
+                    != (sd_grid.sd_nx, sd_grid.sd_ny)):
+                raise ValueError("domain mask built for a different SD grid")
+            self._active = domain_mask.active
+            self._inactive_dp = ~domain_mask.dp_mask()
+        else:
+            self._active = None
+            self._inactive_dp = None
+        # validate ownership
+        Decomposition(sd_grid, self.parts, num_nodes)
+
+    # -- public API --------------------------------------------------------
+    def run(self, u0: Optional[np.ndarray], num_steps: int,
+            exact: Optional[Callable[[float], np.ndarray]] = None) -> DistributedResult:
+        """Integrate ``num_steps`` steps; returns the run diagnostics.
+
+        ``u0`` may be ``None`` only when ``compute_numerics=False``.
+        """
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be >= 0, got {num_steps}")
+        if self.compute_numerics:
+            if u0 is None:
+                raise ValueError("u0 required when computing numerics")
+            self._u_old = np.array(u0, dtype=np.float64, copy=True)
+            if self._u_old.shape != self.grid.shape:
+                raise ValueError(
+                    f"u0 shape {self._u_old.shape} != grid {self.grid.shape}")
+            if self._inactive_dp is not None:
+                self._u_old[self._inactive_dp] = 0.0
+            self._u_new = np.zeros_like(self._u_old)
+        else:
+            self._u_old = self._u_new = None
+
+        result = DistributedResult()
+        if exact is not None:
+            if not self.compute_numerics:
+                raise ValueError("error tracking requires numerics")
+            result.errors = [step_error(self.grid, self._u_old, exact(0.0))]
+        self._result = result
+        self._exact = exact
+        self._num_steps = num_steps
+        self._flops = self.operator.flops_per_dp()
+        self._step_start_time = 0.0
+        self._failure: Optional[BaseException] = None
+
+        if num_steps > 0:
+            self._start_step(0)
+            self.cluster.run()
+            if self._failure is not None:
+                raise RuntimeError(
+                    "an SD kernel failed during the distributed run"
+                ) from self._failure
+
+        result.makespan = self.cluster.now
+        result.ghost_bytes = (self.cluster.network.bytes_sent
+                              - result.migration_bytes)
+        result.busy_total = np.array(
+            [self.cluster.nodes[n].counter.total()
+             for n in range(self.num_nodes)])
+        if self.compute_numerics:
+            result.u = self._u_old.copy()
+        return result
+
+    # -- per-step machinery ----------------------------------------------------
+    def _start_step(self, step: int) -> None:
+        decomp = Decomposition(self.sd_grid, self.parts, self.num_nodes)
+        R = self.operator.radius
+        t = step * self.dt
+        b = None
+        if self.compute_numerics and self.source is not None:
+            b = self.source(t)
+
+        # 1. ghost messages, grouped by destination SD.  With a domain
+        # mask, inactive SDs are known-zero (the Dc condition) so no
+        # message involving them is needed.
+        deps_of_sd: Dict[int, List[Future]] = {}
+        for msg in decomp.ghost_messages(R):
+            if self._active is not None and not (
+                    self._active[msg.src_sd] and self._active[msg.dst_sd]):
+                continue
+            fut = self.cluster.send(msg.src_node, msg.dst_node, msg.nbytes)
+            deps_of_sd.setdefault(msg.dst_sd, []).append(fut)
+
+        # 2./3. per-SD tasks (inactive SDs run nothing).  With spawn
+        # overhead, a node's i-th task of the step only becomes runnable
+        # after i * overhead — the serial scheduler component.
+        spawn_count = [0] * self.num_nodes
+
+        def spawn_deps(node: int) -> List[Future]:
+            if self.spawn_overhead <= 0:
+                return []
+            spawn_count[node] += 1
+            return [self.cluster.timer(spawn_count[node] * self.spawn_overhead)]
+
+        sd_futures: List[Future] = []
+        for sd in range(self.sd_grid.num_subdomains):
+            if self._active is not None and not self._active[sd]:
+                continue
+            node = decomp.owner(sd)
+            split = decomp.case_split(sd, R)
+            wf = float(self.work_factors[sd])
+            deps = deps_of_sd.get(sd, [])
+            action = self._make_action(sd, b) if self.compute_numerics else None
+            if not self.overlap:
+                sd_futures.append(self.cluster.submit(
+                    node, work=split.total * self._flops * wf,
+                    action=action, deps=deps + spawn_deps(node),
+                    label=f"sd{sd}"))
+                continue
+            if split.case2_count > 0:
+                case2_action = action if split.case1_count == 0 else None
+                sd_futures.append(self.cluster.submit(
+                    node, work=split.case2_count * self._flops * wf,
+                    action=case2_action, deps=spawn_deps(node),
+                    label=f"sd{sd}-c2"))
+            if split.case1_count > 0:
+                sd_futures.append(self.cluster.submit(
+                    node, work=split.case1_count * self._flops * wf,
+                    action=action, deps=deps + spawn_deps(node),
+                    label=f"sd{sd}-c1"))
+
+        def barrier(done: Future, s: int = step) -> None:
+            # surface kernel exceptions instead of silently continuing
+            # with a half-updated field
+            for fut in done.get():
+                if fut.has_exception():
+                    if self._failure is None:
+                        try:
+                            fut.get()
+                        except BaseException as exc:  # noqa: BLE001
+                            self._failure = exc
+                    return  # abandon the run; run() re-raises
+            self._end_step(s)
+
+        when_all(sd_futures)._add_callback(barrier)
+
+    def _make_action(self, sd: int, b: Optional[np.ndarray]):
+        """The real numeric update for SD ``sd`` (reads u_old, writes u_new)."""
+        def action() -> None:
+            R = self.operator.radius
+            rect = self.sd_grid.rect(sd)
+            halo = self.sd_grid.halo_rect(sd, R)
+            padded = np.zeros((rect.height + 2 * R, rect.width + 2 * R))
+            dy0 = halo.y0 - (rect.y0 - R)
+            dx0 = halo.x0 - (rect.x0 - R)
+            padded[dy0:dy0 + halo.height,
+                   dx0:dx0 + halo.width] = self._u_old[halo.slices()]
+            rhs = self.operator.apply_block(padded)
+            if b is not None:
+                rhs = rhs + b[rect.slices()]
+            self._u_new[rect.slices()] = (self._u_old[rect.slices()]
+                                          + self.dt * rhs)
+        return action
+
+    def _end_step(self, step: int) -> None:
+        result = self._result
+        now = self.cluster.now
+        result.step_durations.append(now - self._step_start_time)
+        self._step_start_time = now
+
+        if self.compute_numerics:
+            self._u_old, self._u_new = self._u_new, self._u_old
+            if self._exact is not None:
+                t = (step + 1) * self.dt
+                result.errors.append(
+                    step_error(self.grid, self._u_old, self._exact(t)))
+
+        migration_futs: List[Future] = []
+        busy = [self.cluster.busy_time(n) for n in range(self.num_nodes)]
+        if (self.balancer is not None
+                and self.policy.should_balance(step, busy)):
+            bal = self.balancer.balance_step(
+                self.parts, self.num_nodes, busy,
+                work_per_sd=self.work_factors)
+            result.balance_results.append(bal)
+            if bal.triggered and bal.sds_moved > 0:
+                moved = np.nonzero(bal.parts_before != bal.parts_after)[0]
+                for sd in moved:
+                    src = int(bal.parts_before[sd])
+                    dst = int(bal.parts_after[sd])
+                    nbytes = self.sd_grid.dp_count(int(sd)) * BYTES_PER_DP
+                    migration_futs.append(
+                        self.cluster.send(src, dst, nbytes))
+                    result.migration_bytes += nbytes
+                self.parts = bal.parts_after.copy()
+                result.parts_history.append((step, self.parts.copy()))
+            # Algorithm 1 line 35: new measurement window either way
+            self.cluster.reset_counters()
+
+        if step + 1 < self._num_steps:
+            if migration_futs:
+                when_all(migration_futs)._add_callback(
+                    lambda _f, s=step + 1: self._start_step(s))
+            else:
+                self._start_step(step + 1)

@@ -1,0 +1,125 @@
+"""Single-threaded reference solver (paper Sec. 6, first implementation).
+
+Forward-Euler time stepping of eq. (5) over the full grid using the dense
+convolution kernel.  This is the baseline every parallel variant is
+validated against: the async and distributed solvers must reproduce its
+temperatures to floating-point accuracy, since they perform the same
+arithmetic in a different schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..mesh.grid import UniformGrid
+from .exact import ManufacturedProblem, step_error
+from .kernel import NonlocalOperator, stable_dt
+from .model import NonlocalHeatModel
+
+__all__ = ["SerialSolver", "SolveResult", "solve_manufactured"]
+
+
+class SolveResult:
+    """Outcome of a time integration.
+
+    Attributes
+    ----------
+    u:
+        Final temperature field.
+    times:
+        The discrete times ``t_0 .. t_N`` visited.
+    errors:
+        Per-step errors ``e_k`` vs. the exact solution (eq. 7) when an
+        exact reference was supplied, else ``None``.
+    """
+
+    def __init__(self, u: np.ndarray, times: List[float],
+                 errors: Optional[List[float]]) -> None:
+        self.u = u
+        self.times = times
+        self.errors = errors
+
+    @property
+    def total_error(self) -> Optional[float]:
+        """``e = sum_k e_k`` (None without an exact reference)."""
+        return None if self.errors is None else float(np.sum(self.errors))
+
+
+class SerialSolver:
+    """Forward-Euler integrator ``u <- u + dt (b + L u)``.
+
+    Parameters
+    ----------
+    model, grid:
+        Problem definition and discretization.
+    source:
+        ``b(t) -> field`` (or ``None`` for an unforced problem).
+    dt:
+        Timestep; defaults to :func:`repro.solver.kernel.stable_dt`.
+    """
+
+    def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
+                 source: Optional[Callable[[float], np.ndarray]] = None,
+                 dt: Optional[float] = None) -> None:
+        self.model = model
+        self.grid = grid
+        self.operator = NonlocalOperator(model, grid)
+        self.source = source
+        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    def step(self, u: np.ndarray, t: float) -> np.ndarray:
+        """One forward-Euler step from time ``t``; returns the new field."""
+        rhs = self.operator.apply(u)
+        if self.source is not None:
+            rhs = rhs + self.source(t)
+        return u + self.dt * rhs
+
+    def run(self, u0: np.ndarray, num_steps: int,
+            exact: Optional[Callable[[float], np.ndarray]] = None) -> SolveResult:
+        """Integrate ``num_steps`` steps from ``u0``.
+
+        ``exact(t)`` enables per-step error tracking (eq. 7), including
+        the initial step ``e_0`` (zero by construction for a consistent
+        initial condition, kept for parity with the paper's sum over
+        ``0 <= k <= N``).
+        """
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be >= 0, got {num_steps}")
+        u = np.array(u0, dtype=np.float64, copy=True)
+        if u.shape != self.grid.shape:
+            raise ValueError(f"u0 shape {u.shape} != grid {self.grid.shape}")
+        times = [0.0]
+        errors: Optional[List[float]] = None
+        if exact is not None:
+            errors = [step_error(self.grid, u, exact(0.0))]
+        t = 0.0
+        for _ in range(num_steps):
+            u = self.step(u, t)
+            t += self.dt
+            times.append(t)
+            if exact is not None:
+                errors.append(step_error(self.grid, u, exact(t)))
+        return SolveResult(u, times, errors)
+
+
+def solve_manufactured(nx: int, eps_factor: float = 8.0,
+                       num_steps: int = 20,
+                       dt: Optional[float] = None,
+                       source_mode: str = "continuum",
+                       dim: int = 2) -> SolveResult:
+    """Convenience driver for the validation study (paper Fig. 8).
+
+    Builds the manufactured problem on an ``nx × nx`` grid (``nx × 1`` in
+    1-D) with ``eps = eps_factor * h``, integrates ``num_steps`` steps,
+    and returns the result with per-step errors attached.
+    """
+    grid = UniformGrid(nx, nx if dim == 2 else 1, dim=dim)
+    model = NonlocalHeatModel(epsilon=eps_factor * grid.h, dim=dim)
+    problem = ManufacturedProblem(model, grid, source_mode=source_mode)
+    solver = SerialSolver(model, grid, source=problem.source, dt=dt)
+    return solver.run(problem.initial_condition(), num_steps,
+                      exact=problem.exact)

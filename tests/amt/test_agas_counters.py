@@ -1,0 +1,179 @@
+"""Tests for AGAS and the performance-counter registry."""
+
+import pytest
+
+from repro.amt.agas import AddressSpace, AgasError
+from repro.amt.counters import (BUSY_TIME, BusyTimeCounter, Counter,
+                                CounterRegistry)
+
+
+class TestAddressSpace:
+    def test_register_resolve_roundtrip(self):
+        agas = AddressSpace()
+        obj = object()
+        agas.register("/objects/sd/1", obj)
+        assert agas.resolve("/objects/sd/1") is obj
+
+    def test_duplicate_registration_raises(self):
+        agas = AddressSpace()
+        agas.register("/x", 1)
+        with pytest.raises(AgasError, match="already registered"):
+            agas.register("/x", 2)
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(AgasError, match="unknown name"):
+            AddressSpace().resolve("/nope")
+
+    def test_names_must_be_absolute(self):
+        with pytest.raises(AgasError, match="must start with"):
+            AddressSpace().register("relative/name", 1)
+
+    def test_name_normalization(self):
+        agas = AddressSpace()
+        agas.register("//a///b/", "v")
+        assert agas.resolve("/a/b") == "v"
+
+    def test_unregister_returns_object(self):
+        agas = AddressSpace()
+        agas.register("/a", 5)
+        assert agas.unregister("/a") == 5
+        assert not agas.contains("/a")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(AgasError):
+            AddressSpace().unregister("/a")
+
+    def test_contains(self):
+        agas = AddressSpace()
+        agas.register("/a/b", 1)
+        assert agas.contains("/a/b")
+        assert not agas.contains("/a/c")
+        assert not agas.contains("not-a-path")
+
+    def test_query_prefix_matches_whole_components(self):
+        agas = AddressSpace()
+        agas.register("/counters/node0/busy_time", 1)
+        agas.register("/counters/node1/busy_time", 2)
+        agas.register("/countersX/other", 3)
+        hits = agas.query("/counters")
+        assert [n for n, _ in hits] == [
+            "/counters/node0/busy_time", "/counters/node1/busy_time"]
+
+    def test_query_exact_name(self):
+        agas = AddressSpace()
+        agas.register("/a/b", 1)
+        assert agas.query("/a/b") == [("/a/b", 1)]
+
+    def test_len_and_iter(self):
+        agas = AddressSpace()
+        agas.register("/b", 2)
+        agas.register("/a", 1)
+        assert len(agas) == 2
+        assert list(agas) == ["/a", "/b"]
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter("/c")
+        assert c.value() == 0.0
+        assert c.total() == 0.0
+
+    def test_add_accumulates(self):
+        c = Counter("/c")
+        c.add(1.5)
+        c.add(2.5)
+        assert c.value() == 4.0
+
+    def test_negative_add_raises(self):
+        with pytest.raises(ValueError):
+            Counter("/c").add(-1.0)
+
+    def test_reset_zeroes_window_not_total(self):
+        c = Counter("/c")
+        c.add(3.0)
+        c.reset()
+        c.add(1.0)
+        assert c.value() == 1.0
+        assert c.total() == 4.0
+
+
+class TestBusyTimeCounter:
+    def test_interval_accumulates(self):
+        c = BusyTimeCounter("/b")
+        tok = c.begin_work(10.0)
+        c.end_work(12.5, tok)
+        assert c.value() == 2.5
+
+    def test_overlapping_intervals_add(self):
+        """Two cores busy over the same second -> two busy-seconds."""
+        c = BusyTimeCounter("/b")
+        t1 = c.begin_work(0.0)
+        t2 = c.begin_work(0.0)
+        c.end_work(1.0, t1)
+        c.end_work(1.0, t2)
+        assert c.value() == 2.0
+
+    def test_open_intervals_count(self):
+        c = BusyTimeCounter("/b")
+        t1 = c.begin_work(0.0)
+        assert c.open_intervals() == 1
+        c.end_work(1.0, t1)
+        assert c.open_intervals() == 0
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ValueError, match="unknown work token"):
+            BusyTimeCounter("/b").end_work(1.0, 99)
+
+    def test_end_before_begin_raises(self):
+        c = BusyTimeCounter("/b")
+        tok = c.begin_work(5.0)
+        with pytest.raises(ValueError, match="before begin"):
+            c.end_work(4.0, tok)
+
+
+class TestCounterRegistry:
+    def test_create_and_get_busy_time(self):
+        reg = CounterRegistry()
+        c = reg.create_busy_time("node0")
+        assert reg.get("node0", BUSY_TIME) is c
+
+    def test_busy_time_accessor(self):
+        reg = CounterRegistry()
+        c = reg.create_busy_time("node0")
+        c.add(7.0)
+        assert reg.busy_time("node0") == 7.0
+
+    def test_all_of_kind_sorted(self):
+        reg = CounterRegistry()
+        reg.create_busy_time("node1")
+        reg.create_busy_time("node0")
+        reg.create("node0", "messages")
+        busy = reg.all_of_kind(BUSY_TIME)
+        assert [c.name for c in busy] == [
+            "/counters/node0/busy_time", "/counters/node1/busy_time"]
+
+    def test_reset_all_matches_algorithm1_line35(self):
+        reg = CounterRegistry()
+        a = reg.create_busy_time("node0")
+        b = reg.create_busy_time("node1")
+        a.add(1.0)
+        b.add(2.0)
+        n = reg.reset_all(BUSY_TIME)
+        assert n == 2
+        assert a.value() == 0.0 and b.value() == 0.0
+
+    def test_reset_all_kind_filter(self):
+        reg = CounterRegistry()
+        busy = reg.create_busy_time("node0")
+        other = reg.create("node0", "messages")
+        busy.add(1.0)
+        other.add(1.0)
+        reg.reset_all(BUSY_TIME)
+        assert busy.value() == 0.0
+        assert other.value() == 1.0
+
+    def test_duplicate_locality_raises(self):
+        reg = CounterRegistry()
+        reg.create_busy_time("node0")
+        with pytest.raises(Exception):
+            reg.create_busy_time("node0")

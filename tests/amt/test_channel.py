@@ -1,0 +1,128 @@
+"""Tests for HPX-style generation-indexed channels."""
+
+import threading
+
+import pytest
+
+from repro.amt.agas import AddressSpace
+from repro.amt.channel import Channel, ChannelError, ChannelTable
+
+
+class TestChannel:
+    def test_set_then_get(self):
+        ch = Channel("c")
+        ch.set(0, "ghost-data")
+        assert ch.get(0).get() == "ghost-data"
+
+    def test_get_then_set(self):
+        ch = Channel("c")
+        fut = ch.get(3)
+        assert not fut.is_ready()
+        ch.set(3, 42)
+        assert fut.get() == 42
+
+    def test_generations_independent(self):
+        ch = Channel("c")
+        ch.set(1, "one")
+        ch.set(0, "zero")
+        assert ch.get(0).get() == "zero"
+        assert ch.get(1).get() == "one"
+
+    def test_out_of_order_get_before_set(self):
+        ch = Channel("c")
+        f2 = ch.get(2)
+        f1 = ch.get(1)
+        ch.set(1, "a")
+        ch.set(2, "b")
+        assert f1.get() == "a"
+        assert f2.get() == "b"
+
+    def test_double_set_raises(self):
+        ch = Channel("c")
+        ch.set(0, 1)
+        with pytest.raises(ChannelError, match="already set"):
+            ch.set(0, 2)
+
+    def test_double_get_raises(self):
+        ch = Channel("c")
+        ch.set(0, 1)
+        ch.get(0)
+        with pytest.raises(ChannelError, match="already got"):
+            ch.get(0)
+
+    def test_none_payload_allowed(self):
+        ch = Channel("c")
+        ch.set(0)
+        assert ch.get(0).get() is None
+
+    def test_pending_and_buffered_counts(self):
+        ch = Channel("c")
+        ch.get(0)
+        ch.get(1)
+        ch.set(5, "x")
+        assert ch.pending_generations() == 2
+        assert ch.buffered_generations() == 1
+        ch.set(0, "y")
+        assert ch.pending_generations() == 1
+
+    def test_cross_thread_handoff(self):
+        ch = Channel("c")
+        fut = ch.get(0)
+
+        def producer():
+            ch.set(0, "from-thread")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert fut.get(timeout=5.0) == "from-thread"
+        t.join()
+
+
+class TestChannelTable:
+    def test_channel_created_lazily_and_shared(self):
+        table = ChannelTable()
+        a = table.channel(("sd1", "sd2"))
+        b = table.channel(("sd1", "sd2"))
+        assert a is b
+
+    def test_set_get_by_key(self):
+        table = ChannelTable()
+        table.set((0, 1), 0, "payload")
+        assert table.get((0, 1), 0).get() == "payload"
+
+    def test_distinct_keys_isolated(self):
+        table = ChannelTable()
+        table.set((0, 1), 0, "a")
+        table.set((1, 0), 0, "b")
+        assert table.get((0, 1), 0).get() == "a"
+        assert table.get((1, 0), 0).get() == "b"
+
+    def test_agas_registration(self):
+        agas = AddressSpace()
+        table = ChannelTable(agas=agas, namespace="ghost")
+        table.channel((3, 7))
+        names = agas.names()
+        assert len(names) == 1
+        assert names[0].startswith("/channels/ghost/")
+
+    def test_stats(self):
+        table = ChannelTable()
+        table.get((0, 1), 0)          # pending
+        table.set((2, 3), 0, "v")     # buffered
+        n, pending, buffered = table.stats()
+        assert n == 2
+        assert pending == 1
+        assert buffered == 1
+
+    def test_ghost_exchange_pattern(self):
+        """The solver's usage shape: per-(src,dst) channels, one
+        generation per timestep, producer and consumer racing."""
+        table = ChannelTable()
+        pairs = [(0, 1), (1, 0), (1, 2), (2, 1)]
+        for step in range(3):
+            # consumers first (they post receives up front)
+            futs = {p: table.get(p, step) for p in pairs}
+            for (src, dst) in pairs:
+                table.set((src, dst), step, f"u[{src}->{dst}]@{step}")
+            for p, fut in futs.items():
+                assert fut.get() == f"u[{p[0]}->{p[1]}]@{step}"

@@ -1,0 +1,301 @@
+"""Tests for the simulated cluster: nodes, network, speed traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amt.cluster import (ConstantSpeed, Network, PiecewiseSpeed,
+                               SimCluster)
+from repro.amt.des import SimulationError
+
+
+class TestSpeedTraces:
+    def test_constant_rate(self):
+        tr = ConstantSpeed(2.0)
+        assert tr.rate(0.0) == 2.0
+        assert tr.time_to_complete(10.0, 0.0) == 5.0
+
+    def test_constant_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ConstantSpeed(0.0)
+
+    def test_constant_negative_work(self):
+        with pytest.raises(ValueError):
+            ConstantSpeed(1.0).time_to_complete(-1.0, 0.0)
+
+    def test_piecewise_rate_lookup(self):
+        tr = PiecewiseSpeed([10.0], [1.0, 4.0])
+        assert tr.rate(5.0) == 1.0
+        assert tr.rate(10.0) == 4.0
+        assert tr.rate(100.0) == 4.0
+
+    def test_piecewise_integrates_across_breakpoint(self):
+        # 5 units at rate 1 (takes 5s to t=10 boundary? start at t=7):
+        # from t=7 to t=10 at rate 1 -> 3 units, remaining 2 at rate 4 -> 0.5s
+        tr = PiecewiseSpeed([10.0], [1.0, 4.0])
+        assert tr.time_to_complete(5.0, 7.0) == pytest.approx(3.5)
+
+    def test_piecewise_entirely_in_last_segment(self):
+        tr = PiecewiseSpeed([10.0], [1.0, 4.0])
+        assert tr.time_to_complete(8.0, 20.0) == pytest.approx(2.0)
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseSpeed([1.0], [1.0])  # wrong rate count
+        with pytest.raises(ValueError):
+            PiecewiseSpeed([2.0, 1.0], [1.0, 1.0, 1.0])  # not increasing
+        with pytest.raises(ValueError):
+            PiecewiseSpeed([1.0], [1.0, -1.0])  # negative rate
+
+    @given(work=st.floats(min_value=0, max_value=1e4),
+           t0=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_piecewise_consistent_with_manual_integration(self, work, t0):
+        tr = PiecewiseSpeed([5.0, 15.0], [2.0, 1.0, 3.0])
+        dt = tr.time_to_complete(work, t0)
+        # integrate rate over [t0, t0+dt] manually
+        done, t, end = 0.0, t0, t0 + dt
+        for b in [5.0, 15.0, float("inf")]:
+            seg_end = min(b, end)
+            if seg_end > t:
+                done += (seg_end - t) * tr.rate(t)
+                t = seg_end
+            if t >= end:
+                break
+        assert done == pytest.approx(work, abs=1e-6, rel=1e-6)
+
+
+class TestNetwork:
+    def test_self_send_is_free(self):
+        net = Network(latency=1.0, bandwidth=1.0)
+        assert net.plan_send(0, 0, 10_000, now=5.0) == 5.0
+        assert net.bytes_sent == 0
+
+    def test_latency_plus_wire_time(self):
+        net = Network(latency=2.0, bandwidth=100.0, serialize_egress=False)
+        assert net.plan_send(0, 1, 500, now=0.0) == pytest.approx(2.0 + 5.0)
+
+    def test_egress_serialization(self):
+        net = Network(latency=0.0, bandwidth=100.0, serialize_egress=True)
+        t1 = net.plan_send(0, 1, 100, now=0.0)  # wire 1s -> arrives 1.0
+        t2 = net.plan_send(0, 2, 100, now=0.0)  # waits for egress -> 2.0
+        assert t1 == pytest.approx(1.0)
+        assert t2 == pytest.approx(2.0)
+
+    def test_different_sources_do_not_serialize(self):
+        net = Network(latency=0.0, bandwidth=100.0, serialize_egress=True)
+        t1 = net.plan_send(0, 1, 100, now=0.0)
+        t2 = net.plan_send(1, 0, 100, now=0.0)
+        assert t1 == t2 == pytest.approx(1.0)
+
+    def test_stats_accumulate(self):
+        net = Network()
+        net.plan_send(0, 1, 100, now=0.0)
+        net.plan_send(1, 0, 50, now=0.0)
+        assert net.bytes_sent == 150
+        assert net.messages_sent == 2
+        net.reset_stats()
+        assert net.bytes_sent == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Network(latency=-1.0)
+        with pytest.raises(ValueError):
+            Network(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            Network().plan_send(0, 1, -5, now=0.0)
+
+
+class TestSimCluster:
+    def test_single_task_runs_for_work_over_rate(self):
+        cluster = SimCluster(num_nodes=1, speeds=[ConstantSpeed(2.0)])
+        fut = cluster.submit(0, work=10.0)
+        end = cluster.run()
+        assert end == pytest.approx(5.0)
+        assert fut.is_ready()
+
+    def test_action_result_lands_in_future(self):
+        cluster = SimCluster(num_nodes=1)
+        fut = cluster.submit(0, work=1.0, action=lambda: "payload")
+        cluster.run()
+        assert fut.get() == "payload"
+
+    def test_action_exception_lands_in_future(self):
+        cluster = SimCluster(num_nodes=1)
+
+        def bad():
+            raise RuntimeError("kernel failed")
+
+        fut = cluster.submit(0, work=1.0, action=bad)
+        cluster.run()
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            fut.get()
+
+    def test_single_core_serializes_tasks(self):
+        cluster = SimCluster(num_nodes=1, cores_per_node=1)
+        cluster.submit(0, work=3.0)
+        cluster.submit(0, work=4.0)
+        assert cluster.run() == pytest.approx(7.0)
+
+    def test_two_cores_run_in_parallel(self):
+        cluster = SimCluster(num_nodes=1, cores_per_node=2)
+        cluster.submit(0, work=3.0)
+        cluster.submit(0, work=4.0)
+        assert cluster.run() == pytest.approx(4.0)
+
+    def test_nodes_run_independently(self):
+        cluster = SimCluster(num_nodes=2)
+        cluster.submit(0, work=10.0)
+        cluster.submit(1, work=2.0)
+        assert cluster.run() == pytest.approx(10.0)
+
+    def test_heterogeneous_speeds(self):
+        cluster = SimCluster(num_nodes=2,
+                             speeds=[ConstantSpeed(1.0), ConstantSpeed(4.0)])
+        cluster.submit(0, work=8.0)
+        cluster.submit(1, work=8.0)
+        cluster.run()
+        assert cluster.busy_time(0) == pytest.approx(8.0)
+        assert cluster.busy_time(1) == pytest.approx(2.0)
+
+    def test_dependency_delays_start(self):
+        cluster = SimCluster(num_nodes=2)
+        first = cluster.submit(0, work=5.0)
+        second = cluster.submit(1, work=1.0, deps=[first])
+        end = cluster.run()
+        assert end == pytest.approx(6.0)
+        assert second.is_ready()
+
+    def test_message_delivery_time(self):
+        net = Network(latency=1.0, bandwidth=100.0, serialize_egress=False)
+        cluster = SimCluster(num_nodes=2, network=net)
+        msg = cluster.send(0, 1, nbytes=200, payload=[1, 2, 3])
+        cluster.run()
+        assert cluster.now == pytest.approx(3.0)
+        assert msg.get() == [1, 2, 3]
+
+    def test_task_waiting_on_message(self):
+        net = Network(latency=2.0, bandwidth=1e9, serialize_egress=False)
+        cluster = SimCluster(num_nodes=2, network=net)
+        msg = cluster.send(0, 1, nbytes=0, payload="ghost")
+        fut = cluster.submit(1, work=1.0, deps=[msg])
+        end = cluster.run()
+        assert end == pytest.approx(3.0)
+        assert fut.is_ready()
+
+    def test_busy_fraction_and_idle(self):
+        cluster = SimCluster(num_nodes=2)
+        cluster.submit(0, work=4.0)
+        cluster.submit(1, work=1.0)
+        cluster.run()
+        assert cluster.busy_fraction(0) == pytest.approx(1.0)
+        assert cluster.busy_fraction(1) == pytest.approx(0.25)
+        assert cluster.idle_time(1) == pytest.approx(3.0)
+
+    def test_reset_counters_starts_new_window(self):
+        cluster = SimCluster(num_nodes=1)
+        cluster.submit(0, work=4.0)
+        cluster.run()
+        cluster.reset_counters()
+        assert cluster.busy_time(0) == 0.0
+        cluster.submit(0, work=2.0)
+        cluster.run()
+        assert cluster.busy_time(0) == pytest.approx(2.0)
+        assert cluster.busy_fraction(0) == pytest.approx(1.0)
+
+    def test_unknown_node_raises(self):
+        cluster = SimCluster(num_nodes=1)
+        with pytest.raises(SimulationError, match="unknown node"):
+            cluster.submit(5, work=1.0)
+
+    def test_speed_list_length_checked(self):
+        with pytest.raises(ValueError):
+            SimCluster(num_nodes=2, speeds=[ConstantSpeed(1.0)])
+
+    def test_stats_tracked(self):
+        cluster = SimCluster(num_nodes=1)
+        cluster.submit(0, work=2.0)
+        cluster.submit(0, work=3.0)
+        cluster.run()
+        node = cluster.nodes[0]
+        assert node.tasks_completed == 2
+        assert node.work_completed == pytest.approx(5.0)
+
+    def test_determinism_of_schedule(self):
+        def run_once():
+            cluster = SimCluster(num_nodes=3, cores_per_node=2)
+            futs = []
+            for i in range(20):
+                futs.append(cluster.submit(i % 3, work=1.0 + (i % 7)))
+            end = cluster.run()
+            return end, cluster.busy_time(0), cluster.busy_time(1)
+
+        assert run_once() == run_once()
+
+
+class TestNetworkingCounters:
+    """The paper's future-work item: per-node networking counters."""
+
+    def test_bytes_counted_on_both_ends(self):
+        cluster = SimCluster(num_nodes=2)
+        cluster.send(0, 1, nbytes=300)
+        cluster.run()
+        assert cluster.bytes_sent(0) == 300
+        assert cluster.bytes_received(1) == 300
+        assert cluster.bytes_sent(1) == 0
+        assert cluster.bytes_received(0) == 0
+
+    def test_self_send_not_counted(self):
+        cluster = SimCluster(num_nodes=1)
+        cluster.send(0, 0, nbytes=500)
+        cluster.run()
+        assert cluster.bytes_sent(0) == 0
+
+    def test_registered_in_agas(self):
+        cluster = SimCluster(num_nodes=2)
+        assert cluster.agas.contains("/counters/node0/bytes_sent")
+        assert cluster.agas.contains("/counters/node1/bytes_received")
+
+    def test_reset_counters_zeroes_network_window(self):
+        cluster = SimCluster(num_nodes=2)
+        cluster.send(0, 1, nbytes=100)
+        cluster.run()
+        cluster.reset_counters()
+        assert cluster.bytes_sent(0) == 0.0
+        # lifetime total is preserved on the counter object
+        c = cluster.agas.resolve("/counters/node0/bytes_sent")
+        assert c.total() == 100.0
+
+    def test_accumulates_across_messages(self):
+        cluster = SimCluster(num_nodes=3)
+        cluster.send(0, 1, nbytes=10)
+        cluster.send(0, 2, nbytes=20)
+        cluster.send(1, 0, nbytes=5)
+        cluster.run()
+        assert cluster.bytes_sent(0) == 30
+        assert cluster.bytes_received(0) == 5
+
+
+class TestTimer:
+    def test_timer_resolves_after_delay(self):
+        cluster = SimCluster(num_nodes=1)
+        fut = cluster.timer(2.5, payload="tick")
+        cluster.run()
+        assert cluster.now == pytest.approx(2.5)
+        assert fut.get() == "tick"
+
+    def test_zero_delay_immediate(self):
+        cluster = SimCluster(num_nodes=1)
+        fut = cluster.timer(0.0)
+        assert fut.is_ready()
+
+    def test_negative_delay_rejected(self):
+        cluster = SimCluster(num_nodes=1)
+        with pytest.raises(SimulationError):
+            cluster.timer(-1.0)
+
+    def test_task_gated_by_timer(self):
+        cluster = SimCluster(num_nodes=1)
+        t = cluster.timer(3.0)
+        cluster.submit(0, work=1.0, deps=[t])
+        assert cluster.run() == pytest.approx(4.0)

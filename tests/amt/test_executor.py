@@ -1,0 +1,82 @@
+"""Tests for the real thread-pool executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.amt.executor import TaskExecutor
+from repro.amt.future import when_all
+
+
+class TestTaskExecutor:
+    def test_async_returns_value(self):
+        with TaskExecutor(2) as ex:
+            assert ex.async_(lambda a, b: a + b, 1, 2).get(timeout=5) == 3
+
+    def test_kwargs_forwarded(self):
+        with TaskExecutor(1) as ex:
+            fut = ex.async_(lambda a, b=0: a - b, 10, b=4)
+            assert fut.get(timeout=5) == 6
+
+    def test_exception_propagates(self):
+        with TaskExecutor(1) as ex:
+            fut = ex.async_(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                fut.get(timeout=5)
+
+    def test_map_async(self):
+        with TaskExecutor(4) as ex:
+            futs = ex.map_async(lambda x: x * x, list(range(10)))
+            when_all(futs).wait(timeout=5)
+            assert [f.get() for f in futs] == [x * x for x in range(10)]
+
+    def test_tasks_actually_run_on_worker_threads(self):
+        with TaskExecutor(1, name="probe") as ex:
+            name = ex.async_(lambda: threading.current_thread().name).get(timeout=5)
+            assert name.startswith("probe-worker-")
+
+    def test_concurrency_with_two_workers(self):
+        """Two blocking tasks overlap when two workers are available."""
+        barrier = threading.Barrier(2, timeout=5)
+        with TaskExecutor(2) as ex:
+            futs = [ex.async_(barrier.wait) for _ in range(2)]
+            when_all(futs).wait(timeout=5)
+        # reaching here proves both ran concurrently (barrier needs 2)
+
+    def test_busy_time_accumulates(self):
+        with TaskExecutor(1) as ex:
+            ex.async_(time.sleep, 0.05).get(timeout=5)
+            assert ex.busy_time() >= 0.04
+
+    def test_reset_counters(self):
+        with TaskExecutor(1) as ex:
+            ex.async_(time.sleep, 0.02).get(timeout=5)
+            ex.reset_counters()
+            assert ex.busy_time() == 0.0
+            assert ex.elapsed() < 1.0
+
+    def test_busy_time_per_worker_length(self):
+        with TaskExecutor(3) as ex:
+            assert len(ex.busy_time_per_worker()) == 3
+
+    def test_submit_after_shutdown_raises(self):
+        ex = TaskExecutor(1)
+        ex.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            ex.async_(lambda: None)
+
+    def test_shutdown_idempotent(self):
+        ex = TaskExecutor(1)
+        ex.shutdown()
+        ex.shutdown()
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            TaskExecutor(0)
+
+    def test_many_small_tasks_complete(self):
+        with TaskExecutor(4) as ex:
+            futs = [ex.async_(lambda i=i: i) for i in range(200)]
+            when_all(futs).wait(timeout=10)
+            assert sum(f.get() for f in futs) == sum(range(200))

@@ -1,0 +1,178 @@
+"""Unit tests for the futures/promises layer."""
+
+import threading
+
+import pytest
+
+from repro.amt.future import (Future, FutureError, Promise, dataflow,
+                              make_exceptional_future, make_ready_future,
+                              when_all)
+
+
+class TestPromiseFuture:
+    def test_set_then_get(self):
+        p = Promise()
+        p.set_value(42)
+        assert p.get_future().get() == 42
+
+    def test_get_future_returns_same_future(self):
+        p = Promise()
+        assert p.get_future() is p.get_future()
+
+    def test_not_ready_initially(self):
+        p = Promise()
+        assert not p.get_future().is_ready()
+
+    def test_ready_after_set(self):
+        p = Promise()
+        p.set_value(None)
+        assert p.get_future().is_ready()
+
+    def test_double_set_raises(self):
+        p = Promise()
+        p.set_value(1)
+        with pytest.raises(FutureError):
+            p.set_value(2)
+
+    def test_set_exception_then_get_raises(self):
+        p = Promise()
+        p.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            p.get_future().get()
+
+    def test_has_exception(self):
+        p = Promise()
+        p.set_exception(RuntimeError("x"))
+        assert p.get_future().has_exception()
+
+    def test_value_future_has_no_exception(self):
+        assert not make_ready_future(3).has_exception()
+
+    def test_get_timeout_raises(self):
+        p = Promise()
+        with pytest.raises(FutureError, match="timed out"):
+            p.get_future().get(timeout=0.01)
+
+    def test_wait_timeout_raises(self):
+        p = Promise()
+        with pytest.raises(FutureError, match="timed out"):
+            p.get_future().wait(timeout=0.01)
+
+    def test_get_none_value(self):
+        p = Promise()
+        p.set_value(None)
+        assert p.get_future().get() is None
+
+    def test_cross_thread_get(self):
+        p = Promise()
+
+        def producer():
+            p.set_value("from-thread")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert p.get_future().get(timeout=5.0) == "from-thread"
+        t.join()
+
+
+class TestReadyFutures:
+    def test_make_ready(self):
+        assert make_ready_future(7).get() == 7
+
+    def test_make_ready_default_none(self):
+        assert make_ready_future().get() is None
+
+    def test_make_exceptional(self):
+        f = make_exceptional_future(KeyError("k"))
+        assert f.is_ready() and f.has_exception()
+        with pytest.raises(KeyError):
+            f.get()
+
+
+class TestThen:
+    def test_then_on_ready_future_runs_immediately(self):
+        f = make_ready_future(10)
+        g = f.then(lambda fut: fut.get() * 2)
+        assert g.get() == 20
+
+    def test_then_on_pending_runs_after_set(self):
+        p = Promise()
+        g = p.get_future().then(lambda fut: fut.get() + 1)
+        assert not g.is_ready()
+        p.set_value(1)
+        assert g.get() == 2
+
+    def test_then_propagates_continuation_exception(self):
+        f = make_ready_future(0)
+        g = f.then(lambda fut: 1 / fut.get())
+        with pytest.raises(ZeroDivisionError):
+            g.get()
+
+    def test_then_chain(self):
+        p = Promise()
+        g = p.get_future().then(lambda f: f.get() + 1).then(lambda f: f.get() * 3)
+        p.set_value(4)
+        assert g.get() == 15
+
+
+class TestWhenAll:
+    def test_empty_ready_immediately(self):
+        f = when_all([])
+        assert f.is_ready()
+        assert f.get() == []
+
+    def test_fires_after_last(self):
+        ps = [Promise() for _ in range(3)]
+        combined = when_all(p.get_future() for p in ps)
+        ps[0].set_value(0)
+        ps[2].set_value(2)
+        assert not combined.is_ready()
+        ps[1].set_value(1)
+        assert combined.is_ready()
+        values = [f.get() for f in combined.get()]
+        assert values == [0, 1, 2]
+
+    def test_all_already_ready(self):
+        futs = [make_ready_future(i) for i in range(4)]
+        combined = when_all(futs)
+        assert combined.is_ready()
+        assert [f.get() for f in combined.get()] == [0, 1, 2, 3]
+
+    def test_exceptional_input_still_completes(self):
+        futs = [make_ready_future(1), make_exceptional_future(ValueError())]
+        combined = when_all(futs)
+        assert combined.is_ready()
+        assert combined.get()[1].has_exception()
+
+
+class TestDataflow:
+    def test_paper_listing1_add(self):
+        # mirrors the paper's Listing 1: a+b and c+d computed
+        # asynchronously, then combined.
+        a_add_b = make_ready_future(1 + 2)
+        c_add_d = make_ready_future(3 + 4)
+        total = dataflow(lambda x, y: x + y, a_add_b, c_add_d)
+        assert total.get() == 10
+
+    def test_waits_for_pending(self):
+        p1, p2 = Promise(), Promise()
+        out = dataflow(lambda a, b: a * b, p1.get_future(), p2.get_future())
+        p1.set_value(6)
+        assert not out.is_ready()
+        p2.set_value(7)
+        assert out.get() == 42
+
+    def test_propagates_input_exception(self):
+        bad = make_exceptional_future(RuntimeError("input failed"))
+        out = dataflow(lambda a, b: a + b, make_ready_future(1), bad)
+        with pytest.raises(RuntimeError, match="input failed"):
+            out.get()
+
+    def test_propagates_fn_exception(self):
+        out = dataflow(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            out.get()
+
+    def test_no_inputs_runs_immediately(self):
+        out = dataflow(lambda: "ok")
+        assert out.get() == "ok"

@@ -1,0 +1,106 @@
+"""Tests for the EWMA power estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.smoothing import SmoothedPowerEstimator
+from repro.mesh.subdomain import SubdomainGrid
+from repro.partition.geometric import block_partition
+
+
+class TestSmoothedPowerEstimator:
+    def test_first_update_equals_raw(self):
+        est = SmoothedPowerEstimator(2, alpha=0.3)
+        p = est.update([4, 4], [2.0, 1.0])
+        assert list(p) == [2.0, 4.0]
+
+    def test_ewma_blends(self):
+        est = SmoothedPowerEstimator(1, alpha=0.5)
+        est.update([4], [4.0])   # power 1
+        p = est.update([4], [1.0])  # raw power 4
+        assert p[0] == pytest.approx(0.5 * 4 + 0.5 * 1)
+
+    def test_alpha_one_tracks_raw(self):
+        est = SmoothedPowerEstimator(1, alpha=1.0)
+        est.update([4], [4.0])
+        p = est.update([4], [1.0])
+        assert p[0] == 4.0
+
+    def test_converges_to_true_power(self):
+        est = SmoothedPowerEstimator(1, alpha=0.4)
+        for _ in range(30):
+            est.update([8], [2.0])  # true power 4
+        assert est.power[0] == pytest.approx(4.0, rel=1e-3)
+
+    def test_smooths_noise(self):
+        """Alternating noisy readings: smoothed power varies less than raw."""
+        rng = np.random.default_rng(0)
+        est = SmoothedPowerEstimator(1, alpha=0.2)
+        raw_vals, smooth_vals = [], []
+        for _ in range(100):
+            busy = 2.0 * (1 + 0.5 * rng.standard_normal())
+            busy = max(busy, 0.1)
+            raw_vals.append(8 / busy)
+            smooth_vals.append(est.update([8], [busy])[0])
+        assert np.std(smooth_vals[20:]) < 0.5 * np.std(raw_vals[20:])
+
+    def test_effective_busy_times_roundtrip(self):
+        """Feeding effective busy times to the balancer reproduces the
+        smoothed power exactly."""
+        from repro.core.power import compute_power
+        est = SmoothedPowerEstimator(3)
+        est.update([4, 4, 4], [4.0, 2.0, 1.0])
+        loads = np.array([4.0, 4.0, 4.0])
+        eff = est.effective_busy_times(loads)
+        recovered = compute_power(loads, eff)
+        assert np.allclose(recovered, est.power)
+
+    def test_power_before_update_raises(self):
+        with pytest.raises(RuntimeError):
+            SmoothedPowerEstimator(2).power
+
+    def test_reset(self):
+        est = SmoothedPowerEstimator(1)
+        est.update([1], [1.0])
+        est.reset()
+        assert est.updates == 0
+        with pytest.raises(RuntimeError):
+            est.power
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmoothedPowerEstimator(0)
+        with pytest.raises(ValueError):
+            SmoothedPowerEstimator(2, alpha=0.0)
+        est = SmoothedPowerEstimator(2)
+        with pytest.raises(ValueError):
+            est.update([1], [1.0])
+
+
+class TestSmoothedBalancing:
+    def test_noisy_measurements_do_not_thrash(self):
+        """With raw noisy busy times the balancer migrates repeatedly;
+        smoothing suppresses the churn on a truly balanced cluster."""
+        sg = SubdomainGrid(32, 32, 8, 8)
+        rng = np.random.default_rng(3)
+        lb = LoadBalancer(sg)
+
+        def run(smoothed):
+            parts = block_partition(8, 8, 4)
+            est = SmoothedPowerEstimator(4, alpha=0.2)
+            moves = 0
+            gen = np.random.default_rng(3)
+            for _ in range(15):
+                counts = np.bincount(parts, minlength=4).astype(float)
+                noise = 1 + 0.25 * gen.standard_normal(4)
+                busy = counts * np.clip(noise, 0.5, 1.5)
+                if smoothed:
+                    est.update(counts, busy)
+                    busy = est.effective_busy_times(counts)
+                res = lb.balance_step(parts, 4, busy)
+                moves += res.sds_moved
+                parts = res.parts_after
+            return moves
+
+        assert run(smoothed=True) < run(smoothed=False)

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's documentation of record; a broken example is
+a bug.  Each is executed in-process (fresh module namespace) with its
+stdout captured and sanity-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "OK" in out
+        assert "virtual makespan" in out
+
+    def test_partitioning_study(self, capsys):
+        out = run_example("partitioning_study.py", capsys)
+        assert "multilevel" in out
+        assert "ghost bytes/step" in out
+
+    def test_overlap_gantt(self, capsys):
+        out = run_example("overlap_gantt.py", capsys)
+        assert "WITH Case-1/Case-2 overlap" in out
+        assert "WITHOUT overlap" in out
+        # overlap run must be faster: parse the two makespans
+        lines = [l for l in out.splitlines() if l.startswith("makespan:")]
+        with_ms = float(lines[0].split()[1])
+        without_ms = float(lines[1].split()[1])
+        assert with_ms < without_ms
+
+    def test_nonlocal_limits(self, capsys):
+        out = run_example("nonlocal_limits.py", capsys)
+        assert "pinned to zero" in out
+
+    def test_crack_load_balancing(self, capsys):
+        out = run_example("crack_load_balancing.py", capsys)
+        assert "improvement" in out
+        assert "balanced" in out
+
+    def test_heterogeneous_cluster(self, capsys):
+        out = run_example("heterogeneous_cluster.py", capsys)
+        assert "threshold balancer" in out
+        assert "SD redistribution events" in out

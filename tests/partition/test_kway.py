@@ -1,0 +1,179 @@
+"""Tests for the k-way driver and geometric baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.geometric import (block_partition, grid_blocks_for_k,
+                                       recursive_coordinate_bisection,
+                                       strip_partition)
+from repro.partition.graph import graph_from_edges, grid_dual_graph
+from repro.partition.kway import partition_graph, partition_sd_grid
+from repro.partition.metrics import (edge_cut, imbalance, num_parts_used,
+                                     part_weights, parts_are_contiguous)
+
+
+class TestPartitionGraph:
+    def test_k1_everything_in_part0(self):
+        g = grid_dual_graph(4, 4)
+        assert np.all(partition_graph(g, 1) == 0)
+
+    def test_every_vertex_assigned_in_range(self):
+        g = grid_dual_graph(8, 8)
+        parts = partition_graph(g, 4, seed=0)
+        assert parts.min() >= 0 and parts.max() < 4
+        assert len(parts) == 64
+
+    def test_all_parts_nonempty(self):
+        g = grid_dual_graph(8, 8)
+        for k in (2, 3, 4, 5, 7):
+            parts = partition_graph(g, k, seed=0)
+            assert num_parts_used(parts) == k, f"k={k}"
+
+    def test_balance_on_uniform_grid(self):
+        g = grid_dual_graph(8, 8)
+        parts = partition_graph(g, 4, seed=0)
+        assert imbalance(g, parts, 4) <= 1.25
+
+    def test_cut_is_reasonable_16x16_4way(self):
+        """16x16 grid, 4 parts: ideal block split cuts 32; allow 2x slack."""
+        g = grid_dual_graph(16, 16)
+        parts = partition_graph(g, 4, seed=0)
+        assert edge_cut(g, parts) <= 64.0
+
+    def test_deterministic_given_seed(self):
+        g = grid_dual_graph(8, 8)
+        a = partition_graph(g, 4, seed=7)
+        b = partition_graph(g, 4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_weighted_targets_shift_part_sizes(self):
+        g = grid_dual_graph(8, 8)
+        parts = partition_graph(g, 2, seed=0, target_weights=[3.0, 1.0])
+        w = part_weights(g, parts, 2)
+        assert w[0] > w[1]
+        assert w[0] / w.sum() == pytest.approx(0.75, abs=0.15)
+
+    def test_nonuniform_vertex_weights_balanced_by_weight(self):
+        vwgt = np.ones(64)
+        vwgt[:8] = 8.0  # one heavy column
+        g = grid_dual_graph(8, 8, vwgt=vwgt)
+        parts = partition_graph(g, 2, seed=0)
+        assert imbalance(g, parts, 2) <= 1.3
+
+    def test_invalid_k(self):
+        g = grid_dual_graph(2, 2)
+        with pytest.raises(ValueError):
+            partition_graph(g, 0)
+
+    def test_bad_target_weights(self):
+        g = grid_dual_graph(2, 2)
+        with pytest.raises(ValueError):
+            partition_graph(g, 2, target_weights=[1.0])
+        with pytest.raises(ValueError):
+            partition_graph(g, 2, target_weights=[1.0, -1.0])
+
+    def test_k_larger_than_vertices(self):
+        g = grid_dual_graph(2, 1)
+        parts = partition_graph(g, 2, seed=0)
+        assert num_parts_used(parts) == 2
+
+    def test_disconnected_graph_still_partitions(self):
+        g = graph_from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        parts = partition_graph(g, 2, seed=0)
+        assert num_parts_used(parts) == 2
+
+    @given(seed=st.integers(0, 200), k=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_invariants_property(self, seed, k):
+        g = grid_dual_graph(10, 10)
+        parts = partition_graph(g, k, seed=seed)
+        assert len(parts) == 100
+        assert parts.min() >= 0 and parts.max() < k
+        assert num_parts_used(parts) == k
+        assert imbalance(g, parts, k) <= 1.6
+
+
+class TestPartitionSDGrid:
+    def test_paper_fig13_shape_16x16_over_16_nodes(self):
+        parts = partition_sd_grid(16, 16, 16, seed=0)
+        g = grid_dual_graph(16, 16)
+        assert num_parts_used(parts) == 16
+        assert imbalance(g, parts, 16) <= 1.35
+
+    def test_fig2_shape_5x5_over_4_nodes(self):
+        parts = partition_sd_grid(5, 5, 4, seed=0)
+        g = grid_dual_graph(5, 5)
+        assert num_parts_used(parts) == 4
+        # 25 SDs over 4 nodes: parts of size 6-7 ideally
+        w = part_weights(g, parts, 4)
+        assert w.max() <= 9
+
+    def test_contiguity_usually_holds_on_grids(self):
+        """Multilevel RB on grids should give contiguous parts for pow2 k."""
+        g = grid_dual_graph(8, 8)
+        parts = partition_sd_grid(8, 8, 4, seed=0)
+        assert parts_are_contiguous(g, parts)
+
+
+class TestGeometric:
+    def test_strip_partition_columns(self):
+        parts = strip_partition(4, 2, 2, axis=0)
+        assert list(parts) == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_strip_partition_rows(self):
+        parts = strip_partition(2, 4, 2, axis=1)
+        assert list(parts) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_strip_sizes_near_equal(self):
+        parts = strip_partition(10, 1, 3)
+        _, counts = np.unique(parts, return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+    def test_strip_invalid(self):
+        with pytest.raises(ValueError):
+            strip_partition(4, 4, 0)
+        with pytest.raises(ValueError):
+            strip_partition(4, 4, 2, axis=5)
+
+    def test_blocks_for_k(self):
+        assert grid_blocks_for_k(4) == (2, 2)
+        assert grid_blocks_for_k(6) == (3, 2)
+        assert grid_blocks_for_k(7) == (7, 1)
+
+    def test_block_partition_matches_paper_4node_layout(self):
+        """4 nodes on an even grid = 4 equal squares (paper Sec. 8.3)."""
+        parts = block_partition(4, 4, 4)
+        g = grid_dual_graph(4, 4)
+        assert num_parts_used(parts) == 4
+        assert imbalance(g, parts, 4) == pytest.approx(1.0)
+        assert parts_are_contiguous(g, parts)
+        # the four quadrants
+        grid = parts.reshape(4, 4)
+        assert len(set(grid[:2, :2].ravel())) == 1
+        assert len(set(grid[2:, 2:].ravel())) == 1
+
+    def test_block_partition_k2_halves(self):
+        parts = block_partition(4, 4, 2)
+        g = grid_dual_graph(4, 4)
+        assert imbalance(g, parts, 2) == pytest.approx(1.0)
+
+    def test_rcb_basic(self):
+        g = grid_dual_graph(8, 8)
+        parts = recursive_coordinate_bisection(g, 4)
+        assert num_parts_used(parts) == 4
+        assert imbalance(g, parts, 4) <= 1.1
+
+    def test_rcb_requires_coords(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="coordinates"):
+            recursive_coordinate_bisection(g, 2)
+
+    def test_rcb_respects_weights(self):
+        vwgt = np.ones(16)
+        vwgt[0] = 15.0
+        g = grid_dual_graph(4, 4, vwgt=vwgt)
+        parts = recursive_coordinate_bisection(g, 2)
+        w = part_weights(g, parts, 2)
+        assert imbalance(g, parts, 2) <= 1.35

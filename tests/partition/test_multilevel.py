@@ -1,0 +1,184 @@
+"""Tests for coarsening, initial bisection, and FM refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.coarsen import (coarsen_level, contract,
+                                     heavy_edge_matching)
+from repro.partition.graph import graph_from_edges, grid_dual_graph
+from repro.partition.initial import (best_bisection, grow_bisection,
+                                     pseudo_peripheral_vertex)
+from repro.partition.metrics import edge_cut, imbalance
+from repro.partition.refine import compute_gains, fm_refine_bisection
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        g = grid_dual_graph(5, 5)
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        for v in range(g.num_vertices):
+            assert match[match[v]] == v
+
+    def test_matched_pairs_are_adjacent(self):
+        g = grid_dual_graph(4, 4)
+        match = heavy_edge_matching(g, np.random.default_rng(1))
+        for v in range(g.num_vertices):
+            if match[v] != v:
+                assert match[v] in list(g.neighbors(v))
+
+    def test_prefers_heavy_edges(self):
+        # triangle-free path with one heavy edge: 0-1 (w=10), 1-2 (w=1)
+        g = graph_from_edges(3, [(0, 1), (1, 2)], edge_weights=[10.0, 1.0])
+        # regardless of visit order, 1 must pair with 0 if 1 visited first,
+        # and 0 pairs with 1 if 0 visited first; run many seeds
+        for seed in range(10):
+            match = heavy_edge_matching(g, np.random.default_rng(seed))
+            if match[0] != 0:
+                assert match[0] == 1
+
+    def test_isolated_vertex_stays_single(self):
+        g = graph_from_edges(3, [(0, 1)])
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        assert match[2] == 2
+
+
+class TestContract:
+    def test_weights_conserved(self):
+        g = grid_dual_graph(4, 4, vwgt=np.arange(1, 17, dtype=float))
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        coarse, f2c = contract(g, match)
+        assert coarse.total_vertex_weight() == pytest.approx(g.total_vertex_weight())
+
+    def test_projection_covers_all_coarse_vertices(self):
+        g = grid_dual_graph(5, 5)
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        coarse, f2c = contract(g, match)
+        assert set(f2c) == set(range(coarse.num_vertices))
+
+    def test_coarse_graph_valid(self):
+        g = grid_dual_graph(6, 6)
+        match = heavy_edge_matching(g, np.random.default_rng(2))
+        coarse, _ = contract(g, match)
+        coarse.validate()
+
+    def test_cut_preserved_under_projection(self):
+        """A coarse partition's cut equals the projected fine cut."""
+        g = grid_dual_graph(6, 6)
+        rng = np.random.default_rng(3)
+        match = heavy_edge_matching(g, rng)
+        coarse, f2c = contract(g, match)
+        coarse_parts = rng.integers(0, 2, coarse.num_vertices)
+        fine_parts = coarse_parts[f2c]
+        assert edge_cut(coarse, coarse_parts) == pytest.approx(
+            edge_cut(g, fine_parts))
+
+    def test_coords_are_weighted_centroids(self):
+        g = graph_from_edges(2, [(0, 1)], vwgt=[1.0, 3.0],
+                             coords=np.array([[0.0, 0.0], [1.0, 1.0]]))
+        match = np.array([1, 0])
+        coarse, _ = contract(g, match)
+        assert coarse.coords[0] == pytest.approx([0.75, 0.75])
+
+    def test_coarsen_level_stops_when_stalled(self):
+        # a graph with no edges cannot be coarsened
+        g = graph_from_edges(10, [])
+        assert coarsen_level(g, np.random.default_rng(0)) is None
+
+    def test_coarsen_level_roughly_halves_grid(self):
+        g = grid_dual_graph(8, 8)
+        level = coarsen_level(g, np.random.default_rng(0))
+        assert level is not None
+        assert level.graph.num_vertices <= 0.9 * g.num_vertices
+
+
+class TestInitialBisection:
+    def test_pseudo_peripheral_on_path_is_endpoint(self):
+        g = graph_from_edges(5, [(i, i + 1) for i in range(4)])
+        assert pseudo_peripheral_vertex(g) in (0, 4)
+
+    def test_grow_reaches_target_weight(self):
+        g = grid_dual_graph(6, 6)
+        parts = grow_bisection(g, target_weight=18.0, seed_vertex=0)
+        w0 = g.vwgt[parts == 0].sum()
+        assert 12.0 <= w0 <= 27.0  # within the documented overshoot bounds
+
+    def test_grow_produces_two_parts(self):
+        g = grid_dual_graph(4, 4)
+        parts = grow_bisection(g, 8.0, seed_vertex=0)
+        assert set(np.unique(parts)) == {0, 1}
+
+    def test_best_bisection_picks_lowest_cut(self):
+        g = grid_dual_graph(8, 8)
+        parts = best_bisection(g, 32.0, np.random.default_rng(0), trials=4)
+        # a sane bisection of an 8x8 grid should cut at most ~2 rows worth
+        assert edge_cut(g, parts) <= 16.0
+
+    def test_best_bisection_single_vertex(self):
+        g = graph_from_edges(1, [])
+        assert list(best_bisection(g, 0.5, np.random.default_rng(0))) == [0]
+
+    def test_best_bisection_empty(self):
+        g = graph_from_edges(0, [])
+        assert len(best_bisection(g, 0.0, np.random.default_rng(0))) == 0
+
+
+class TestFMRefinement:
+    def test_gains_definition(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2)])
+        parts = np.array([0, 0, 1])
+        gains = compute_gains(g, parts)
+        # vertex 1: one edge inside (to 0), one edge cut (to 2) -> gain 0
+        assert gains[1] == pytest.approx(0.0)
+        # vertex 2: its only edge is cut -> gain +1
+        assert gains[2] == pytest.approx(1.0)
+
+    def test_refinement_never_increases_cut(self):
+        rng = np.random.default_rng(0)
+        g = grid_dual_graph(8, 8)
+        parts = rng.integers(0, 2, 64)
+        before = edge_cut(g, parts)
+        after = edge_cut(g, fm_refine_bisection(g, parts.copy()))
+        assert after <= before
+
+    def test_refinement_fixes_jagged_boundary(self):
+        # vertical split with one vertex on the wrong side
+        g = grid_dual_graph(6, 6)
+        parts = np.array([0 if v % 6 < 3 else 1 for v in range(36)])
+        parts[2] = 1  # wrong-side vertex: 3 cut edges instead of 1
+        refined = fm_refine_bisection(g, parts.copy())
+        assert edge_cut(g, refined) <= edge_cut(g, parts)
+        assert refined[2] == 0  # moved back
+
+    def test_respects_balance_constraint(self):
+        g = grid_dual_graph(4, 4)
+        parts = np.array([0, 0, 1, 1] * 4)
+        refined = fm_refine_bisection(g, parts.copy(), balance=1.05)
+        assert imbalance(g, refined, 2) <= 1.05 + 1e-9
+
+    def test_rejects_non_binary_partition(self):
+        g = grid_dual_graph(2, 2)
+        with pytest.raises(ValueError, match="0/1 partition"):
+            fm_refine_bisection(g, np.array([0, 1, 2, 0]))
+
+    def test_already_optimal_partition_unchanged_cut(self):
+        g = grid_dual_graph(4, 4)
+        parts = np.array([0, 0, 1, 1] * 4)  # cut = 4 (optimal for 4x4)
+        refined = fm_refine_bisection(g, parts.copy())
+        assert edge_cut(g, refined) == 4.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_refinement_monotone_property(self, seed):
+        """Random partitions on a random grid: FM never worsens the cut."""
+        rng = np.random.default_rng(seed)
+        nx = int(rng.integers(2, 7))
+        ny = int(rng.integers(2, 7))
+        g = grid_dual_graph(nx, ny)
+        parts = rng.integers(0, 2, nx * ny)
+        if len(np.unique(parts)) < 2:
+            parts[0] = 1 - parts[0]
+        before = edge_cut(g, parts)
+        after = edge_cut(g, fm_refine_bisection(g, parts.copy()))
+        assert after <= before + 1e-9

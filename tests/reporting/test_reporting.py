@@ -1,0 +1,87 @@
+"""Tests for table and ownership rendering."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.subdomain import SubdomainGrid
+from repro.reporting.ownership import (ownership_counts, render_ownership,
+                                       render_ownership_sequence)
+from repro.reporting.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="Fig. 9")
+        assert out.startswith("Fig. 9\n")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234567.0], [0.00001], [0.0], [3.14159]],
+                           precision=3)
+        assert "1.235e+06" in out or "1.23e+06" in out
+        assert "e-05" in out
+        assert "3.14" in out
+
+    def test_bool_and_str_cells(self):
+        out = format_table(["ok", "name"], [[True, "metis"]])
+        assert "True" in out and "metis" in out
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series("SDs", [1, 4, 16],
+                            {"1CPU": [1.0, 1.0, 1.0], "2CPU": [1.0, 1.8, 1.9]})
+        header = out.split("\n")[0]
+        assert "SDs" in header and "1CPU" in header and "2CPU" in header
+        assert len(out.split("\n")) == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="series"):
+            format_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestOwnershipRendering:
+    def test_grid_shape_and_symbols(self):
+        sg = SubdomainGrid(8, 8, 2, 2)
+        out = render_ownership(sg, [0, 1, 2, 3])
+        lines = out.split("\n")
+        assert len(lines) == 2
+        # top row printed first = SD row 1 (ids 2, 3)
+        assert lines[0] == "2 3"
+        assert lines[1] == "0 1"
+
+    def test_title(self):
+        sg = SubdomainGrid(8, 8, 2, 2)
+        out = render_ownership(sg, [0, 0, 1, 1], title="iter 0")
+        assert out.startswith("iter 0\n")
+
+    def test_too_many_nodes_rejected(self):
+        sg = SubdomainGrid(64, 64, 8, 8)
+        with pytest.raises(ValueError, match="render"):
+            render_ownership(sg, list(range(40)) + [0] * 24)
+
+    def test_sequence_side_by_side(self):
+        sg = SubdomainGrid(8, 8, 2, 2)
+        out = render_ownership_sequence(sg, [[0, 0, 1, 1], [0, 1, 1, 1]],
+                                        labels=["before", "after"])
+        lines = out.split("\n")
+        assert "before" in lines[0] and "after" in lines[0]
+        assert len(lines) == 3
+
+    def test_sequence_label_count_checked(self):
+        sg = SubdomainGrid(8, 8, 2, 2)
+        with pytest.raises(ValueError, match="label"):
+            render_ownership_sequence(sg, [[0, 0, 1, 1]], labels=["a", "b"])
+
+    def test_ownership_counts(self):
+        assert ownership_counts([0, 0, 1, 2], 4) == [2, 1, 1, 0]

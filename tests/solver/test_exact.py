@@ -1,0 +1,130 @@
+"""Tests for the manufactured solution and error norms."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import UniformGrid
+from repro.solver.exact import (ManufacturedProblem, interior_multiplier,
+                                step_error, total_error)
+from repro.solver.model import NonlocalHeatModel, linear_influence
+from repro.solver.serial import solve_manufactured
+
+
+class TestExactFields:
+    def test_initial_condition_is_sin_sin(self):
+        grid = UniformGrid(16, 16)
+        model = NonlocalHeatModel(epsilon=3 * grid.h)
+        prob = ManufacturedProblem(model, grid, source_mode="discrete")
+        X, Y = grid.meshgrid()
+        assert np.allclose(prob.initial_condition(),
+                           np.sin(2 * np.pi * X) * np.sin(2 * np.pi * Y))
+
+    def test_exact_at_quarter_period_is_zero(self):
+        grid = UniformGrid(8, 8)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        prob = ManufacturedProblem(model, grid, source_mode="discrete")
+        assert np.allclose(prob.exact(0.25), 0.0, atol=1e-12)
+
+    def test_exact_dt_at_zero_is_zero(self):
+        grid = UniformGrid(8, 8)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        prob = ManufacturedProblem(model, grid, source_mode="discrete")
+        assert np.allclose(prob.exact_dt(0.0), 0.0, atol=1e-12)
+
+    def test_time_periodicity(self):
+        grid = UniformGrid(8, 8)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        prob = ManufacturedProblem(model, grid, source_mode="discrete")
+        assert np.allclose(prob.exact(0.3), prob.exact(1.3), atol=1e-12)
+
+    def test_invalid_source_mode(self):
+        grid = UniformGrid(8, 8)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        with pytest.raises(ValueError, match="source mode"):
+            ManufacturedProblem(model, grid, source_mode="nope")
+
+
+class TestInteriorMultiplier:
+    def test_quadrature_matches_bessel_in_deep_interior(self):
+        """The oversampled quadrature agrees with the closed form away
+        from the boundary."""
+        grid = UniformGrid(32, 32)
+        model = NonlocalHeatModel(epsilon=4 * grid.h)
+        prob = ManufacturedProblem(model, grid, source_mode="continuum",
+                                   oversample=11)
+        m = interior_multiplier(model)
+        s = prob._space
+        integ = prob._integral_of_space / model.c
+        center = (16, 16)
+        assert integ[center] / s[center] == pytest.approx(m, rel=0.02)
+
+    def test_requires_constant_influence(self):
+        model = NonlocalHeatModel(epsilon=0.1, influence=linear_influence)
+        with pytest.raises(ValueError, match="constant influence"):
+            interior_multiplier(model)
+
+    def test_1d_multiplier_formula(self):
+        model = NonlocalHeatModel(epsilon=0.1, dim=1)
+        m = interior_multiplier(model)
+        expected = 2 * np.sin(2 * np.pi * 0.1) / (2 * np.pi) - 2 * 0.1
+        assert m == pytest.approx(expected)
+
+    def test_multiplier_is_negative(self):
+        """The ball average of sin sin is below its center value."""
+        model = NonlocalHeatModel(epsilon=0.05)
+        assert interior_multiplier(model) < 0
+
+
+class TestErrorNorms:
+    def test_step_error_zero_for_identical(self):
+        grid = UniformGrid(8, 8)
+        u = np.ones(grid.shape)
+        assert step_error(grid, u, u) == 0.0
+
+    def test_step_error_scales_with_h_squared(self):
+        """A constant pointwise error of 1 gives e = h^2 * N = 1."""
+        grid = UniformGrid(8, 8)
+        e = step_error(grid, np.zeros(grid.shape), np.ones(grid.shape))
+        assert e == pytest.approx(grid.h ** 2 * 64)
+        assert e == pytest.approx(1.0)
+
+    def test_step_error_shape_check(self):
+        grid = UniformGrid(8, 8)
+        with pytest.raises(ValueError):
+            step_error(grid, np.zeros((8, 8)), np.zeros((4, 4)))
+
+    def test_total_error_sums(self):
+        assert total_error([0.5, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_1d_error_uses_h(self):
+        grid = UniformGrid(4, dim=1)
+        e = step_error(grid, np.zeros(grid.shape), np.ones(grid.shape))
+        assert e == pytest.approx(grid.h * 4)
+
+
+class TestManufacturedSolve:
+    def test_discrete_mode_error_is_time_error_only(self):
+        """With the discrete source, the error is tiny (O(dt))."""
+        res = solve_manufactured(24, eps_factor=3, num_steps=10,
+                                 source_mode="discrete")
+        assert res.total_error < 1e-6
+
+    def test_discrete_mode_error_shrinks_with_dt(self):
+        a = solve_manufactured(16, eps_factor=2, num_steps=4,
+                               dt=1e-4, source_mode="discrete")
+        b = solve_manufactured(16, eps_factor=2, num_steps=8,
+                               dt=5e-5, source_mode="discrete")
+        assert b.total_error < a.total_error
+
+    def test_continuum_mode_error_decreases_with_h(self):
+        """The headline property of the paper's Fig. 8."""
+        errors = [solve_manufactured(n, eps_factor=2, num_steps=5,
+                                     source_mode="continuum").total_error
+                  for n in (8, 16, 32)]
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+
+    def test_1d_manufactured_solve(self):
+        res = solve_manufactured(32, eps_factor=3, num_steps=5,
+                                 source_mode="discrete", dim=1)
+        assert res.total_error < 1e-6

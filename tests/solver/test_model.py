@@ -1,0 +1,74 @@
+"""Tests for the model constants and influence functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver.model import (InfluenceFunction, NonlocalHeatModel,
+                                constant_influence, gaussian_influence,
+                                influence_moment, linear_influence)
+
+
+class TestInfluenceFunctions:
+    def test_constant_is_one(self):
+        r = np.linspace(0, 1, 5)
+        assert np.all(constant_influence(r) == 1.0)
+
+    def test_constant_moments_analytic(self):
+        assert constant_influence.moment(2) == pytest.approx(1 / 3)
+        assert constant_influence.moment(3) == pytest.approx(1 / 4)
+
+    def test_linear_moments_analytic(self):
+        # int_0^1 (1-r) r^3 dr = 1/4 - 1/5 = 1/20
+        assert linear_influence.moment(3) == pytest.approx(1 / 20)
+
+    def test_numeric_moment_matches_analytic(self):
+        for i in (0, 1, 2, 3):
+            num = influence_moment(constant_influence, i)
+            assert num == pytest.approx(1 / (i + 1), rel=1e-8)
+
+    def test_gaussian_moment_numeric(self):
+        # int_0^1 exp(-4 r^2) r^3 dr has closed form (1 - 5 e^-4)/32
+        expected = (1 - 5 * math.exp(-4)) / 32
+        assert gaussian_influence.moment(3) == pytest.approx(expected, rel=1e-6)
+
+    def test_negative_moment_order_rejected(self):
+        with pytest.raises(ValueError):
+            influence_moment(constant_influence, -1)
+
+    def test_custom_influence(self):
+        J = InfluenceFunction("quadratic", lambda r: r ** 2)
+        assert J.moment(1) == pytest.approx(1 / 4, rel=1e-8)
+
+
+class TestModelConstant:
+    def test_2d_constant_paper_formula(self):
+        """c = 2k / (pi eps^4 M3); with J=1, M3=1/4 -> c = 8k/(pi eps^4)."""
+        m = NonlocalHeatModel(epsilon=0.1, kappa=2.0)
+        expected = 8 * 2.0 / (math.pi * 0.1 ** 4)
+        assert m.c == pytest.approx(expected)
+
+    def test_1d_constant_paper_formula(self):
+        """c = k / (eps^3 M2); with J=1, M2=1/3 -> c = 3k/eps^3."""
+        m = NonlocalHeatModel(epsilon=0.2, kappa=1.0, dim=1)
+        assert m.c == pytest.approx(3 / 0.2 ** 3)
+
+    def test_c_scales_with_kappa(self):
+        a = NonlocalHeatModel(epsilon=0.1, kappa=1.0)
+        b = NonlocalHeatModel(epsilon=0.1, kappa=3.0)
+        assert b.c == pytest.approx(3 * a.c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonlocalHeatModel(epsilon=0.0)
+        with pytest.raises(ValueError):
+            NonlocalHeatModel(epsilon=0.1, kappa=-1.0)
+        with pytest.raises(ValueError):
+            NonlocalHeatModel(epsilon=0.1, dim=3)
+
+    def test_linear_influence_changes_c(self):
+        a = NonlocalHeatModel(epsilon=0.1)
+        b = NonlocalHeatModel(epsilon=0.1, influence=linear_influence)
+        # M3 drops from 1/4 to 1/20 -> c grows 5x
+        assert b.c == pytest.approx(5 * a.c)

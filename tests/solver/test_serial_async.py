@@ -1,0 +1,132 @@
+"""Tests for the serial and shared-memory async solvers."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import UniformGrid
+from repro.mesh.subdomain import SubdomainGrid
+from repro.solver.async_solver import AsyncSolver
+from repro.solver.exact import ManufacturedProblem
+from repro.solver.model import NonlocalHeatModel
+from repro.solver.serial import SerialSolver
+
+
+def setup(nx=24, eps_factor=3):
+    grid = UniformGrid(nx, nx)
+    model = NonlocalHeatModel(epsilon=eps_factor * grid.h)
+    prob = ManufacturedProblem(model, grid, source_mode="discrete")
+    return grid, model, prob
+
+
+class TestSerialSolver:
+    def test_zero_steps_returns_initial(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid, source=prob.source)
+        u0 = prob.initial_condition()
+        res = solver.run(u0, 0)
+        assert np.array_equal(res.u, u0)
+        assert res.times == [0.0]
+
+    def test_input_not_mutated(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid, source=prob.source)
+        u0 = prob.initial_condition()
+        keep = u0.copy()
+        solver.run(u0, 3)
+        assert np.array_equal(u0, keep)
+
+    def test_times_match_dt(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid, source=prob.source, dt=1e-5)
+        res = solver.run(prob.initial_condition(), 4)
+        assert res.times == pytest.approx([0, 1e-5, 2e-5, 3e-5, 4e-5])
+
+    def test_error_tracking_length(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid, source=prob.source)
+        res = solver.run(prob.initial_condition(), 5, exact=prob.exact)
+        assert len(res.errors) == 6  # e_0 .. e_5
+        assert res.errors[0] == 0.0  # consistent initial condition
+
+    def test_no_exact_no_errors(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid, source=prob.source)
+        res = solver.run(prob.initial_condition(), 2)
+        assert res.errors is None
+        assert res.total_error is None
+
+    def test_unforced_decay(self):
+        grid, model, _ = setup()
+        solver = SerialSolver(model, grid)
+        u0 = np.ones(grid.shape)
+        res = solver.run(u0, 10)
+        assert np.linalg.norm(res.u) < np.linalg.norm(u0)
+
+    def test_validation(self):
+        grid, model, prob = setup()
+        solver = SerialSolver(model, grid)
+        with pytest.raises(ValueError, match="num_steps"):
+            solver.run(prob.initial_condition(), -1)
+        with pytest.raises(ValueError, match="u0 shape"):
+            solver.run(np.zeros((3, 3)), 1)
+        with pytest.raises(ValueError, match="dt"):
+            SerialSolver(model, grid, dt=-1.0)
+
+
+class TestAsyncSolver:
+    @pytest.mark.parametrize("sd_layout", [(1, 1), (2, 2), (4, 4), (3, 2)])
+    def test_matches_serial_for_any_sd_layout(self, sd_layout):
+        grid, model, prob = setup(nx=24)
+        serial = SerialSolver(model, grid, source=prob.source)
+        ref = serial.run(prob.initial_condition(), 4)
+        sg = SubdomainGrid(24, 24, *sd_layout)
+        asol = AsyncSolver(model, grid, sg, num_threads=2,
+                           source=prob.source, dt=serial.dt)
+        res = asol.run(prob.initial_condition(), 4)
+        assert np.allclose(res.u, ref.u, atol=1e-12)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_thread_count_does_not_change_result(self, threads):
+        grid, model, prob = setup(nx=16, eps_factor=2)
+        sg = SubdomainGrid(16, 16, 4, 4)
+        asol = AsyncSolver(model, grid, sg, num_threads=threads,
+                           source=prob.source, dt=1e-5)
+        res = asol.run(prob.initial_condition(), 3)
+        ref = AsyncSolver(model, grid, sg, num_threads=1,
+                          source=prob.source, dt=1e-5).run(
+            prob.initial_condition(), 3)
+        assert np.allclose(res.u, ref.u, atol=1e-13)
+
+    def test_error_tracking(self):
+        grid, model, prob = setup(nx=16, eps_factor=2)
+        sg = SubdomainGrid(16, 16, 2, 2)
+        asol = AsyncSolver(model, grid, sg, num_threads=2,
+                           source=prob.source)
+        res = asol.run(prob.initial_condition(), 3, exact=prob.exact)
+        assert res.total_error < 1e-6
+
+    def test_large_radius_halo_across_multiple_sds(self):
+        """Stencil radius bigger than SD size still agrees with serial."""
+        grid, model, prob = setup(nx=16, eps_factor=4)  # R=4, SDs 2x2 DPs
+        sg = SubdomainGrid(16, 16, 8, 8)
+        serial = SerialSolver(model, grid, source=prob.source)
+        ref = serial.run(prob.initial_condition(), 2)
+        asol = AsyncSolver(model, grid, sg, num_threads=3,
+                           source=prob.source, dt=serial.dt)
+        res = asol.run(prob.initial_condition(), 2)
+        assert np.allclose(res.u, ref.u, atol=1e-12)
+
+    def test_mesh_mismatch_rejected(self):
+        grid, model, _ = setup(nx=16, eps_factor=2)
+        with pytest.raises(ValueError, match="SD grid covers"):
+            AsyncSolver(model, grid, SubdomainGrid(8, 8, 2, 2))
+
+    def test_uneven_sd_sizes(self):
+        grid, model, prob = setup(nx=18, eps_factor=2)
+        sg = SubdomainGrid(18, 18, 4, 4)  # 18/4 uneven
+        serial = SerialSolver(model, grid, source=prob.source)
+        ref = serial.run(prob.initial_condition(), 2)
+        res = AsyncSolver(model, grid, sg, num_threads=2,
+                          source=prob.source, dt=serial.dt).run(
+            prob.initial_condition(), 2)
+        assert np.allclose(res.u, ref.u, atol=1e-12)

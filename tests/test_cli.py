@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.nx == 64
+        assert args.eps_factor == 8.0
+
+    def test_partition_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--method", "magic"])
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        rc = main(["solve", "--nx", "16", "--eps-factor", "2",
+                   "--steps", "3", "--source", "discrete"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total error" in out
+
+    def test_validate_small(self, capsys):
+        rc = main(["validate", "--max-exponent", "4", "--steps", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "monotone decrease: yes" in out
+
+    def test_scale(self, capsys):
+        rc = main(["scale", "--mesh", "64", "--sds", "4",
+                   "--max-nodes", "4", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
+
+    def test_balance(self, capsys):
+        rc = main(["balance", "--sds", "5", "--nodes", "4",
+                   "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "final SDs per node" in out
+        assert "iter 0" in out
+
+    @pytest.mark.parametrize("method", ["multilevel", "blocks", "strips",
+                                        "rcb", "spectral"])
+    def test_partition_all_methods(self, capsys, method):
+        rc = main(["partition", "--sds", "8", "--nodes", "4",
+                   "--method", method])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "edge cut" in out

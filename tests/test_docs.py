@@ -1,0 +1,21 @@
+"""Documentation consistency: the package docstring example must run."""
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_example():
+    """The ``>>>`` example in ``repro.__doc__`` executes and passes."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_version_declared():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ lists missing name {name}"
