@@ -3,51 +3,28 @@
 Measures the makespan gain of Algorithm 1 for the two imbalance sources
 the paper motivates: (i) static node-speed heterogeneity, (ii) a crack
 lightening part of the domain; plus (iii) both combined.  The "off"
-baseline is the static METIS-style partition.
+baseline is the static METIS-style partition.  Every configuration is
+the ``abl_balancing_gain`` registry scenario (speeds, cracks, and the
+balancing policy all live in the spec).
 """
 
 from functools import lru_cache
 
-import numpy as np
-
-from harness import make_problem
-from repro.amt.cluster import ConstantSpeed
-from repro.core.balancer import LoadBalancer
-from repro.core.policy import IntervalPolicy
-from repro.models.crack import Crack, crack_work_factors
-from repro.partition.kway import partition_sd_grid
+from repro.experiments import build, run_scenario
 from repro.reporting.tables import format_table
-from repro.solver.distributed import DistributedSolver
 
-MESH = 256
-SD_AXIS = 8
-NODES = 4
 NUM_STEPS = 15
 
-
-def scenario(name):
-    model, grid, sd_grid = make_problem(MESH, SD_AXIS)
-    speeds = None
-    wf = None
-    if name in ("hetero", "both"):
-        speeds = [ConstantSpeed(s) for s in (0.5e9, 1e9, 1.5e9, 2e9)]
-    if name in ("crack", "both"):
-        cracks = [Crack.horizontal(0.3, 0.05, 0.95),
-                  Crack.horizontal(0.42, 0.05, 0.95)]
-        wf = crack_work_factors(sd_grid, cracks, horizon=2 * model.epsilon,
-                                floor=0.25)
-    return model, grid, sd_grid, speeds, wf
+#: geometry comes from the registry scenario — read it off the spec so
+#: the printed configuration is always the one that ran
+_SPEC = build("abl_balancing_gain", steps=NUM_STEPS)
+MESH = _SPEC.mesh.nx
+NODES = _SPEC.cluster.num_nodes
 
 
-def run(name: str, balanced: bool) -> float:
-    model, grid, sd_grid, speeds, wf = scenario(name)
-    parts = partition_sd_grid(SD_AXIS, SD_AXIS, NODES, seed=0)
-    solver = DistributedSolver(
-        model, grid, sd_grid, parts, num_nodes=NODES, speeds=speeds,
-        work_factors=wf, compute_numerics=False,
-        balancer=LoadBalancer(sd_grid) if balanced else None,
-        policy=IntervalPolicy(1) if balanced else None)
-    return solver.run(None, NUM_STEPS).makespan
+def run(source: str, balanced: bool) -> float:
+    return run_scenario(build("abl_balancing_gain", source=source,
+                              balanced=balanced, steps=NUM_STEPS)).makespan
 
 
 @lru_cache(maxsize=1)

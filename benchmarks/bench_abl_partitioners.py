@@ -4,56 +4,53 @@ DESIGN.md calls out the partitioner as a substitution; this bench
 quantifies what the multilevel scheme buys over naive strips (and how it
 compares to the strong geometric baselines) in edge cut and in simulated
 makespan of the distributed solver — the two quantities the paper's
-Sec. 6.2 cares about.
+Sec. 6.2 cares about.  Each candidate is a :class:`PartitionSpec`
+method; the makespan runs are the ``abl_partitioners`` registry
+scenario under a communication-dominated network.
 """
 
 from functools import lru_cache
 
-import numpy as np
-
-from harness import make_problem
-from repro.amt.cluster import Network
-from repro.partition.geometric import (block_partition,
-                                       recursive_coordinate_bisection,
-                                       strip_partition)
+from repro.experiments import PartitionSpec, build, run_scenario
 from repro.partition.graph import grid_dual_graph
 from repro.partition.kway import partition_graph
 from repro.partition.metrics import edge_cut
 from repro.reporting.tables import format_table
-from repro.solver.distributed import DistributedSolver
 
-SD_AXIS = 16
-NODES = 8
 NUM_STEPS = 5
 
+#: the SD grid and node count come from the registry scenario; the
+#: edge-cut column below must describe the same configuration the
+#: makespan column ran, so read both off the spec
+_SPEC = build("abl_partitioners", steps=NUM_STEPS)
+SD_AXIS = _SPEC.mesh.sd_nx
+NODES = _SPEC.cluster.num_nodes
 
-def partitions():
-    graph = grid_dual_graph(SD_AXIS, SD_AXIS)
-    return graph, {
-        "multilevel": partition_graph(graph, NODES, seed=0),
-        "blocks": block_partition(SD_AXIS, SD_AXIS, NODES),
-        "strips": strip_partition(SD_AXIS, SD_AXIS, NODES),
-        "rcb": recursive_coordinate_bisection(graph, NODES),
-    }
+#: PartitionSpec method per ablation candidate (display name -> method)
+CANDIDATES = {
+    "multilevel": "metis",
+    "blocks": "blocks",
+    "strips": "strips",
+    "rcb": "rcb",
+}
 
 
-def makespan_of(parts) -> float:
-    model, grid, sd_grid = make_problem(800, SD_AXIS)
+def makespan_of(method: str) -> float:
     # a communication-dominated network: per-node egress time for a bad
     # cut exceeds the per-node compute time, so the cut drives makespan
-    net = Network(latency=2e-5, bandwidth=1e6)
-    solver = DistributedSolver(model, grid, sd_grid, parts,
-                               num_nodes=NODES, network=net,
-                               compute_numerics=False)
-    return solver.run(None, NUM_STEPS).makespan
+    return run_scenario(build("abl_partitioners", method=method,
+                              steps=NUM_STEPS)).makespan
 
 
 @lru_cache(maxsize=1)
 def ablation_rows():
-    graph, cands = partitions()
+    graph = grid_dual_graph(SD_AXIS, SD_AXIS)
     rows = []
-    for name, parts in cands.items():
-        rows.append([name, edge_cut(graph, parts), makespan_of(parts) * 1e3])
+    for name, method in CANDIDATES.items():
+        parts = PartitionSpec(method=method, seed=0).build(
+            SD_AXIS, SD_AXIS, NODES)
+        rows.append([name, edge_cut(graph, parts),
+                     makespan_of(method) * 1e3])
     return rows
 
 
@@ -70,5 +67,5 @@ def test_abl_partitioners(benchmark):
     # and be within 30% of the ideal block layout's cut on this grid
     assert by_name["multilevel"][1] <= 1.3 * by_name["blocks"][1]
 
-    graph, _ = partitions()
+    graph = grid_dual_graph(SD_AXIS, SD_AXIS)
     benchmark(lambda: partition_graph(graph, NODES, seed=1))

@@ -2,16 +2,15 @@
 
 Paper: "Plot of the total error e = sum_k e_k for different mesh sizes
 h = 1/2^n, n = 2..6.  We expect the numerical error to decrease as the
-mesh size decreases."  We integrate the manufactured problem (continuum
-source, eq. 6) with dt tied to h^2 and report e; the reproduced shape is
-the monotone decrease.
+mesh size decreases."  Each sweep point is the registry scenario
+``fig08_convergence`` (serial manufactured solve, continuum source,
+dt ~ h^2) executed through the experiment runner; the reproduced shape
+is the monotone decrease of e.
 """
 
 from functools import lru_cache
 
-import pytest
-
-from repro.solver.serial import solve_manufactured
+from repro.experiments import build, run_scenario, run_sweep
 from repro.reporting.tables import format_series
 
 #: the paper's mesh sizes: h = 1/2^n  ->  nx = 2^n
@@ -25,16 +24,11 @@ NUM_STEPS = 10
 @lru_cache(maxsize=1)
 def convergence_series():
     """(h values, total errors) across the paper's mesh sweep."""
-    hs, errors = [], []
-    for n in EXPONENTS:
-        nx = 2 ** n
-        res = solve_manufactured(nx, eps_factor=EPS_FACTOR,
-                                 num_steps=NUM_STEPS,
-                                 dt=0.05 / (nx * nx),  # dt ~ h^2
-                                 source_mode="continuum")
-        hs.append(1.0 / nx)
-        errors.append(res.total_error)
-    return hs, errors
+    specs = [build("fig08_convergence", exponent=n, steps=NUM_STEPS,
+                   eps_factor=EPS_FACTOR) for n in EXPONENTS]
+    records = run_sweep(specs, serial=True)
+    hs = [1.0 / (2 ** n) for n in EXPONENTS]
+    return hs, [rec.total_error for rec in records]
 
 
 def test_fig08_error_decreases_with_h(benchmark):
@@ -47,6 +41,6 @@ def test_fig08_error_decreases_with_h(benchmark):
     for coarse, fine in zip(errors, errors[1:]):
         assert fine < coarse
     # benchmark unit: the mid-size solve the sweep is made of
-    benchmark(lambda: solve_manufactured(16, eps_factor=EPS_FACTOR,
-                                         num_steps=2,
-                                         source_mode="continuum"))
+    benchmark(lambda: run_scenario(
+        build("fig08_convergence", exponent=4, steps=2,
+              eps_factor=EPS_FACTOR)))

@@ -2,14 +2,16 @@
 
 Paper caption: mesh 400x400, eps = 8h, 20 timesteps; the mesh is divided
 into 1x1 / 2x2 / 4x4 / 8x8 equal SDs; speedup of 1/2/4 CPUs with the
-single-CPU time as baseline.  Reproduced shape: speedup is pinned at 1
-when there is a single SD (nothing to parallelize), and approaches the
-CPU count once #SDs >= #CPUs.
+single-CPU time as baseline.  Every point is the ``fig09_strong_shared``
+registry scenario run through the experiment engine.  Reproduced shape:
+speedup is pinned at 1 when there is a single SD (nothing to
+parallelize), and approaches the CPU count once #SDs >= #CPUs.
 """
 
 import math
 
-from harness import run_shared_memory, shared_memory_speedups
+from harness import shared_memory_speedups, shared_spec
+from repro.experiments import run_scenario
 from repro.reporting.tables import format_series
 
 MESH = 400
@@ -38,4 +40,4 @@ def test_fig09_strong_scaling_shared(benchmark):
         assert all(b >= a - 1e-9 for a, b in zip(series[c], series[c][1:]))
     assert not any(math.isnan(s) for c in CPUS for s in series[c])
 
-    benchmark(lambda: run_shared_memory(MESH, 4, 4, num_steps=2))
+    benchmark(lambda: run_scenario(shared_spec(MESH, 4, 4, num_steps=2)))

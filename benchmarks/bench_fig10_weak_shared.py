@@ -2,12 +2,14 @@
 
 Paper caption: SD size fixed at 50x50 DPs, the number of SDs grows along
 both axes (total mesh 50n x 50n, n = 1..8), eps = 8h, 20 timesteps;
-series for 1/2/4 workers.  Reproduced shape: speedup starts at 1 for a
-single SD and rises to the worker count as SDs multiply, independent of
-the absolute problem size.
+series for 1/2/4 workers.  Every point is a registry-built shared-memory
+scenario swept through the experiment engine.  Reproduced shape: speedup
+starts at 1 for a single SD and rises to the worker count as SDs
+multiply, independent of the absolute problem size.
 """
 
-from harness import run_shared_memory, weak_scaling_speedups
+from harness import shared_spec, weak_scaling_speedups
+from repro.experiments import run_scenario
 from repro.reporting.tables import format_series
 
 SD_SIZE = 50
@@ -30,4 +32,5 @@ def test_fig10_weak_scaling_shared(benchmark):
         assert series[c][-1] > 0.9 * c      # 64 SDs: near-linear
         assert all(s <= c + 1e-9 for s in series[c])
 
-    benchmark(lambda: run_shared_memory(SD_SIZE * 4, 4, 4, num_steps=2))
+    benchmark(lambda: run_scenario(shared_spec(SD_SIZE * 4, 4, 4,
+                                               num_steps=2)))

@@ -2,14 +2,17 @@
 
 Paper caption: mesh 400x400, eps = 8h, 20 timesteps, SDs 1x1/2x2/4x4/8x8;
 1, 2 and 4 nodes with the paper's manual layouts (halves for 2 nodes,
-quadrants for 4 — Sec. 8.3).  Reproduced shape: linear speedup in node
-count once #SDs >= #nodes, capped at 1 for a single SD, with a small
-penalty from the ghost exchange relative to the shared-memory Fig. 9.
+quadrants for 4 — Sec. 8.3).  Every point is the
+``fig11_strong_distributed`` registry scenario run through the
+experiment engine.  Reproduced shape: linear speedup in node count once
+#SDs >= #nodes, capped at 1 for a single SD, with a small penalty from
+the ghost exchange relative to the shared-memory Fig. 9.
 """
 
 import math
 
-from harness import run_distributed, distributed_speedups
+from harness import distributed_spec, distributed_speedups
+from repro.experiments import run_scenario
 from repro.reporting.tables import format_series
 
 MESH = 400
@@ -35,4 +38,5 @@ def test_fig11_strong_scaling_distributed(benchmark):
     # a single SD cannot be distributed
     assert series[2][0] != series[2][0] or series[2][0] == 1.0  # nan or 1
 
-    benchmark(lambda: run_distributed(MESH, 4, 4, "blocks", num_steps=2))
+    benchmark(lambda: run_scenario(distributed_spec(MESH, 4, 4, "blocks",
+                                                    num_steps=2)))

@@ -3,13 +3,15 @@
 Paper caption: SD size 50x50, n x n SDs (total mesh 50n x 50n), eps = 8h,
 20 timesteps, 1/2/4 nodes; "the distribution of SDs across the
 computational nodes is done using METIS" — here our multilevel
-partitioner.  Reproduced shape: speedup approaches the node count with
-growing SD counts, irrespective of problem size.
+partitioner.  Every point is a registry-built distributed scenario swept
+through the experiment engine.  Reproduced shape: speedup approaches the
+node count with growing SD counts, irrespective of problem size.
 """
 
 import math
 
-from harness import run_distributed, weak_scaling_speedups
+from harness import distributed_spec, weak_scaling_speedups
+from repro.experiments import run_scenario
 from repro.reporting.tables import format_series
 
 SD_SIZE = 50
@@ -33,5 +35,5 @@ def test_fig12_weak_scaling_distributed(benchmark):
         assert all(v <= n + 1e-9 for v in vals)
         assert series[n][-1] > 0.8 * n  # 64 SDs: near-linear
 
-    benchmark(lambda: run_distributed(SD_SIZE * 4, 4, 4, "metis",
-                                      num_steps=2))
+    benchmark(lambda: run_scenario(distributed_spec(SD_SIZE * 4, 4, 4,
+                                                    "metis", num_steps=2)))

@@ -2,14 +2,17 @@
 
 Paper caption: mesh 800x800, 16x16 SDs of 50x50 DPs, eps = 8h, 20
 timesteps, METIS distribution across a varying number of nodes, plotted
-against the optimal (linear) speedup.  Reproduced shape: near-linear
-speedup with a slight roll-off at higher node counts as the number of
-boundary SDs (and hence the data exchange) grows.
+against the optimal (linear) speedup.  The node sweep is a list of
+``fig13_metis_scaling`` registry scenarios fanned through the engine's
+``run_sweep``.  Reproduced shape: near-linear speedup with a slight
+roll-off at higher node counts as the number of boundary SDs (and hence
+the data exchange) grows.
 """
 
 from functools import lru_cache
 
-from harness import run_distributed
+from harness import sweep
+from repro.experiments import build, run_scenario
 from repro.reporting.tables import format_series
 
 MESH = 800
@@ -19,12 +22,10 @@ NODE_COUNTS = (1, 2, 4, 8, 12, 16)
 
 @lru_cache(maxsize=1)
 def fig13_series():
-    base = run_distributed(MESH, SD_AXIS, 1, "metis")
-    measured = []
-    for n in NODE_COUNTS:
-        t = base if n == 1 else run_distributed(MESH, SD_AXIS, n, "metis")
-        measured.append(base / t)
-    return measured
+    times = sweep([build("fig13_metis_scaling", mesh=MESH, sd_axis=SD_AXIS,
+                         nodes=n) for n in NODE_COUNTS])
+    base = times[0]
+    return [base / t for t in times]
 
 
 def test_fig13_distributed_scaling_metis(benchmark):
@@ -45,5 +46,6 @@ def test_fig13_distributed_scaling_metis(benchmark):
     # the roll-off: efficiency at 16 nodes below efficiency at 2 nodes
     assert measured[-1] / 16 <= measured[1] / 2 + 1e-9
 
-    benchmark(lambda: run_distributed(MESH, SD_AXIS, 16, "metis",
-                                      num_steps=1))
+    benchmark(lambda: run_scenario(
+        build("fig13_metis_scaling", mesh=MESH, sd_axis=SD_AXIS,
+              nodes=16, steps=1)))

@@ -1,0 +1,93 @@
+"""Micro-benchmark: the experiment runner's NonlocalOperator LRU cache.
+
+A figure sweep revisits the same ``(nx, eps_factor)`` discretization for
+every worker/node count (Fig. 9 alone runs 3 CPU counts x 4 SD layouts
+on one mesh), and the stencil/neighborhood assembly inside
+:class:`NonlocalOperator` is the dominant repeated construction cost.
+The runner memoizes it via :func:`repro.experiments.cached_operator`.
+
+This bench measures a repeated-``(nx, eps)`` sweep with cold
+constructions vs the cache, asserts the cache actually shares one
+assembly per discretization, and emits the measurements as JSON in the
+harness result schema (``repro.experiments``, see
+:mod:`repro.experiments.results`).
+"""
+
+import json
+import os
+import time
+from functools import lru_cache
+
+from repro.experiments import (SCHEMA, cached_operator, clear_operator_cache,
+                               operator_cache_info, write_json)
+from repro.mesh.grid import UniformGrid
+from repro.solver.kernel import NonlocalOperator
+from repro.solver.model import NonlocalHeatModel
+
+#: a strong-scaling-like sweep: every (nx, eps) pair revisited once per
+#: simulated worker count
+SWEEP_POINTS = [(nx, 8.0) for nx in (200, 400)] + [(320, 4.0)]
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def build_cold(nx: int, eps_factor: float) -> NonlocalOperator:
+    grid = UniformGrid(nx, nx)
+    model = NonlocalHeatModel(epsilon=eps_factor * grid.h)
+    return NonlocalOperator(model, grid)
+
+
+def timed_sweep(use_cache: bool) -> float:
+    """Wall seconds to build the operator at every sweep visit."""
+    clear_operator_cache()
+    t0 = time.perf_counter()
+    for nx, eps in SWEEP_POINTS:
+        for _workers in WORKER_COUNTS:
+            if use_cache:
+                cached_operator(nx, nx, eps)
+            else:
+                build_cold(nx, eps)
+    return time.perf_counter() - t0
+
+
+@lru_cache(maxsize=1)
+def cache_rows():
+    cold = timed_sweep(use_cache=False)
+    cached = timed_sweep(use_cache=True)
+    info = operator_cache_info()
+    return cold, cached, info
+
+
+def test_operator_cache_speedup(benchmark):
+    cold, cached, info = cache_rows()
+    visits = len(SWEEP_POINTS) * len(WORKER_COUNTS)
+    speedup = cold / cached
+    print(f"\nOperator cache — {visits} sweep visits over "
+          f"{len(SWEEP_POINTS)} distinct (nx, eps) points:")
+    print(f"  cold constructions: {cold * 1e3:8.2f} ms")
+    print(f"  LRU cache:          {cached * 1e3:8.2f} ms")
+    print(f"  speedup:            {speedup:8.2f}x")
+
+    # the cache must collapse the sweep to one assembly per distinct point
+    assert info.misses == len(SWEEP_POINTS)
+    assert info.hits == visits - len(SWEEP_POINTS)
+    # identity, not just equality: solvers share the assembled stencil
+    assert cached_operator(200, 200, 8.0) is cached_operator(200, 200, 8.0)
+    # and the repeated visits must get measurably cheaper
+    assert speedup > 2.0
+
+    out = os.environ.get("REPRO_BENCH_JSON")
+    payload = {
+        "benchmark": "operator_cache",
+        "sweep_points": [[nx, eps] for nx, eps in SWEEP_POINTS],
+        "visits": visits,
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "speedup": speedup,
+        "cache": {"hits": info.hits, "misses": info.misses},
+    }
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: cached_operator(400, 400, 8.0))

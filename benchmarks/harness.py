@@ -1,114 +1,95 @@
 """Shared drivers for the figure-reproduction benchmarks.
 
 Every ``bench_fig*.py`` file regenerates one figure of the paper's
-evaluation (Sec. 8).  The drivers here build the paper's exact
-configurations:
+evaluation (Sec. 8).  Since the experiment-engine refactor the drivers
+here no longer hand-assemble solvers: each configuration is a
+:class:`repro.experiments.ScenarioSpec` built from the registry
+(``fig09_strong_shared`` / ``fig11_strong_distributed`` point
+factories), executed by :func:`repro.experiments.run_scenario`, and the
+sweeps fan their points through :func:`repro.experiments.run_sweep`
+(process-parallel when ``REPRO_SWEEP_PROCS`` is set, serial and
+bit-identical otherwise).
 
-* shared-memory runs (Figs. 9-10): one simulated node with 1/2/4 cores,
-  one task per SD per timestep;
-* distributed runs (Figs. 11-13): 1..16 single-core nodes, ghost
-  messages, Case-1/Case-2 overlap, METIS-style or manual partitioning;
-* the common parameters: eps = 8h, 20 timesteps, SD layouts as captioned.
-
-All scaling runs use ``compute_numerics=False``: the numerics are
-validated bit-near against the serial solver in ``tests/``; the figures
-measure the *schedule* (virtual makespan), which is what the paper
-plots.  Speedups are therefore deterministic and machine-independent.
+The paper's common parameters live in the registry: eps = 8h, 20
+timesteps, SD layouts as captioned, 1 GF/s simulated cores, ~5 us task
+spawn overhead.  All scaling runs use ``compute_numerics=False``: the
+numerics are validated bit-near against the serial solver in
+``tests/``; the figures measure the *schedule* (virtual makespan),
+which is what the paper plots.  Speedups are therefore deterministic
+and machine-independent.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
-import numpy as np
+from repro.experiments import (EPS_FACTOR, NUM_STEPS, SPAWN_OVERHEAD, build,
+                               run_scenario, run_sweep)
+from repro.experiments.registry import CORE_SPEED
 
-from repro.amt.cluster import Network
-from repro.mesh.grid import UniformGrid
-from repro.mesh.subdomain import SubdomainGrid
-from repro.partition.geometric import block_partition
-from repro.partition.kway import partition_sd_grid
-from repro.solver.distributed import DistributedSolver
-from repro.solver.model import NonlocalHeatModel
-
-#: The paper's horizon ratio (all scaling figures): eps = 8 h.
-EPS_FACTOR = 8
-#: The paper's timestep count for scaling figures.
-NUM_STEPS = 20
-#: Simulated per-core speed (flops / virtual second).
-CORE_SPEED = 1e9
-#: Serial per-task scheduling cost (HPX task overheads are ~1 us; we
-#: include ghost-buffer packing in the same knob).
-SPAWN_OVERHEAD = 5e-6
+__all__ = ["EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",
+           "shared_spec", "distributed_spec", "run_shared_memory",
+           "run_distributed", "sweep", "shared_memory_speedups",
+           "distributed_speedups", "weak_scaling_speedups"]
 
 
-def _network() -> Network:
-    """Fresh default network (egress state must not leak across runs)."""
-    return Network()
+def shared_spec(mesh: int, sd_per_axis: int, cpus: int,
+                num_steps: int = NUM_STEPS):
+    """Spec for a shared-memory run (Figs. 9-10): one simulated node
+    with ``cpus`` cores, no ghost messages."""
+    return build("fig09_strong_shared", mesh=mesh, sd_axis=sd_per_axis,
+                 cpus=cpus, steps=num_steps)
 
 
-def make_problem(mesh: int, sd_per_axis: int) -> Tuple[NonlocalHeatModel,
-                                                       UniformGrid,
-                                                       SubdomainGrid]:
-    """The paper's configuration: ``mesh x mesh`` DPs, eps = 8h, square SDs."""
-    grid = UniformGrid(mesh, mesh)
-    model = NonlocalHeatModel(epsilon=EPS_FACTOR * grid.h)
-    sd_grid = SubdomainGrid(mesh, mesh, sd_per_axis, sd_per_axis)
-    return model, grid, sd_grid
+def distributed_spec(mesh: int, sd_per_axis: int, nodes: int,
+                     partitioner: str = "blocks",
+                     num_steps: int = NUM_STEPS):
+    """Spec for a distributed run (Figs. 11-13): single-core nodes,
+    ghost messages, manual block layout or METIS-style partitioning."""
+    return build("fig11_strong_distributed", mesh=mesh, sd_axis=sd_per_axis,
+                 nodes=nodes, partitioner=partitioner, steps=num_steps)
 
 
 def run_shared_memory(mesh: int, sd_per_axis: int, cpus: int,
                       num_steps: int = NUM_STEPS) -> float:
-    """Virtual makespan of the shared-memory async solver (Figs. 9-10).
-
-    Modelled as one simulated node with ``cpus`` cores — no ghost
-    messages, SD tasks drained by the cores exactly as the futurized
-    thread-pool drains them.
-    """
-    model, grid, sd_grid = make_problem(mesh, sd_per_axis)
-    parts = np.zeros(sd_grid.num_subdomains, dtype=np.int64)
-    solver = DistributedSolver(model, grid, sd_grid, parts, num_nodes=1,
-                               cores_per_node=cpus, network=_network(),
-                               compute_numerics=False,
-                               spawn_overhead=SPAWN_OVERHEAD)
-    return solver.run(None, num_steps).makespan
+    """Virtual makespan of the shared-memory async solver (Figs. 9-10)."""
+    return run_scenario(shared_spec(mesh, sd_per_axis, cpus,
+                                    num_steps)).makespan
 
 
 def run_distributed(mesh: int, sd_per_axis: int, nodes: int,
                     partitioner: str = "blocks",
                     num_steps: int = NUM_STEPS) -> float:
-    """Virtual makespan of the distributed solver (Figs. 11-13).
+    """Virtual makespan of the distributed solver (Figs. 11-13)."""
+    return run_scenario(distributed_spec(mesh, sd_per_axis, nodes,
+                                         partitioner, num_steps)).makespan
 
-    ``partitioner`` selects the paper's manual block layout (Sec. 8.3,
-    1/2/4 nodes) or the METIS-style multilevel partitioner (Figs. 12-13).
+
+def sweep(specs) -> List[float]:
+    """Makespans of a list of scenario specs, in input order.
+
+    Serial by default (the figure sweeps are seconds of work); set
+    ``REPRO_SWEEP_PROCS=N`` to fan out across N worker processes — the
+    results are bit-identical either way.
     """
-    model, grid, sd_grid = make_problem(mesh, sd_per_axis)
-    if nodes > sd_grid.num_subdomains:
-        raise ValueError(f"{nodes} nodes need >= {nodes} SDs")
-    if partitioner == "blocks":
-        parts = block_partition(sd_per_axis, sd_per_axis, nodes)
-    elif partitioner == "metis":
-        parts = partition_sd_grid(sd_per_axis, sd_per_axis, nodes, seed=0)
-    else:
-        raise ValueError(f"unknown partitioner {partitioner!r}")
-    solver = DistributedSolver(model, grid, sd_grid, parts, num_nodes=nodes,
-                               cores_per_node=1, network=_network(),
-                               compute_numerics=False,
-                               spawn_overhead=SPAWN_OVERHEAD)
-    return solver.run(None, num_steps).makespan
+    procs = int(os.environ.get("REPRO_SWEEP_PROCS", "0"))
+    records = run_sweep(specs, serial=procs <= 1,
+                        max_workers=procs if procs > 1 else None)
+    return [rec.makespan for rec in records]
 
 
 @lru_cache(maxsize=None)
 def shared_memory_speedups(mesh: int, sd_counts: Sequence[int],
                            cpu_counts: Sequence[int]) -> Dict[int, List[float]]:
     """Speedup series keyed by CPU count (baseline: 1 CPU, same config)."""
-    out: Dict[int, List[float]] = {c: [] for c in cpu_counts}
-    for sd in sd_counts:
-        base = run_shared_memory(mesh, sd, 1)
-        for c in cpu_counts:
-            t = base if c == 1 else run_shared_memory(mesh, sd, c)
-            out[c].append(base / t)
-    return out
+    cpus = sorted(set((1,) + tuple(cpu_counts)))
+    points = [(sd, c) for sd in sd_counts for c in cpus]
+    times = dict(zip(points, sweep(
+        [shared_spec(mesh, sd, c) for sd, c in points])))
+    return {c: [times[(sd, 1)] / times[(sd, c)] for sd in sd_counts]
+            for c in cpu_counts}
 
 
 @lru_cache(maxsize=None)
@@ -116,16 +97,13 @@ def distributed_speedups(mesh: int, sd_counts: Sequence[int],
                          node_counts: Sequence[int],
                          partitioner: str = "blocks") -> Dict[int, List[float]]:
     """Speedup series keyed by node count (baseline: 1 node, same config)."""
-    out: Dict[int, List[float]] = {n: [] for n in node_counts}
-    for sd in sd_counts:
-        base = run_distributed(mesh, sd, 1, partitioner)
-        for n in node_counts:
-            if n > sd * sd:
-                out[n].append(float("nan"))
-                continue
-            t = base if n == 1 else run_distributed(mesh, sd, n, partitioner)
-            out[n].append(base / t)
-    return out
+    nodes = sorted(set((1,) + tuple(node_counts)))
+    points = [(sd, n) for sd in sd_counts for n in nodes if n <= sd * sd]
+    times = dict(zip(points, sweep(
+        [distributed_spec(mesh, sd, n, partitioner) for sd, n in points])))
+    return {n: [times[(sd, 1)] / times[(sd, n)] if n <= sd * sd
+                else float("nan") for sd in sd_counts]
+            for n in node_counts}
 
 
 @lru_cache(maxsize=None)
@@ -137,23 +115,25 @@ def weak_scaling_speedups(sd_size: int, sd_axis_counts: Sequence[int],
 
     Speedup of ``w`` workers over 1 worker at the same problem size.
     """
+    workers = sorted(set((1,) + tuple(worker_counts)))
+
+    def spec_for(n: int, w: int):
+        if distributed:
+            return build("fig12_weak_distributed", sd_size=sd_size,
+                         sd_axis=n, nodes=w, partitioner=partitioner)
+        return build("fig10_weak_shared", sd_size=sd_size, sd_axis=n,
+                     cpus=w)
+
+    points = [(n, w) for n in sd_axis_counts for w in workers
+              if not (distributed and w > n * n)]
+    times = dict(zip(points, sweep([spec_for(n, w) for n, w in points])))
     out: Dict[int, List[float]] = {w: [] for w in worker_counts}
     for n in sd_axis_counts:
-        mesh = sd_size * n
-        if distributed:
-            base = run_distributed(mesh, n, 1, partitioner)
-        else:
-            base = run_shared_memory(mesh, n, 1)
         for w in worker_counts:
             if w == 1:
                 out[w].append(1.0)
-                continue
-            if distributed:
-                if w > n * n:
-                    out[w].append(float("nan"))
-                    continue
-                t = run_distributed(mesh, n, w, partitioner)
+            elif distributed and w > n * n:
+                out[w].append(float("nan"))
             else:
-                t = run_shared_memory(mesh, n, w)
-            out[w].append(base / t)
+                out[w].append(times[(n, 1)] / times[(n, w)])
     return out

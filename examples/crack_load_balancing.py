@@ -4,10 +4,11 @@
 The scenario that motivates the paper's Sec. 7: in fracture models, SDs
 containing the crack do less work per timestep (bonds across the crack
 are severed), so a geometrically balanced partition is *work*-imbalanced.
-We place a horizontal crack through the middle of the domain, assign the
-SD rows to 4 equal-speed nodes, and compare:
+The ``crack_hetero`` registry scenario places a crack network through
+the middle of the domain, assigns the SD rows to 4 equal-speed nodes,
+and we compare:
 
-* baseline: static METIS-style partition, no balancing;
+* baseline: the static row partition, no balancing;
 * balanced: Algorithm 1 running every step on busy-time counters.
 
 The balancer should hand extra SDs to the nodes owning the cheap
@@ -18,58 +19,41 @@ Run:  python examples/crack_load_balancing.py
 
 import numpy as np
 
-from repro import (Crack, DistributedSolver, IntervalPolicy, LoadBalancer,
-                   NonlocalHeatModel, SubdomainGrid, UniformGrid,
-                   crack_work_factors)
+from repro.experiments import build, build_problem, build_work_factors, \
+    run_scenario
 from repro.reporting import ownership_counts, render_ownership_sequence
 
-
-def run(balanced: bool, sd_grid, parts, model, grid, work_factors):
-    solver = DistributedSolver(
-        model, grid, sd_grid, parts, num_nodes=4,
-        work_factors=work_factors, compute_numerics=False,
-        balancer=LoadBalancer(sd_grid) if balanced else None,
-        policy=IntervalPolicy(1) if balanced else None)
-    result = solver.run(None, num_steps=20)
-    return result, solver.parts
+NODES = 4
+STEPS = 20
 
 
 def main() -> None:
-    grid = UniformGrid(128, 128)
-    model = NonlocalHeatModel(epsilon=8 * grid.h)
-    sd_grid = SubdomainGrid(128, 128, 8, 8)
-
-    # a crack network through the lower-middle of the domain: SDs it
-    # crosses lose most of their bond work (floor 0.25)
-    cracks = [Crack.horizontal(0.4375, x0=0.05, x1=0.95),
-              Crack.horizontal(0.5625, x0=0.05, x1=0.95),
-              Crack([(0.3, 0.35), (0.7, 0.65)])]
-    wf = crack_work_factors(sd_grid, cracks, horizon=2 * model.epsilon,
-                            floor=0.25)
+    spec = build("crack_hetero", nodes=NODES, steps=STEPS, balanced=True)
+    wf = build_work_factors(spec)
     print(f"crack network lightens {(wf < 1.0).sum()} of {len(wf)} SDs "
           f"(min factor {wf.min():.2f})")
 
-    # 4 nodes, 2 SD rows each: rows 3-4 contain the crack
-    parts = np.repeat([0, 0, 1, 1, 2, 2, 3, 3], 8)
-
-    base, base_parts = run(False, sd_grid, parts, model, grid, wf)
-    bal, bal_parts = run(True, sd_grid, parts, model, grid, wf)
+    base = run_scenario(build("crack_hetero", nodes=NODES, steps=STEPS,
+                              balanced=False))
+    bal = run_scenario(spec)
 
     print(f"\nmakespan without balancing: {base.makespan * 1e3:.3f} ms")
     print(f"makespan with balancing:    {bal.makespan * 1e3:.3f} ms")
     print(f"improvement: {base.makespan / bal.makespan:.2f}x")
-    print(f"balancing moved {sum(b.sds_moved for b in bal.balance_results)} "
-          f"SDs over {sum(1 for b in bal.balance_results if b.triggered)} "
-          f"triggered steps")
+    print(f"balancing moved {bal.sds_moved} SDs over "
+          f"{len(bal.parts_events)} redistribution events")
 
+    _, _, _, sd_grid = build_problem(spec)
+    base_parts = np.asarray(base.final_parts, dtype=np.int64)
+    bal_parts = np.asarray(bal.final_parts, dtype=np.int64)
     print("\nSD ownership (one symbol per node, crack along the middle):")
     print(render_ownership_sequence(
         sd_grid, [base_parts, bal_parts],
         labels=["static", "balanced"]))
 
     print("\nSDs per node:")
-    print("  static:  ", ownership_counts(base_parts, 4))
-    print("  balanced:", ownership_counts(bal_parts, 4))
+    print("  static:  ", ownership_counts(base_parts, NODES))
+    print("  balanced:", ownership_counts(bal_parts, NODES))
 
 
 if __name__ == "__main__":

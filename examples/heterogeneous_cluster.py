@@ -8,50 +8,33 @@ run that halves its speed.  The threshold policy notices the busy-time
 spread and Algorithm 1 re-distributes SDs mid-run — both when the
 interference starts and again when it stops.
 
+The whole configuration is the ``hetero_interference`` scenario from the
+experiment registry: the interference window, the threshold policy, and
+the METIS-style initial partition are all data in the spec, and the run
+itself goes through :func:`repro.experiments.run_scenario`.
+
 Run:  python examples/heterogeneous_cluster.py
 """
 
-import numpy as np
-
-from repro import (ConstantSpeed, DistributedSolver, LoadBalancer,
-                   NonlocalHeatModel, SubdomainGrid, ThresholdPolicy,
-                   UniformGrid, partition_sd_grid)
-from repro.models import step_interference
+from repro.experiments import build, run_scenario
 from repro.reporting import ownership_counts, print_table
 
-
-def make_solver(balanced: bool):
-    grid = UniformGrid(128, 128)
-    model = NonlocalHeatModel(epsilon=8 * grid.h)
-    sd_grid = SubdomainGrid(128, 128, 8, 8)
-    parts = partition_sd_grid(8, 8, 4, seed=0)
-
-    # estimate one step's duration to place the interference window:
-    # 64 SDs x 16x16 DPs x ~2*197 flops at 1e9 flop/s over 4 nodes
-    step_time_guess = 64 * 256 * 400 / 1e9 / 4
-    window = (5 * step_time_guess, 12 * step_time_guess)
-    speeds = [step_interference(1e9, *window, slowdown=0.4),
-              ConstantSpeed(1e9), ConstantSpeed(1e9), ConstantSpeed(1e9)]
-    solver = DistributedSolver(
-        model, grid, sd_grid, parts, num_nodes=4, speeds=speeds,
-        compute_numerics=False,
-        balancer=LoadBalancer(sd_grid) if balanced else None,
-        policy=ThresholdPolicy(ratio=1.15) if balanced else None)
-    return solver
+NODES = 4
+STEPS = 20
 
 
 def main() -> None:
-    base = make_solver(balanced=False)
-    rb = base.run(None, num_steps=20)
-    bal = make_solver(balanced=True)
-    rs = bal.run(None, num_steps=20)
+    base = run_scenario(build("hetero_interference", nodes=NODES,
+                              steps=STEPS, balanced=False))
+    bal = run_scenario(build("hetero_interference", nodes=NODES,
+                             steps=STEPS, balanced=True))
 
-    print(f"makespan, static partition:   {rb.makespan * 1e3:.3f} ms")
-    print(f"makespan, threshold balancer: {rs.makespan * 1e3:.3f} ms")
-    print(f"improvement: {rb.makespan / rs.makespan:.2f}x\n")
+    print(f"makespan, static partition:   {base.makespan * 1e3:.3f} ms")
+    print(f"makespan, threshold balancer: {bal.makespan * 1e3:.3f} ms")
+    print(f"improvement: {base.makespan / bal.makespan:.2f}x\n")
 
-    events = [(step, ownership_counts(parts, 4))
-              for step, parts in rs.parts_history]
+    events = [(step, ownership_counts(parts, NODES))
+              for step, parts in bal.parts_events]
     if events:
         print_table(["after step", "n0 SDs", "n1 SDs", "n2 SDs", "n3 SDs"],
                     [[s] + c for s, c in events],
@@ -60,7 +43,7 @@ def main() -> None:
     else:
         print("no redistribution events (unexpected)")
 
-    rows = [[i, f"{d * 1e3:.3f}"] for i, d in enumerate(rs.step_durations)]
+    rows = [[i, f"{d * 1e3:.3f}"] for i, d in enumerate(bal.step_durations)]
     print_table(["step", "duration (ms)"], rows,
                 title="\nper-step virtual durations (balanced run)")
 

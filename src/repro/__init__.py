@@ -26,11 +26,16 @@ Sub-packages:
   solvers for the nonlocal heat equation;
 * :mod:`repro.core` — the paper's load-balancing algorithm;
 * :mod:`repro.models` — crack and node-interference workload models;
-* :mod:`repro.reporting` — text rendering for the benchmark harness.
+* :mod:`repro.reporting` — text rendering for the benchmark harness;
+* :mod:`repro.experiments` — the declarative scenario/experiment engine
+  (specs, registry, parallel sweep runner, structured results).
 """
 
 from .amt import (ConstantSpeed, Network, PiecewiseSpeed, SimCluster,
                   TaskExecutor)
+from .experiments import (ClusterSpec, MeshSpec, PartitionSpec, PolicySpec,
+                          RunRecord, ScenarioSpec, build_scenario,
+                          run_scenario, run_sweep, scenario_names)
 from .core import (IntervalPolicy, LoadBalancer, NeverBalance,
                    ThresholdPolicy)
 from .mesh import Decomposition, SubdomainGrid, UniformGrid, build_stencil
@@ -51,5 +56,8 @@ __all__ = [
     "strip_partition",
     "AsyncSolver", "DistributedSolver", "ManufacturedProblem",
     "NonlocalHeatModel", "SerialSolver", "solve_manufactured",
+    "MeshSpec", "ClusterSpec", "PartitionSpec", "PolicySpec",
+    "ScenarioSpec", "RunRecord", "build_scenario", "run_scenario",
+    "run_sweep", "scenario_names",
     "__version__",
 ]

@@ -7,14 +7,21 @@ experiments can be rerun without writing a script:
 * ``solve``     — one manufactured-problem solve with error report;
 * ``scale``     — a strong-scaling sweep on the simulated cluster;
 * ``balance``   — the Fig. 14 iterated balancing demo;
-* ``partition`` — partition an SD grid and print quality metrics.
+* ``partition`` — partition an SD grid and print quality metrics;
+* ``run``       — any registered scenario by name (``run --list``).
 
-All output is plain text via :mod:`repro.reporting`.
+Every command constructs its runs through the declarative experiment
+engine (:mod:`repro.experiments`): a named registry scenario is built,
+optionally overridden from the flags, executed by the runner (sweeps go
+through the process-parallel ``run_sweep``), and the structured
+:class:`RunRecord` results can be written with ``--json <path>``.
+Text output is plain tables via :mod:`repro.reporting`.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -30,10 +37,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Nonlocal-model load balancing reproduction (IPPS 2021)")
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_json(sp):
+        sp.add_argument("--json", metavar="PATH", default=None,
+                        help="write structured RunRecord results to PATH")
+
     v = sub.add_parser("validate", help="Fig. 8 convergence sweep")
     v.add_argument("--max-exponent", type=int, default=6,
                    help="finest mesh is 2^N (default 6)")
     v.add_argument("--steps", type=int, default=10)
+    v.add_argument("--jobs", type=int, default=1,
+                   help="process-parallel sweep workers (default serial)")
+    add_json(v)
 
     s = sub.add_parser("solve", help="one manufactured solve")
     s.add_argument("--nx", type=int, default=64)
@@ -41,17 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--steps", type=int, default=20)
     s.add_argument("--source", choices=("continuum", "discrete"),
                    default="continuum")
+    add_json(s)
 
     c = sub.add_parser("scale", help="strong scaling on the simulated cluster")
     c.add_argument("--mesh", type=int, default=400)
     c.add_argument("--sds", type=int, default=8, help="SDs per axis")
     c.add_argument("--max-nodes", type=int, default=8)
     c.add_argument("--steps", type=int, default=20)
+    c.add_argument("--seed", type=int, default=0,
+                   help="partitioner seed")
+    c.add_argument("--jobs", type=int, default=1,
+                   help="process-parallel sweep workers (default serial)")
+    add_json(c)
 
     b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
     b.add_argument("--sds", type=int, default=5, help="SDs per axis")
     b.add_argument("--nodes", type=int, default=4)
     b.add_argument("--iterations", type=int, default=3)
+    add_json(b)
 
     g = sub.add_parser("partition", help="partition an SD grid")
     g.add_argument("--sds", type=int, default=16, help="SDs per axis")
@@ -59,125 +80,172 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--method", choices=("multilevel", "blocks", "strips",
                                         "rcb", "spectral"),
                    default="multilevel")
+    g.add_argument("--seed", type=int, default=0,
+                   help="multilevel partitioner seed")
+    add_json(g)
+
+    r = sub.add_parser("run", help="run a registered scenario by name")
+    r.add_argument("--scenario", metavar="NAME", default=None,
+                   help="registry name (see --list)")
+    r.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list registered scenario names and exit")
+    r.add_argument("--steps", type=int, default=None,
+                   help="override the scenario's timestep count")
+    r.add_argument("--seed", type=int, default=None,
+                   help="override the scenario's seed (where supported)")
+    add_json(r)
     return p
 
 
+def _write_records(path: Optional[str], records) -> None:
+    if path:
+        from .experiments import write_records
+        try:
+            write_records(path, list(records))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {path}: {exc}") from exc
+        print(f"\nwrote {len(records)} record(s) to {path}")
+
+
 def _cmd_validate(args) -> int:
+    from .experiments import build, run_sweep
     from .reporting.tables import print_series
-    from .solver.serial import solve_manufactured
-    hs, errors = [], []
-    for n in range(2, args.max_exponent + 1):
-        nx = 2 ** n
-        res = solve_manufactured(nx, eps_factor=2, num_steps=args.steps,
-                                 dt=0.05 / (nx * nx), source_mode="continuum")
-        hs.append(1.0 / nx)
-        errors.append(res.total_error)
+    exponents = list(range(2, args.max_exponent + 1))
+    specs = [build("fig08_convergence", exponent=n, steps=args.steps)
+             for n in exponents]
+    records = run_sweep(specs, serial=args.jobs <= 1, max_workers=args.jobs)
+    hs = [1.0 / (2 ** n) for n in exponents]
+    errors = [rec.total_error for rec in records]
     print_series("h", hs, {"total error e": errors},
                  title="Convergence validation (paper Fig. 8)")
     ok = all(b < a for a, b in zip(errors, errors[1:]))
     print(f"\nmonotone decrease: {'yes' if ok else 'NO'}")
+    _write_records(args.json, records)
     return 0 if ok else 1
 
 
 def _cmd_solve(args) -> int:
-    from .mesh.grid import UniformGrid
-    from .solver.exact import ManufacturedProblem
-    from .solver.model import NonlocalHeatModel
-    from .solver.serial import SerialSolver
-    grid = UniformGrid(args.nx, args.nx)
-    model = NonlocalHeatModel(epsilon=args.eps_factor * grid.h)
-    prob = ManufacturedProblem(model, grid, source_mode=args.source)
-    solver = SerialSolver(model, grid, source=prob.source)
-    res = solver.run(prob.initial_condition(), args.steps, exact=prob.exact)
-    print(f"mesh {args.nx}x{args.nx}, eps = {model.epsilon:.4g}, "
-          f"dt = {solver.dt:.3e}, steps = {args.steps}")
-    print(f"total error e = {res.total_error:.4e}")
-    print(f"final-step error e_N = {res.errors[-1]:.4e}")
+    from .experiments import build, run_scenario
+    spec = build("solve_serial", nx=args.nx, eps_factor=args.eps_factor,
+                 steps=args.steps, source_mode=args.source)
+    rec = run_scenario(spec)
+    eps = args.eps_factor / args.nx
+    print(f"mesh {args.nx}x{args.nx}, eps = {eps:.4g}, "
+          f"dt = {rec.dt:.3e}, steps = {args.steps}")
+    print(f"total error e = {rec.total_error:.4e}")
+    print(f"final-step error e_N = {rec.errors[-1]:.4e}")
+    _write_records(args.json, [rec])
     return 0
 
 
 def _cmd_scale(args) -> int:
+    from .experiments import build, run_sweep
     from .reporting.tables import print_series
-    from .mesh.grid import UniformGrid
-    from .mesh.subdomain import SubdomainGrid
-    from .partition.kway import partition_sd_grid
-    from .solver.distributed import DistributedSolver
-    from .solver.model import NonlocalHeatModel
-    grid = UniformGrid(args.mesh, args.mesh)
-    model = NonlocalHeatModel(epsilon=8 * grid.h)
-    sd_grid = SubdomainGrid(args.mesh, args.mesh, args.sds, args.sds)
     node_counts = [n for n in (1, 2, 4, 8, 12, 16, 24, 32)
                    if n <= min(args.max_nodes, args.sds * args.sds)]
-    times = []
-    for n in node_counts:
-        parts = partition_sd_grid(args.sds, args.sds, n, seed=0)
-        solver = DistributedSolver(model, grid, sd_grid, parts, num_nodes=n,
-                                   compute_numerics=False)
-        times.append(solver.run(None, args.steps).makespan)
+    specs = [build("scale_strong", mesh=args.mesh, sd_axis=args.sds,
+                   nodes=n, steps=args.steps, seed=args.seed)
+             for n in node_counts]
+    records = run_sweep(specs, serial=args.jobs <= 1, max_workers=args.jobs)
+    times = [rec.makespan for rec in records]
     speedups = [times[0] / t for t in times]
     print_series("#nodes", node_counts,
                  {"speedup": speedups,
                   "optimal": [float(n) for n in node_counts]},
                  title=f"Strong scaling (mesh {args.mesh}^2, "
                        f"{args.sds}x{args.sds} SDs, eps=8h)")
+    _write_records(args.json, records)
     return 0
 
 
 def _cmd_balance(args) -> int:
-    from .core.balancer import LoadBalancer
-    from .mesh.subdomain import SubdomainGrid
+    from .experiments import build, ownership_timeline, run_scenario
     from .reporting.ownership import render_ownership_sequence
     k = args.nodes
-    sds = args.sds
-    sd_grid = SubdomainGrid(4 * sds, 4 * sds, sds, sds)
-    lb = LoadBalancer(sd_grid)
-    parts = np.zeros(sds * sds, dtype=np.int64)
-    for i in range(1, k):  # one corner-ish SD per other node
-        parts[sds * sds - i] = i
-    snapshots = [parts.copy()]
-    for _ in range(args.iterations):
-        busy = np.maximum(
-            np.bincount(parts, minlength=k).astype(float), 1e-9)
-        parts = lb.balance_step(parts, k, busy).parts_after
-        snapshots.append(parts.copy())
+    spec = build("fig14_load_balance", sd_axis=args.sds, nodes=k,
+                 steps=args.iterations)
+    rec = run_scenario(spec)
+    sd_grid = spec.mesh.build_sd_grid()
+    snapshots = ownership_timeline(spec, rec)
     print(render_ownership_sequence(
         sd_grid, snapshots,
         labels=[f"iter {i}" for i in range(len(snapshots))]))
-    counts = np.bincount(parts, minlength=k)
-    print(f"\nfinal SDs per node: {list(counts)}")
+    counts = np.bincount(rec.final_parts, minlength=k)
+    print(f"\nfinal SDs per node: {[int(c) for c in counts]}")
     spread = int(counts.max() - counts.min())
     print(f"max-min spread: {spread}")
+    _write_records(args.json, [rec])
     return 0 if spread <= 2 else 1
 
 
 def _cmd_partition(args) -> int:
-    from .partition.geometric import (block_partition,
-                                      recursive_coordinate_bisection,
-                                      strip_partition)
+    from .experiments import PartitionSpec, write_json
     from .partition.graph import grid_dual_graph
-    from .partition.kway import partition_graph
     from .partition.metrics import evaluate_partition
-    from .partition.spectral import spectral_partition
     from .reporting.ownership import render_ownership
     from .mesh.subdomain import SubdomainGrid
     sds, k = args.sds, args.nodes
+    method = "metis" if args.method == "multilevel" else args.method
+    pspec = PartitionSpec(method=method, seed=args.seed)
+    parts = pspec.build(sds, sds, k)
     graph = grid_dual_graph(sds, sds)
-    if args.method == "multilevel":
-        parts = partition_graph(graph, k, seed=0)
-    elif args.method == "blocks":
-        parts = block_partition(sds, sds, k)
-    elif args.method == "strips":
-        parts = strip_partition(sds, sds, k)
-    elif args.method == "rcb":
-        parts = recursive_coordinate_bisection(graph, k)
-    else:
-        parts = spectral_partition(graph, k)
     rep = evaluate_partition(graph, parts, k)
     sd_grid = SubdomainGrid(4 * sds, 4 * sds, sds, sds)
     print(render_ownership(sd_grid, parts,
                            title=f"{args.method} partition, k={k}:"))
     print(f"\nedge cut: {rep.cut:g}   imbalance: {rep.imbalance:.3f}   "
           f"contiguous: {rep.contiguous}")
+    if args.json:
+        try:
+            write_json(args.json, {
+                "partition": pspec.to_dict(),
+                "sds_per_axis": sds, "num_nodes": k,
+                "parts": [int(p) for p in parts],
+                "edge_cut": float(rep.cut),
+                "imbalance": float(rep.imbalance),
+                "contiguous": bool(rep.contiguous),
+            })
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write {args.json}: {exc}") from exc
+        print(f"\nwrote partition report to {args.json}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import build, get_factory, run_scenario, scenario_names
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(name)
+        return 0
+    if not args.scenario:
+        print("run: provide --scenario NAME (or --list)", file=sys.stderr)
+        return 2
+    try:
+        factory = get_factory(args.scenario)
+    except KeyError as exc:
+        print(f"run: {exc.args[0]}", file=sys.stderr)
+        return 2
+    accepted = inspect.signature(factory).parameters
+    overrides = {}
+    if args.steps is not None and "steps" in accepted:
+        overrides["steps"] = args.steps
+    if args.seed is not None and "seed" in accepted:
+        overrides["seed"] = args.seed
+    spec = build(args.scenario, **overrides)
+    rec = run_scenario(spec)
+    print(f"scenario: {spec.name} ({rec.solver}, {rec.num_steps} steps)")
+    if rec.solver == "distributed":
+        print(f"virtual makespan: {rec.makespan * 1e3:.3f} ms")
+        print(f"ghost bytes: {rec.ghost_bytes:,}   "
+              f"migration bytes: {rec.migration_bytes:,}   "
+              f"SDs moved: {rec.sds_moved}")
+        if rec.imbalance_history:
+            print(f"imbalance max/mean: first {rec.imbalance_history[0]:.3f}"
+                  f" -> last {rec.imbalance_history[-1]:.3f}")
+    if rec.total_error is not None:
+        print(f"total error e = {rec.total_error:.4e}")
+    _write_records(args.json, [rec])
     return 0
 
 
@@ -190,6 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scale": _cmd_scale,
         "balance": _cmd_balance,
         "partition": _cmd_partition,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

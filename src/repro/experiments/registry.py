@@ -1,0 +1,320 @@
+"""Named scenario factories: every workload is reachable by name.
+
+The registry maps a scenario name (``fig09_strong_shared``,
+``crack_hetero``, …) to a factory that builds the matching
+:class:`ScenarioSpec`.  Factories take keyword overrides so the same
+name serves as a sweep axis (``build("fig11_strong_distributed",
+nodes=2)``), a CLI target (``python -m repro run --scenario NAME``), and
+a tiny smoke configuration (``build(NAME, steps=1)``) — every factory
+accepts ``steps``.
+
+The defaults reproduce the paper's captions (Sec. 8): eps = 8h, 20
+timesteps, square SD layouts, 1 GF/s cores, HPX-like task spawn
+overheads on the shared-memory runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .spec import (ClusterSpec, InterferenceSpec, MeshSpec, PartitionSpec,
+                   PolicySpec, ScenarioSpec)
+
+__all__ = ["register", "build", "scenario_names", "get_factory",
+           "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD"]
+
+#: The paper's horizon ratio (all scaling figures): eps = 8 h.
+EPS_FACTOR = 8.0
+#: The paper's timestep count for scaling figures.
+NUM_STEPS = 20
+#: Simulated per-core speed (flops / virtual second).
+CORE_SPEED = 1e9
+#: Serial per-task scheduling cost (HPX task overheads are ~1 us; we
+#: include ghost-buffer packing in the same knob).
+SPAWN_OVERHEAD = 5e-6
+
+_REGISTRY: Dict[str, Callable[..., ScenarioSpec]] = {}
+
+
+def register(name: str):
+    """Decorator: add a spec factory to the registry under ``name``."""
+    def deco(fn: Callable[..., ScenarioSpec]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+    return deco
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_factory(name: str) -> Callable[..., ScenarioSpec]:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}")
+    return _REGISTRY[name]
+
+
+def build(name: str, **overrides) -> ScenarioSpec:
+    """Build the named scenario, passing ``overrides`` to its factory."""
+    return get_factory(name)(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# figure scenarios (paper Sec. 8)
+# ---------------------------------------------------------------------------
+
+@register("fig08_convergence")
+def fig08_convergence(exponent: int = 4, steps: int = 10,
+                      eps_factor: float = 2.0) -> ScenarioSpec:
+    """One point of the Fig. 8 convergence study: serial manufactured
+    solve on a ``2^exponent`` mesh with dt ~ h^2."""
+    nx = 2 ** exponent
+    return ScenarioSpec(
+        name="fig08_convergence",
+        mesh=MeshSpec(nx=nx, eps_factor=eps_factor),
+        partition=PartitionSpec(method="single"),
+        solver="serial", num_steps=steps, dt=0.05 / (nx * nx),
+        track_error=True, compute_numerics=True,
+        source_mode="continuum")
+
+
+@register("fig09_strong_shared")
+def fig09_strong_shared(mesh: int = 400, sd_axis: int = 8, cpus: int = 4,
+                        steps: int = NUM_STEPS) -> ScenarioSpec:
+    """Shared-memory strong scaling (Fig. 9): one simulated node with
+    ``cpus`` cores, one task per SD per timestep, no ghost messages."""
+    return ScenarioSpec(
+        name="fig09_strong_shared",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=1, cores_per_node=cpus,
+                            spawn_overhead=SPAWN_OVERHEAD),
+        partition=PartitionSpec(method="single"),
+        num_steps=steps)
+
+
+@register("fig10_weak_shared")
+def fig10_weak_shared(sd_size: int = 50, sd_axis: int = 4, cpus: int = 4,
+                      steps: int = NUM_STEPS) -> ScenarioSpec:
+    """Shared-memory weak scaling (Fig. 10): SD size fixed, mesh grows."""
+    return ScenarioSpec(
+        name="fig10_weak_shared",
+        mesh=MeshSpec(nx=sd_size * sd_axis, sd_nx=sd_axis,
+                      eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=1, cores_per_node=cpus,
+                            spawn_overhead=SPAWN_OVERHEAD),
+        partition=PartitionSpec(method="single"),
+        num_steps=steps)
+
+
+def _distributed_partition(partitioner: str, seed: int) -> PartitionSpec:
+    if partitioner == "blocks":
+        return PartitionSpec(method="blocks")
+    if partitioner == "metis":
+        return PartitionSpec(method="metis", seed=seed)
+    raise ValueError(f"unknown partitioner {partitioner!r}")
+
+
+@register("fig11_strong_distributed")
+def fig11_strong_distributed(mesh: int = 400, sd_axis: int = 8,
+                             nodes: int = 4, partitioner: str = "blocks",
+                             steps: int = NUM_STEPS,
+                             seed: int = 0) -> ScenarioSpec:
+    """Distributed strong scaling (Fig. 11): single-core nodes, ghost
+    messages, the paper's manual block layouts by default."""
+    return ScenarioSpec(
+        name="fig11_strong_distributed",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, cores_per_node=1,
+                            spawn_overhead=SPAWN_OVERHEAD),
+        partition=_distributed_partition(partitioner, seed),
+        num_steps=steps)
+
+
+@register("fig12_weak_distributed")
+def fig12_weak_distributed(sd_size: int = 50, sd_axis: int = 4,
+                           nodes: int = 4, partitioner: str = "metis",
+                           steps: int = NUM_STEPS,
+                           seed: int = 0) -> ScenarioSpec:
+    """Distributed weak scaling with METIS-style layouts (Fig. 12)."""
+    return ScenarioSpec(
+        name="fig12_weak_distributed",
+        mesh=MeshSpec(nx=sd_size * sd_axis, sd_nx=sd_axis,
+                      eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, cores_per_node=1,
+                            spawn_overhead=SPAWN_OVERHEAD),
+        partition=_distributed_partition(partitioner, seed),
+        num_steps=steps)
+
+
+@register("fig13_metis_scaling")
+def fig13_metis_scaling(mesh: int = 800, sd_axis: int = 16, nodes: int = 16,
+                        steps: int = NUM_STEPS, seed: int = 0) -> ScenarioSpec:
+    """Distributed scaling 1..16 nodes, METIS distribution (Fig. 13)."""
+    return ScenarioSpec(
+        name="fig13_metis_scaling",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, cores_per_node=1,
+                            spawn_overhead=SPAWN_OVERHEAD),
+        partition=PartitionSpec(method="metis", seed=seed),
+        num_steps=steps)
+
+
+@register("fig14_load_balance")
+def fig14_load_balance(sd_axis: int = 5, nodes: int = 4,
+                       steps: int = 3) -> ScenarioSpec:
+    """The Fig. 14 balancing validation: 5x5 SDs on 4 symmetric nodes
+    from the paper's highly imbalanced corner distribution, Algorithm 1
+    running after every simulated sweep."""
+    return ScenarioSpec(
+        name="fig14_load_balance",
+        mesh=MeshSpec(nx=4 * sd_axis, sd_nx=sd_axis, eps_factor=2.0),
+        cluster=ClusterSpec(num_nodes=nodes),
+        partition=PartitionSpec(method="corner_imbalanced"),
+        policy=PolicySpec(kind="interval", interval=1),
+        num_steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# ablation scenarios
+# ---------------------------------------------------------------------------
+
+@register("abl_overlap")
+def abl_overlap(latency: float = 1e-3, bandwidth: float = 1e6,
+                overlap: bool = True, steps: int = 5) -> ScenarioSpec:
+    """Ablation B: Case-1/Case-2 communication hiding on/off across
+    network tiers (defaults to the slow tier)."""
+    return ScenarioSpec(
+        name="abl_overlap",
+        mesh=MeshSpec(nx=400, sd_nx=2, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=4, latency=latency,
+                            bandwidth=bandwidth),
+        partition=PartitionSpec(method="blocks"),
+        num_steps=steps, overlap=overlap)
+
+
+@register("abl_partitioners")
+def abl_partitioners(method: str = "metis", steps: int = 5,
+                     seed: int = 0) -> ScenarioSpec:
+    """Ablation A: partitioner choice under a communication-dominated
+    network, where the edge cut drives the makespan."""
+    return ScenarioSpec(
+        name="abl_partitioners",
+        mesh=MeshSpec(nx=800, sd_nx=16, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=8, latency=2e-5, bandwidth=1e6),
+        partition=PartitionSpec(method=method, seed=seed),
+        num_steps=steps)
+
+
+@register("abl_balancing_gain")
+def abl_balancing_gain(source: str = "hetero", balanced: bool = True,
+                       steps: int = 15, seed: int = 0) -> ScenarioSpec:
+    """Ablation D: balancing gain under static heterogeneity and/or a
+    crack lightening part of the domain."""
+    if source not in ("hetero", "crack", "both"):
+        raise ValueError(f"unknown imbalance source {source!r}")
+    speeds = None
+    if source in ("hetero", "both"):
+        speeds = (0.5e9, 1e9, 1.5e9, 2e9)
+    cracks = ()
+    if source in ("crack", "both"):
+        cracks = (((0.05, 0.3), (0.95, 0.3)),
+                  ((0.05, 0.42), (0.95, 0.42)))
+    return ScenarioSpec(
+        name="abl_balancing_gain",
+        mesh=MeshSpec(nx=256, sd_nx=8, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=4, speed_rates=speeds),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="interval", interval=1) if balanced
+                else PolicySpec()),
+        num_steps=steps, cracks=cracks)
+
+
+# ---------------------------------------------------------------------------
+# application scenarios (examples / CLI workloads)
+# ---------------------------------------------------------------------------
+
+@register("crack_hetero")
+def crack_hetero(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+                 steps: int = NUM_STEPS, balanced: bool = True) -> ScenarioSpec:
+    """Crack-induced work heterogeneity (Sec. 7 motivation): a crack
+    network through the lower-middle of the domain, SD rows assigned to
+    equal-speed nodes, Algorithm 1 on busy-time counters."""
+    cracks = (((0.05, 0.4375), (0.95, 0.4375)),
+              ((0.05, 0.5625), (0.95, 0.5625)),
+              ((0.3, 0.35), (0.7, 0.65)))
+    return ScenarioSpec(
+        name="crack_hetero",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes),
+        partition=PartitionSpec(method="strips", axis=1),
+        policy=(PolicySpec(kind="interval", interval=1) if balanced
+                else PolicySpec()),
+        num_steps=steps, cracks=cracks)
+
+
+@register("hetero_interference")
+def hetero_interference(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+                        steps: int = NUM_STEPS, seed: int = 0,
+                        balanced: bool = True) -> ScenarioSpec:
+    """Time-varying capacity (Sec. 4 challenge 4): node 0 suffers a
+    competing job for a mid-run window; the threshold policy notices the
+    busy-time spread and redistributes."""
+    # place the interference window in steps 5..12 of the run: one step
+    # is roughly (#SDs x DPs/SD x flops/DP) / (rate x nodes) virtual s
+    dps_per_sd = (mesh // sd_axis) ** 2
+    step_time_guess = (sd_axis * sd_axis) * dps_per_sd * 400 / CORE_SPEED / nodes
+    window = (5 * step_time_guess, 12 * step_time_guess)
+    return ScenarioSpec(
+        name="hetero_interference",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(
+            num_nodes=nodes,
+            interference=(InterferenceSpec(node=0, start=window[0],
+                                           stop=window[1], slowdown=0.4),)),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="threshold", ratio=1.15) if balanced
+                else PolicySpec()),
+        num_steps=steps)
+
+
+@register("quickstart")
+def quickstart(nx: int = 64, sd_axis: int = 4, nodes: int = 4,
+               steps: int = NUM_STEPS, seed: int = 0) -> ScenarioSpec:
+    """The numerics-on quickstart: real temperatures on the simulated
+    cluster, validated per-step against the manufactured solution."""
+    return ScenarioSpec(
+        name="quickstart",
+        mesh=MeshSpec(nx=nx, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes),
+        partition=PartitionSpec(method="metis", seed=seed),
+        num_steps=steps, compute_numerics=True, track_error=True)
+
+
+@register("solve_serial")
+def solve_serial(nx: int = 64, eps_factor: float = EPS_FACTOR,
+                 steps: int = NUM_STEPS,
+                 source_mode: str = "continuum") -> ScenarioSpec:
+    """One serial manufactured-problem solve with error report (the
+    CLI ``solve`` command)."""
+    return ScenarioSpec(
+        name="solve_serial",
+        mesh=MeshSpec(nx=nx, eps_factor=eps_factor),
+        solver="serial", num_steps=steps, track_error=True,
+        compute_numerics=True, source_mode=source_mode)
+
+
+@register("scale_strong")
+def scale_strong(mesh: int = 400, sd_axis: int = 8, nodes: int = 8,
+                 steps: int = NUM_STEPS, seed: int = 0) -> ScenarioSpec:
+    """One point of the CLI ``scale`` sweep: METIS-style layout on the
+    default homogeneous cluster."""
+    return ScenarioSpec(
+        name="scale_strong",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes),
+        partition=PartitionSpec(method="metis", seed=seed),
+        num_steps=steps)

@@ -1,0 +1,108 @@
+"""Structured run results: the one record every entry point emits.
+
+A :class:`RunRecord` captures everything the paper's evaluation (and the
+CLI's ``--json`` flag) reads off a run: the virtual makespan, per-step
+durations, the busy-time imbalance history, ghost/migration traffic,
+balancing events, and — for numeric runs — the per-step errors against
+the manufactured exact solution.
+
+Records hold only plain JSON types (ints, floats, strings, lists,
+``None``) so that
+
+* ``RunRecord.from_dict(rec.to_dict()) == rec`` exactly (no ndarray or
+  tuple/list ambiguity), which is what lets the parallel sweep runner
+  guarantee bit-identical results to serial execution, and
+* files written by ``--json`` round-trip losslessly (Python's float
+  repr is shortest-exact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
+           "read_records"]
+
+#: Schema tag stamped into every JSON file this module writes.
+SCHEMA = "repro.experiments/v1"
+
+
+@dataclass
+class RunRecord:
+    """Diagnostics of one scenario run (serial or distributed).
+
+    Serial runs leave the cluster-only fields at their empty defaults
+    (``makespan`` 0.0, no step durations, no traffic).
+    """
+
+    #: registry name (or ad-hoc label) of the scenario that ran
+    scenario: str = ""
+    #: "serial" or "distributed"
+    solver: str = "distributed"
+    #: the spec that produced this run, as ``ScenarioSpec.to_dict()``
+    spec: Dict[str, Any] = field(default_factory=dict)
+    #: timesteps integrated
+    num_steps: int = 0
+    #: timestep used (virtual-time runs still integrate real dt)
+    dt: Optional[float] = None
+    #: virtual seconds from first task to last barrier
+    makespan: float = 0.0
+    #: virtual duration of each timestep
+    step_durations: List[float] = field(default_factory=list)
+    #: max/mean busy-time ratio measured at the end of each step
+    imbalance_history: List[float] = field(default_factory=list)
+    #: ghost bytes sent over the run
+    ghost_bytes: int = 0
+    #: SD migration bytes charged by balancing
+    migration_bytes: int = 0
+    #: total SDs moved by balancing over the run
+    sds_moved: int = 0
+    #: ``[step, parts_after]`` per balancing event that moved SDs
+    parts_events: List[List[Any]] = field(default_factory=list)
+    #: SD ownership at the end of the run
+    final_parts: List[int] = field(default_factory=list)
+    #: per-node busy time accumulated over the whole run
+    busy_total: List[float] = field(default_factory=list)
+    #: per-step errors vs the exact solution (eq. 7), if tracked
+    errors: Optional[List[float]] = None
+    #: summed eq.-(7) error (None when errors were not tracked)
+    total_error: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunRecord":
+        return cls(**d)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def write_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` (plus the schema tag) as pretty JSON."""
+    doc = {"schema": SCHEMA}
+    doc.update(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_records(path: str, records: List[RunRecord]) -> None:
+    """Serialize a list of run records to ``path``."""
+    write_json(path, {"records": [r.to_dict() for r in records]})
+
+
+def read_records(path: str) -> List[RunRecord]:
+    """Load run records written by :func:`write_records`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unknown schema {doc.get('schema')!r}")
+    return [RunRecord.from_dict(d) for d in doc["records"]]

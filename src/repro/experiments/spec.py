@@ -1,0 +1,481 @@
+"""Declarative scenario specifications for the experiment engine.
+
+Every run the repository performs — CLI commands, figure benchmarks,
+ablations, examples — is described by a :class:`ScenarioSpec`: a frozen,
+validated, JSON-round-trippable value object.  The runner
+(:mod:`repro.experiments.runner`) turns a spec into the concrete
+grid → decomposition → partition → cluster → solver stack; nothing else
+in the repository hand-assembles that stack anymore.
+
+Design rules:
+
+* specs are **data**: frozen dataclasses of plain ints/floats/strings/
+  tuples, so they hash, compare, pickle, and cross process boundaries
+  for the parallel sweep runner;
+* every spec validates eagerly in ``__post_init__`` (``ValueError`` with
+  a actionable message) so a bad sweep point fails at construction, not
+  three layers deep inside the solver;
+* ``to_dict``/``from_dict`` round-trip exactly:
+  ``Spec.from_dict(spec.to_dict()) == spec`` — the contract the sweep
+  runner and the JSON result files rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MeshSpec", "ClusterSpec", "InterferenceSpec", "PartitionSpec",
+           "PolicySpec", "ScenarioSpec"]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+def _set(obj: Any, name: str, value: Any) -> None:
+    """Assign a normalized field on a frozen dataclass."""
+    object.__setattr__(obj, name, value)
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Discretization geometry: DP mesh, SD coarsening, horizon ratio.
+
+    ``ny``/``sd_ny`` default to their x-counterparts (square meshes are
+    the paper's standard configuration).  ``eps_factor`` is the horizon
+    in units of the mesh spacing (``eps = eps_factor * h``, the paper
+    uses 8).
+    """
+
+    nx: int
+    ny: Optional[int] = None
+    sd_nx: int = 1
+    sd_ny: Optional[int] = None
+    eps_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        _set(self, "nx", int(self.nx))
+        _set(self, "ny", int(self.nx if self.ny is None else self.ny))
+        _set(self, "sd_nx", int(self.sd_nx))
+        _set(self, "sd_ny", int(self.sd_nx if self.sd_ny is None
+                                else self.sd_ny))
+        _set(self, "eps_factor", float(self.eps_factor))
+        _require(self.nx >= 1 and self.ny >= 1,
+                 f"mesh must be at least 1x1, got {self.nx}x{self.ny}")
+        _require(self.sd_nx >= 1 and self.sd_ny >= 1,
+                 f"SD grid must be at least 1x1, got {self.sd_nx}x{self.sd_ny}")
+        _require(self.nx % self.sd_nx == 0 and self.ny % self.sd_ny == 0,
+                 f"SDs must tile the mesh evenly: {self.nx}x{self.ny} DPs "
+                 f"over {self.sd_nx}x{self.sd_ny} SDs")
+        _require(self.eps_factor > 0,
+                 f"eps_factor must be positive, got {self.eps_factor}")
+
+    @property
+    def num_subdomains(self) -> int:
+        return self.sd_nx * self.sd_ny
+
+    def build_sd_grid(self):
+        """The :class:`SubdomainGrid` this mesh spec describes."""
+        from ..mesh.subdomain import SubdomainGrid
+        return SubdomainGrid(self.nx, self.ny, self.sd_nx, self.sd_ny)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"nx": self.nx, "ny": self.ny, "sd_nx": self.sd_nx,
+                "sd_ny": self.sd_ny, "eps_factor": self.eps_factor}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MeshSpec":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """A competing job on ``node`` during ``[start, stop)`` of virtual
+    time, scaling its rate by ``slowdown`` (paper Sec. 4, challenge 4)."""
+
+    node: int
+    start: float
+    stop: float
+    slowdown: float = 0.5
+
+    def __post_init__(self) -> None:
+        _set(self, "node", int(self.node))
+        _set(self, "start", float(self.start))
+        _set(self, "stop", float(self.stop))
+        _set(self, "slowdown", float(self.slowdown))
+        _require(self.node >= 0, f"node must be >= 0, got {self.node}")
+        _require(self.start < self.stop,
+                 f"need start < stop, got [{self.start}, {self.stop})")
+        _require(0 < self.slowdown <= 1,
+                 f"slowdown must be in (0, 1], got {self.slowdown}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"node": self.node, "start": self.start, "stop": self.stop,
+                "slowdown": self.slowdown}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "InterferenceSpec":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Simulated cluster shape: nodes, cores, speeds, network, overheads.
+
+    ``speed_rates`` are per-node constant rates in work units per virtual
+    second (``None`` → the solver default of 1 GF/s per core);
+    ``interference`` entries overlay time-varying slowdowns on top.
+    ``latency``/``bandwidth`` of ``None`` use the :class:`repro.amt
+    .cluster.Network` defaults.
+    """
+
+    num_nodes: int = 1
+    cores_per_node: int = 1
+    speed_rates: Optional[Tuple[float, ...]] = None
+    interference: Tuple[InterferenceSpec, ...] = ()
+    latency: Optional[float] = None
+    bandwidth: Optional[float] = None
+    spawn_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        _set(self, "num_nodes", int(self.num_nodes))
+        _set(self, "cores_per_node", int(self.cores_per_node))
+        _require(self.num_nodes >= 1,
+                 f"num_nodes must be >= 1, got {self.num_nodes}")
+        _require(self.cores_per_node >= 1,
+                 f"cores_per_node must be >= 1, got {self.cores_per_node}")
+        if self.speed_rates is not None:
+            _set(self, "speed_rates",
+                 tuple(float(r) for r in self.speed_rates))
+            _require(len(self.speed_rates) == self.num_nodes,
+                     f"speed_rates has {len(self.speed_rates)} entries "
+                     f"for {self.num_nodes} nodes")
+            _require(all(r > 0 for r in self.speed_rates),
+                     "speed_rates must all be positive")
+        items = []
+        for entry in self.interference:
+            if isinstance(entry, dict):
+                entry = InterferenceSpec.from_dict(entry)
+            items.append(entry)
+        _set(self, "interference", tuple(items))
+        _require(all(i.node < self.num_nodes for i in self.interference),
+                 "interference entries must target existing nodes")
+        if self.latency is not None:
+            _set(self, "latency", float(self.latency))
+            _require(self.latency >= 0,
+                     f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth is not None:
+            _set(self, "bandwidth", float(self.bandwidth))
+            _require(self.bandwidth > 0,
+                     f"bandwidth must be > 0, got {self.bandwidth}")
+        _set(self, "spawn_overhead", float(self.spawn_overhead))
+        _require(self.spawn_overhead >= 0,
+                 f"spawn_overhead must be >= 0, got {self.spawn_overhead}")
+
+    # -- builders (data -> runtime objects) -------------------------------
+    def build_speeds(self, default_rate: float = 1e9):
+        """Per-node :class:`SpeedTrace` list, or ``None`` for defaults."""
+        from ..models.workload import step_interference
+        from ..amt.cluster import ConstantSpeed
+        if self.speed_rates is None and not self.interference:
+            return None
+        rates = (self.speed_rates if self.speed_rates is not None
+                 else (default_rate,) * self.num_nodes)
+        traces = [ConstantSpeed(r) for r in rates]
+        for i in self.interference:
+            traces[i.node] = step_interference(
+                rates[i.node], i.start, i.stop, slowdown=i.slowdown)
+        return traces
+
+    def build_network(self):
+        """A fresh :class:`Network` (egress state must not leak)."""
+        from ..amt.cluster import Network
+        kwargs = {}
+        if self.latency is not None:
+            kwargs["latency"] = self.latency
+        if self.bandwidth is not None:
+            kwargs["bandwidth"] = self.bandwidth
+        return Network(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_nodes": self.num_nodes,
+            "cores_per_node": self.cores_per_node,
+            "speed_rates": (None if self.speed_rates is None
+                            else list(self.speed_rates)),
+            "interference": [i.to_dict() for i in self.interference],
+            "latency": self.latency,
+            "bandwidth": self.bandwidth,
+            "spawn_overhead": self.spawn_overhead,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ClusterSpec":
+        d = dict(d)
+        rates = d.get("speed_rates")
+        if rates is not None:
+            d["speed_rates"] = tuple(rates)
+        d["interference"] = tuple(
+            InterferenceSpec.from_dict(i) for i in d.get("interference", ()))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How the initial SD → node assignment is produced.
+
+    Methods
+    -------
+    ``metis``
+        The from-scratch multilevel partitioner (the paper's METIS
+        substitute), seeded by ``seed``.
+    ``blocks`` / ``strips`` / ``rcb`` / ``spectral``
+        The geometric and spectral baselines (``axis`` selects strip
+        orientation: 0 = vertical strips, 1 = horizontal).
+    ``single``
+        Everything on node 0 — the shared-memory configuration.
+    ``corner_imbalanced``
+        Node 0 owns all SDs except one corner SD per other node — the
+        paper's Fig. 14 starting distribution.
+    ``explicit``
+        The literal ``parts`` tuple.
+    """
+
+    METHODS = ("metis", "blocks", "strips", "rcb", "spectral", "single",
+               "corner_imbalanced", "explicit")
+
+    method: str = "metis"
+    seed: int = 0
+    axis: int = 0
+    parts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _require(self.method in self.METHODS,
+                 f"unknown partition method {self.method!r}; "
+                 f"expected one of {self.METHODS}")
+        _set(self, "seed", int(self.seed))
+        _set(self, "axis", int(self.axis))
+        _require(self.axis in (0, 1), f"axis must be 0 or 1, got {self.axis}")
+        if self.method == "explicit":
+            _require(self.parts is not None,
+                     "method 'explicit' requires a parts tuple")
+            _set(self, "parts", tuple(int(p) for p in self.parts))
+            _require(all(p >= 0 for p in self.parts),
+                     "explicit parts must be non-negative node ids")
+        else:
+            _require(self.parts is None,
+                     f"parts is only valid with method 'explicit', "
+                     f"not {self.method!r}")
+
+    def build(self, sd_nx: int, sd_ny: int, num_nodes: int) -> np.ndarray:
+        """The initial ownership array for an ``sd_nx x sd_ny`` SD grid."""
+        n = sd_nx * sd_ny
+        if self.method == "single":
+            return np.zeros(n, dtype=np.int64)
+        if self.method == "corner_imbalanced":
+            # the paper's Fig. 14 left grid: node 0 owns almost
+            # everything; each other node starts on one distinct corner
+            # SD (top-right, bottom-left, bottom-right — node 0 holds
+            # the top-left corner with the bulk)
+            if num_nodes > n:
+                raise ValueError(
+                    f"{num_nodes} nodes need >= {num_nodes} SDs (have {n})")
+            parts = np.zeros(n, dtype=np.int64)
+            corners = []
+            for sd in (sd_nx - 1, (sd_ny - 1) * sd_nx, n - 1):
+                # 1-wide grids collapse corners onto each other (and
+                # onto node 0's top-left corner): keep each SD once
+                if sd != 0 and sd not in corners:
+                    corners.append(sd)
+            candidates = corners + [sd for sd in range(n - 1, 0, -1)
+                                    if sd not in corners]
+            for i in range(1, num_nodes):
+                parts[candidates[i - 1]] = i
+            return parts
+        if self.method == "explicit":
+            if len(self.parts) != n:
+                raise ValueError(
+                    f"explicit parts has {len(self.parts)} entries "
+                    f"for {n} SDs")
+            return np.asarray(self.parts, dtype=np.int64)
+        if self.method == "metis":
+            from ..partition.kway import partition_sd_grid
+            return partition_sd_grid(sd_nx, sd_ny, num_nodes, seed=self.seed)
+        if self.method == "blocks":
+            from ..partition.geometric import block_partition
+            return block_partition(sd_nx, sd_ny, num_nodes)
+        if self.method == "strips":
+            from ..partition.geometric import strip_partition
+            return strip_partition(sd_nx, sd_ny, num_nodes, axis=self.axis)
+        from ..partition.graph import grid_dual_graph
+        graph = grid_dual_graph(sd_nx, sd_ny)
+        if self.method == "rcb":
+            from ..partition.geometric import recursive_coordinate_bisection
+            return recursive_coordinate_bisection(graph, num_nodes)
+        from ..partition.spectral import spectral_partition
+        return spectral_partition(graph, num_nodes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"method": self.method, "seed": self.seed, "axis": self.axis,
+                "parts": None if self.parts is None else list(self.parts)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "PartitionSpec":
+        d = dict(d)
+        if d.get("parts") is not None:
+            d["parts"] = tuple(d["parts"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """When (and whether) Algorithm 1 runs after a timestep."""
+
+    KINDS = ("never", "interval", "threshold")
+
+    kind: str = "never"
+    interval: int = 1
+    ratio: float = 1.1
+    min_interval: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.kind in self.KINDS,
+                 f"unknown policy kind {self.kind!r}; "
+                 f"expected one of {self.KINDS}")
+        _set(self, "interval", int(self.interval))
+        _set(self, "ratio", float(self.ratio))
+        _set(self, "min_interval", int(self.min_interval))
+        _require(self.interval >= 1,
+                 f"interval must be >= 1, got {self.interval}")
+        _require(self.ratio >= 1.0,
+                 f"ratio must be >= 1.0, got {self.ratio}")
+        _require(self.min_interval >= 1,
+                 f"min_interval must be >= 1, got {self.min_interval}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.kind != "never"
+
+    def build(self):
+        """The :class:`BalancePolicy`, or ``None`` when balancing is off."""
+        from ..core.policy import IntervalPolicy, ThresholdPolicy
+        if self.kind == "interval":
+            return IntervalPolicy(self.interval)
+        if self.kind == "threshold":
+            return ThresholdPolicy(ratio=self.ratio,
+                                   min_interval=self.min_interval)
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "interval": self.interval,
+                "ratio": self.ratio, "min_interval": self.min_interval}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "PolicySpec":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, runnable experiment point.
+
+    ``solver`` selects the serial reference integrator or the simulated
+    distributed solver.  ``cracks`` is a tuple of polylines (each a tuple
+    of ``(x, y)`` points in the unit square) inducing per-SD work factors
+    via :func:`repro.models.crack.crack_work_factors`.
+    """
+
+    name: str
+    mesh: MeshSpec
+    cluster: ClusterSpec = ClusterSpec()
+    partition: PartitionSpec = PartitionSpec()
+    policy: PolicySpec = PolicySpec()
+    num_steps: int = 20
+    solver: str = "distributed"
+    compute_numerics: bool = False
+    overlap: bool = True
+    source_mode: str = "continuum"
+    dt: Optional[float] = None
+    track_error: bool = False
+    cracks: Tuple[Tuple[Tuple[float, float], ...], ...] = ()
+    crack_floor: float = 0.25
+    crack_horizon_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "scenario name must be a non-empty string")
+        _require(self.solver in ("serial", "distributed"),
+                 f"solver must be 'serial' or 'distributed', "
+                 f"got {self.solver!r}")
+        _set(self, "num_steps", int(self.num_steps))
+        _require(self.num_steps >= 0,
+                 f"num_steps must be >= 0, got {self.num_steps}")
+        _require(self.source_mode in ("continuum", "discrete"),
+                 f"unknown source mode {self.source_mode!r}")
+        if self.dt is not None:
+            _set(self, "dt", float(self.dt))
+            _require(self.dt > 0, f"dt must be positive, got {self.dt}")
+        if self.solver == "serial":
+            _set(self, "compute_numerics", True)
+        elif self.track_error:
+            _require(self.compute_numerics,
+                     "track_error requires compute_numerics on the "
+                     "distributed solver")
+        if self.solver == "distributed":
+            _require(self.cluster.num_nodes <= self.mesh.num_subdomains,
+                     f"{self.cluster.num_nodes} nodes need >= "
+                     f"{self.cluster.num_nodes} SDs "
+                     f"(have {self.mesh.num_subdomains})")
+        cracks = tuple(
+            tuple((float(x), float(y)) for x, y in polyline)
+            for polyline in self.cracks)
+        _set(self, "cracks", cracks)
+        _require(all(len(p) >= 2 for p in cracks),
+                 "every crack polyline needs at least two points")
+        _set(self, "crack_floor", float(self.crack_floor))
+        _set(self, "crack_horizon_factor", float(self.crack_horizon_factor))
+        _require(0 < self.crack_floor <= 1,
+                 f"crack_floor must be in (0, 1], got {self.crack_floor}")
+        _require(self.crack_horizon_factor > 0,
+                 "crack_horizon_factor must be positive, "
+                 f"got {self.crack_horizon_factor}")
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mesh": self.mesh.to_dict(),
+            "cluster": self.cluster.to_dict(),
+            "partition": self.partition.to_dict(),
+            "policy": self.policy.to_dict(),
+            "num_steps": self.num_steps,
+            "solver": self.solver,
+            "compute_numerics": self.compute_numerics,
+            "overlap": self.overlap,
+            "source_mode": self.source_mode,
+            "dt": self.dt,
+            "track_error": self.track_error,
+            "cracks": [[[x, y] for x, y in polyline]
+                       for polyline in self.cracks],
+            "crack_floor": self.crack_floor,
+            "crack_horizon_factor": self.crack_horizon_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScenarioSpec":
+        d = dict(d)
+        d["mesh"] = MeshSpec.from_dict(d["mesh"])
+        d["cluster"] = ClusterSpec.from_dict(d.get("cluster", {}))
+        d["partition"] = PartitionSpec.from_dict(d.get("partition", {}))
+        d["policy"] = PolicySpec.from_dict(d.get("policy", {}))
+        d["cracks"] = tuple(
+            tuple((x, y) for x, y in polyline)
+            for polyline in d.get("cracks", ()))
+        return cls(**d)

@@ -31,11 +31,12 @@ from ..amt.cluster import Network, SimCluster, SpeedTrace
 from ..amt.future import Future, when_all
 from ..core.balancer import BalanceResult, LoadBalancer
 from ..core.policy import BalancePolicy, NeverBalance
+from ..core.power import imbalance_ratio
 from ..mesh.decomposition import BYTES_PER_DP, Decomposition
 from ..mesh.grid import UniformGrid
 from ..mesh.subdomain import SubdomainGrid
 from .exact import step_error
-from .kernel import NonlocalOperator, stable_dt
+from .kernel import NonlocalOperator, check_operator_matches, stable_dt
 from .model import NonlocalHeatModel
 
 __all__ = ["DistributedResult", "DistributedSolver"]
@@ -51,6 +52,10 @@ class DistributedResult:
         self.makespan: float = 0.0
         #: virtual duration of each timestep
         self.step_durations: List[float] = []
+        #: max/mean busy-time ratio measured at the end of each step
+        #: (over the current measurement window — counters reset when
+        #: the balancer runs, Algorithm 1 line 35)
+        self.imbalance_history: List[float] = []
         #: per-step errors vs the exact solution (eq. 7), if requested
         self.errors: Optional[List[float]] = None
         #: SD ownership after each balancing event (step, parts)
@@ -108,6 +113,11 @@ class DistributedSolver:
         after the step starts.  This is the Amdahl component that makes
         real AMT speedups saturate below the core count (HPX task
         overheads are on the order of a microsecond); 0 disables it.
+    operator:
+        Optional prebuilt :class:`NonlocalOperator` for this model/grid
+        (e.g. from :func:`repro.experiments.runner.cached_operator`);
+        sweeps over repeated ``(nx, eps)`` points share the neighborhood
+        assembly instead of rebuilding it per run.
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
@@ -123,7 +133,8 @@ class DistributedSolver:
                  overlap: bool = True,
                  compute_numerics: bool = True,
                  domain_mask=None,
-                 spawn_overhead: float = 0.0) -> None:
+                 spawn_overhead: float = 0.0,
+                 operator: Optional[NonlocalOperator] = None) -> None:
         if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
             raise ValueError(
                 f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
@@ -133,9 +144,14 @@ class DistributedSolver:
         self.sd_grid = sd_grid
         self.parts = np.asarray(parts, dtype=np.int64).copy()
         self.num_nodes = num_nodes
-        self.operator = NonlocalOperator(model, grid)
+        if operator is None:
+            operator = NonlocalOperator(model, grid)
+        else:
+            check_operator_matches(operator, model, grid)
+        self.operator = operator
         self.source = source
-        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        self.dt = (stable_dt(model, grid, stencil=operator.stencil)
+                   if dt is None else float(dt))
         if self.dt <= 0:
             raise ValueError(f"dt must be positive, got {self.dt}")
         if work_factors is None:
@@ -333,6 +349,7 @@ class DistributedSolver:
 
         migration_futs: List[Future] = []
         busy = [self.cluster.busy_time(n) for n in range(self.num_nodes)]
+        result.imbalance_history.append(imbalance_ratio(busy))
         if (self.balancer is not None
                 and self.policy.should_balance(step, busy)):
             bal = self.balancer.balance_step(

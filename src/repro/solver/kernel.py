@@ -32,7 +32,33 @@ from ..mesh.grid import UniformGrid
 from ..mesh.stencil import NonlocalStencil, build_stencil
 from .model import NonlocalHeatModel
 
-__all__ = ["NonlocalOperator", "assemble_sparse_operator", "stable_dt"]
+__all__ = ["NonlocalOperator", "assemble_sparse_operator",
+           "check_operator_matches", "stable_dt"]
+
+
+def check_operator_matches(operator: "NonlocalOperator",
+                           model: NonlocalHeatModel,
+                           grid: UniformGrid) -> None:
+    """Reject a prebuilt operator that was assembled for different physics.
+
+    Solvers accepting an injected operator call this: identity with the
+    solver's own model/grid is the common (cache) case; otherwise every
+    ingredient of the assembly — grid shape, horizon, diffusivity,
+    influence function, dimension — must agree, or the solver would
+    silently integrate a different equation.
+    """
+    if operator.model is model and operator.grid is grid:
+        return
+    if operator.grid.shape != grid.shape:
+        raise ValueError(
+            f"operator built for grid {operator.grid.shape}, "
+            f"solver grid is {grid.shape}")
+    om = operator.model
+    if (om.epsilon != model.epsilon or om.kappa != model.kappa
+            or om.dim != model.dim
+            or om.influence is not model.influence):
+        raise ValueError(
+            f"operator built for model {om!r}, solver model is {model!r}")
 
 
 class NonlocalOperator:
@@ -143,15 +169,18 @@ def assemble_sparse_operator(model: NonlocalHeatModel,
 
 
 def stable_dt(model: NonlocalHeatModel, grid: UniformGrid,
-              safety: float = 0.5) -> float:
+              safety: float = 0.5,
+              stencil: Optional[NonlocalStencil] = None) -> float:
     """Forward-Euler stable timestep for the discrete operator.
 
     The operator's eigenvalues lie in ``[-2 c V S, 0]`` (the convolution
     symbol of a non-negative mask is bounded by ``S`` in magnitude), so
     Euler is stable for ``dt <= 1 / (c V S)``; ``safety`` shrinks that
-    bound.
+    bound.  Passing a prebuilt ``stencil`` skips the (re)assembly — used
+    by solvers that already hold a cached operator.
     """
-    stencil = build_stencil(grid.h, model.epsilon, model.influence,
-                            dim=model.dim)
+    if stencil is None:
+        stencil = build_stencil(grid.h, model.epsilon, model.influence,
+                                dim=model.dim)
     bound = 1.0 / (model.c * grid.cell_volume * stencil.weight_sum)
     return safety * bound

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..mesh.grid import UniformGrid
 from .exact import ManufacturedProblem, step_error
-from .kernel import NonlocalOperator, stable_dt
+from .kernel import NonlocalOperator, check_operator_matches, stable_dt
 from .model import NonlocalHeatModel
 
 __all__ = ["SerialSolver", "SolveResult", "solve_manufactured"]
@@ -58,16 +58,26 @@ class SerialSolver:
         ``b(t) -> field`` (or ``None`` for an unforced problem).
     dt:
         Timestep; defaults to :func:`repro.solver.kernel.stable_dt`.
+    operator:
+        Optional prebuilt :class:`NonlocalOperator` (e.g. from the
+        experiment runner's cache); must match ``grid`` and the
+        model's horizon.
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
                  source: Optional[Callable[[float], np.ndarray]] = None,
-                 dt: Optional[float] = None) -> None:
+                 dt: Optional[float] = None,
+                 operator: Optional[NonlocalOperator] = None) -> None:
         self.model = model
         self.grid = grid
-        self.operator = NonlocalOperator(model, grid)
+        if operator is None:
+            operator = NonlocalOperator(model, grid)
+        else:
+            check_operator_matches(operator, model, grid)
+        self.operator = operator
         self.source = source
-        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        self.dt = (stable_dt(model, grid, stencil=operator.stencil)
+                   if dt is None else float(dt))
         if self.dt <= 0:
             raise ValueError(f"dt must be positive, got {self.dt}")
 

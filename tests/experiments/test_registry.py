@@ -1,0 +1,67 @@
+"""Registry completeness: every name builds and runs a tiny config."""
+
+import pytest
+
+from repro.experiments import (ScenarioSpec, build, get_factory, register,
+                               run_scenario, scenario_names)
+
+EXPECTED = {
+    "fig08_convergence", "fig09_strong_shared", "fig10_weak_shared",
+    "fig11_strong_distributed", "fig12_weak_distributed",
+    "fig13_metis_scaling", "fig14_load_balance",
+    "abl_overlap", "abl_partitioners", "abl_balancing_gain",
+    "crack_hetero", "hetero_interference", "quickstart",
+    "solve_serial", "scale_strong",
+}
+
+
+def test_registry_contains_the_paper_scenarios():
+    names = scenario_names()
+    assert EXPECTED <= set(names)
+    assert names == sorted(names)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        get_factory("fig99_imaginary")
+    with pytest.raises(KeyError):
+        build("fig99_imaginary")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register("fig14_load_balance")(lambda: None)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_every_scenario_builds(name):
+    spec = build(name)
+    assert isinstance(spec, ScenarioSpec)
+    # the registered name is the spec's name: `repro run --scenario X`
+    # reports what it ran
+    assert spec.name == name
+    # every factory takes a `steps` override (tiny smoke configs, CLI)
+    assert build(name, steps=1).num_steps == 1
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_every_scenario_runs_tiny(name):
+    rec = run_scenario(build(name, steps=1))
+    assert rec.scenario == name
+    assert rec.num_steps == 1
+    if rec.solver == "distributed":
+        assert rec.makespan > 0
+        assert len(rec.step_durations) == 1
+    else:
+        assert rec.total_error is not None
+
+
+def test_overrides_reach_the_spec():
+    spec = build("fig11_strong_distributed", mesh=64, sd_axis=4, nodes=2,
+                 partitioner="metis", steps=3)
+    assert spec.mesh.nx == 64
+    assert spec.cluster.num_nodes == 2
+    assert spec.partition.method == "metis"
+    assert spec.num_steps == 3
+    with pytest.raises(ValueError):
+        build("fig11_strong_distributed", partitioner="magic")

@@ -1,0 +1,70 @@
+"""RunRecord serialization and the JSON file helpers."""
+
+import json
+
+import pytest
+
+from repro.experiments import (SCHEMA, RunRecord, build, read_records,
+                               run_scenario, write_json, write_records)
+
+
+def _record() -> RunRecord:
+    return run_scenario(build("fig14_load_balance", steps=2))
+
+
+class TestRunRecord:
+    def test_dict_round_trip(self):
+        rec = _record()
+        assert RunRecord.from_dict(rec.to_dict()) == rec
+
+    def test_json_round_trip_is_exact(self):
+        rec = _record()
+        assert RunRecord.from_json(rec.to_json()) == rec
+
+    def test_dict_holds_plain_json_types(self):
+        # the sweep runner's bit-identity guarantee rests on this
+        doc = _record().to_dict()
+        json.dumps(doc)  # must not raise
+        assert isinstance(doc["final_parts"], list)
+        assert all(isinstance(p, int) for p in doc["final_parts"])
+        assert all(isinstance(d, float) for d in doc["step_durations"])
+
+    def test_balancing_fields(self):
+        rec = _record()
+        assert rec.sds_moved > 0
+        assert rec.migration_bytes > 0
+        # the corner distribution balances in the very first sweep
+        assert rec.parts_events and rec.parts_events[0][0] == 0
+        assert len(rec.imbalance_history) == 2
+
+    def test_serial_record_defaults(self):
+        rec = run_scenario(build("solve_serial", nx=8, eps_factor=2.0,
+                                 steps=2))
+        assert rec.solver == "serial"
+        assert rec.makespan == 0.0
+        assert rec.step_durations == []
+        assert rec.total_error is not None
+
+
+class TestFiles:
+    def test_write_and_read_records(self, tmp_path):
+        recs = [_record(), run_scenario(build("solve_serial", nx=8,
+                                              eps_factor=2.0, steps=1))]
+        path = tmp_path / "out.json"
+        write_records(str(path), recs)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert read_records(str(path)) == recs
+
+    def test_read_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9", "records": []}))
+        with pytest.raises(ValueError):
+            read_records(str(path))
+
+    def test_write_json_stamps_schema(self, tmp_path):
+        path = tmp_path / "payload.json"
+        write_json(str(path), {"hello": [1, 2, 3]})
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["hello"] == [1, 2, 3]

@@ -1,0 +1,233 @@
+"""Spec validation and dict/JSON round-trip contracts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ClusterSpec, InterferenceSpec, MeshSpec,
+                               PartitionSpec, PolicySpec, ScenarioSpec)
+
+
+class TestMeshSpec:
+    def test_square_defaults(self):
+        m = MeshSpec(nx=64, sd_nx=4)
+        assert (m.ny, m.sd_ny) == (64, 4)
+        assert m.num_subdomains == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(nx=0),
+        dict(nx=64, ny=-1),
+        dict(nx=64, sd_nx=0),
+        dict(nx=65, sd_nx=8),        # SDs must tile evenly
+        dict(nx=64, sd_nx=4, sd_ny=5),
+        dict(nx=4, sd_nx=8),          # more SDs than DPs
+        dict(nx=64, eps_factor=0.0),
+        dict(nx=64, eps_factor=-2.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MeshSpec(**kwargs)
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        c = ClusterSpec()
+        assert c.build_speeds() is None
+        net = c.build_network()
+        assert net.bytes_sent == 0
+
+    def test_fresh_network_per_build(self):
+        c = ClusterSpec(latency=1e-4, bandwidth=1e6)
+        assert c.build_network() is not c.build_network()
+        assert c.build_network().latency == 1e-4
+
+    def test_speeds_and_interference(self):
+        c = ClusterSpec(num_nodes=2, speed_rates=(1e9, 2e9),
+                        interference=(InterferenceSpec(
+                            node=1, start=0.5, stop=1.0, slowdown=0.5),))
+        traces = c.build_speeds()
+        assert len(traces) == 2
+        assert traces[0].rate(0.0) == 1e9
+        assert traces[1].rate(0.75) == 1e9  # 2e9 * 0.5 in the window
+        assert traces[1].rate(2.0) == 2e9
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_nodes=0),
+        dict(cores_per_node=0),
+        dict(num_nodes=2, speed_rates=(1e9,)),     # wrong length
+        dict(speed_rates=(0.0,)),
+        dict(latency=-1.0),
+        dict(bandwidth=0.0),
+        dict(spawn_overhead=-1e-6),
+        dict(num_nodes=1, interference=(
+            InterferenceSpec(node=3, start=0.0, stop=1.0),)),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(node=0, start=1.0, stop=0.5),
+        dict(node=0, start=0.0, stop=1.0, slowdown=0.0),
+        dict(node=0, start=0.0, stop=1.0, slowdown=1.5),
+        dict(node=-1, start=0.0, stop=1.0),
+    ])
+    def test_invalid_interference(self, kwargs):
+        with pytest.raises(ValueError):
+            InterferenceSpec(**kwargs)
+
+
+class TestPartitionSpec:
+    def test_single(self):
+        parts = PartitionSpec(method="single").build(4, 4, 3)
+        assert (parts == 0).all()
+
+    def test_corner_imbalanced(self):
+        parts = PartitionSpec(method="corner_imbalanced").build(5, 5, 4)
+        counts = np.bincount(parts, minlength=4)
+        assert list(counts) == [22, 1, 1, 1]
+        # the paper's Fig. 14 left grid: nodes 1-3 on distinct corners
+        # (top-right, bottom-left, bottom-right)
+        assert (parts[4], parts[20], parts[24]) == (1, 2, 3)
+
+    def test_corner_imbalanced_more_nodes_than_corners(self):
+        parts = PartitionSpec(method="corner_imbalanced").build(4, 4, 6)
+        counts = np.bincount(parts, minlength=6)
+        assert counts.sum() == 16
+        assert list(counts[1:]) == [1] * 5  # one SD per non-zero node
+
+    def test_corner_imbalanced_degenerate_grids(self):
+        # 1-wide grids collapse corners: every node must still own a SD
+        for shape in ((1, 5), (5, 1), (2, 2)):
+            parts = PartitionSpec(method="corner_imbalanced").build(
+                shape[0], shape[1], 4)
+            assert (np.bincount(parts, minlength=4) >= 1).all()
+        with pytest.raises(ValueError):
+            PartitionSpec(method="corner_imbalanced").build(2, 2, 9)
+
+    def test_explicit(self):
+        spec = PartitionSpec(method="explicit", parts=(0, 1, 1, 0))
+        assert list(spec.build(2, 2, 2)) == [0, 1, 1, 0]
+        with pytest.raises(ValueError):
+            spec.build(4, 4, 2)  # wrong length for the SD grid
+
+    @pytest.mark.parametrize("method", ["metis", "blocks", "strips",
+                                        "rcb", "spectral"])
+    def test_methods_cover_all_nodes(self, method):
+        parts = PartitionSpec(method=method).build(8, 8, 4)
+        assert len(parts) == 64
+        assert set(parts) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(method="magic"),
+        dict(method="explicit"),                       # missing parts
+        dict(method="metis", parts=(0, 1)),            # parts w/o explicit
+        dict(method="explicit", parts=(0, -1)),
+        dict(method="strips", axis=2),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PartitionSpec(**kwargs)
+
+
+class TestPolicySpec:
+    def test_build(self):
+        from repro.core.policy import IntervalPolicy, ThresholdPolicy
+        assert PolicySpec().build() is None
+        assert not PolicySpec().enabled
+        assert isinstance(PolicySpec(kind="interval", interval=2).build(),
+                          IntervalPolicy)
+        assert isinstance(PolicySpec(kind="threshold", ratio=1.2).build(),
+                          ThresholdPolicy)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="sometimes"),
+        dict(kind="interval", interval=0),
+        dict(kind="threshold", ratio=0.9),
+        dict(kind="threshold", min_interval=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PolicySpec(**kwargs)
+
+
+class TestScenarioSpec:
+    def test_serial_implies_numerics(self):
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16), solver="serial")
+        assert s.compute_numerics
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(name="s", solver="quantum"),
+        dict(name="s", num_steps=-1),
+        dict(name="s", source_mode="exact"),
+        dict(name="s", dt=0.0),
+        dict(name="s", track_error=True),          # needs numerics
+        dict(name="s", cracks=(((0.1, 0.2),),)),   # one-point polyline
+        dict(name="s", crack_floor=0.0),
+        dict(name="s", crack_floor=1.5),
+        dict(name="s", crack_horizon_factor=0.0),
+    ])
+    def test_invalid(self, kwargs):
+        kwargs.setdefault("mesh", MeshSpec(nx=16, sd_nx=4))
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_distributed_needs_enough_sds(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=2),
+                         cluster=ClusterSpec(num_nodes=8))
+
+    def test_replace_revalidates(self):
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4))
+        assert s.replace(num_steps=7).num_steps == 7
+        with pytest.raises(ValueError):
+            s.replace(num_steps=-2)
+
+
+def _sample_specs():
+    yield ScenarioSpec(name="tiny", mesh=MeshSpec(nx=16, sd_nx=4))
+    yield ScenarioSpec(
+        name="full",
+        mesh=MeshSpec(nx=64, ny=32, sd_nx=8, sd_ny=4, eps_factor=4.0),
+        cluster=ClusterSpec(
+            num_nodes=4, cores_per_node=2, speed_rates=(1e9, 2e9, 1e9, 5e8),
+            interference=(InterferenceSpec(node=0, start=0.1, stop=0.2,
+                                           slowdown=0.5),),
+            latency=1e-5, bandwidth=1e8, spawn_overhead=5e-6),
+        partition=PartitionSpec(method="strips", axis=1, seed=3),
+        policy=PolicySpec(kind="threshold", ratio=1.25, min_interval=2),
+        num_steps=7, overlap=False,
+        cracks=(((0.1, 0.5), (0.9, 0.5)), ((0.2, 0.2), (0.5, 0.5),
+                                           (0.8, 0.2))),
+        crack_floor=0.3, crack_horizon_factor=1.5)
+    yield ScenarioSpec(name="serial", mesh=MeshSpec(nx=8, eps_factor=2.0),
+                       solver="serial", dt=1e-4, track_error=True,
+                       source_mode="discrete")
+    yield ScenarioSpec(name="explicit",
+                       mesh=MeshSpec(nx=8, sd_nx=2),
+                       cluster=ClusterSpec(num_nodes=2),
+                       partition=PartitionSpec(method="explicit",
+                                               parts=(0, 1, 1, 0)))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", list(_sample_specs()),
+                             ids=lambda s: s.name)
+    def test_dict_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", list(_sample_specs()),
+                             ids=lambda s: s.name)
+    def test_json_round_trip(self, spec):
+        through_json = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(through_json) == spec
+
+    def test_sub_spec_round_trips(self):
+        for sub in (MeshSpec(nx=32, sd_nx=2),
+                    ClusterSpec(num_nodes=3, speed_rates=(1.0, 2.0, 3.0)),
+                    PartitionSpec(method="explicit", parts=(0, 1)),
+                    PolicySpec(kind="interval", interval=4)):
+            assert type(sub).from_dict(
+                json.loads(json.dumps(sub.to_dict()))) == sub

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import SCHEMA, read_records, scenario_names
 
 
 class TestParser:
@@ -61,3 +64,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "edge cut" in out
+
+
+class TestRunCommand:
+    def test_list_scenarios(self, capsys):
+        rc = main(["run", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_scenario_with_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "fig14_load_balance",
+                   "--steps", "2", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "virtual makespan" in out
+        records = read_records(str(path))
+        assert len(records) == 1
+        assert records[0].scenario == "fig14_load_balance"
+        assert records[0].num_steps == 2
+
+    def test_run_requires_scenario(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["run", "--scenario", "fig99_imaginary"]) == 2
+
+
+class TestJsonOutput:
+    def test_solve_json(self, capsys, tmp_path):
+        path = tmp_path / "solve.json"
+        rc = main(["solve", "--nx", "16", "--eps-factor", "2",
+                   "--steps", "2", "--json", str(path)])
+        assert rc == 0
+        (rec,) = read_records(str(path))
+        assert rec.solver == "serial"
+        assert rec.total_error is not None
+
+    def test_validate_json(self, capsys, tmp_path):
+        path = tmp_path / "validate.json"
+        rc = main(["validate", "--max-exponent", "4", "--steps", "2",
+                   "--json", str(path)])
+        assert rc == 0
+        assert len(read_records(str(path))) == 3  # exponents 2..4
+
+    def test_scale_json_and_seed(self, capsys, tmp_path):
+        path = tmp_path / "scale.json"
+        rc = main(["scale", "--mesh", "64", "--sds", "4", "--max-nodes", "4",
+                   "--steps", "2", "--seed", "1", "--json", str(path)])
+        assert rc == 0
+        records = read_records(str(path))
+        assert [r.spec["cluster"]["num_nodes"] for r in records] == [1, 2, 4]
+        assert all(r.spec["partition"]["seed"] == 1 for r in records)
+
+    def test_balance_json(self, capsys, tmp_path):
+        path = tmp_path / "balance.json"
+        rc = main(["balance", "--sds", "5", "--nodes", "4",
+                   "--iterations", "3", "--json", str(path)])
+        assert rc == 0
+        (rec,) = read_records(str(path))
+        assert rec.sds_moved > 0
+
+    def test_partition_json(self, capsys, tmp_path):
+        path = tmp_path / "part.json"
+        rc = main(["partition", "--sds", "8", "--nodes", "4",
+                   "--seed", "2", "--json", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert len(doc["parts"]) == 64
+        assert doc["partition"]["seed"] == 2
