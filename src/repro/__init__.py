@@ -23,7 +23,8 @@ Sub-packages:
   (METIS substitute) + geometric baselines;
 * :mod:`repro.mesh` — grids, sub-domains, stencils, decomposition;
 * :mod:`repro.solver` — serial / shared-memory-async / distributed
-  solvers for the nonlocal heat equation;
+  solvers for the nonlocal heat equation, with pluggable kernel
+  backends (:mod:`repro.solver.backends`: direct / fft / sparse);
 * :mod:`repro.core` — the paper's load-balancing algorithm;
 * :mod:`repro.models` — crack and node-interference workload models;
 * :mod:`repro.reporting` — text rendering for the benchmark harness;
@@ -43,7 +44,8 @@ from .models import Crack, crack_work_factors
 from .partition import (block_partition, partition_graph, partition_sd_grid,
                         strip_partition)
 from .solver import (AsyncSolver, DistributedSolver, ManufacturedProblem,
-                     NonlocalHeatModel, SerialSolver, solve_manufactured)
+                     NonlocalHeatModel, SerialSolver, backend_names,
+                     solve_manufactured)
 
 __version__ = "1.0.0"
 
@@ -55,7 +57,8 @@ __all__ = [
     "block_partition", "partition_graph", "partition_sd_grid",
     "strip_partition",
     "AsyncSolver", "DistributedSolver", "ManufacturedProblem",
-    "NonlocalHeatModel", "SerialSolver", "solve_manufactured",
+    "NonlocalHeatModel", "SerialSolver", "backend_names",
+    "solve_manufactured",
     "MeshSpec", "ClusterSpec", "PartitionSpec", "PolicySpec",
     "ScenarioSpec", "RunRecord", "build_scenario", "run_scenario",
     "run_sweep", "scenario_names",

@@ -32,6 +32,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (separate for testability)."""
+    from .solver.backends import backend_names
     p = argparse.ArgumentParser(
         prog="repro",
         description="Nonlocal-model load balancing reproduction (IPPS 2021)")
@@ -40,6 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
     def add_json(sp):
         sp.add_argument("--json", metavar="PATH", default=None,
                         help="write structured RunRecord results to PATH")
+
+    def add_backend(sp):
+        sp.add_argument("--backend", choices=["auto"] + backend_names(),
+                        default=None,
+                        help="kernel backend for the operator applies "
+                             "(default: the scenario's choice, normally "
+                             "'auto' = radius heuristic; env "
+                             "REPRO_KERNEL_BACKEND overrides 'auto')")
 
     v = sub.add_parser("validate", help="Fig. 8 convergence sweep")
     v.add_argument("--max-exponent", type=int, default=6,
@@ -55,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--steps", type=int, default=20)
     s.add_argument("--source", choices=("continuum", "discrete"),
                    default="continuum")
+    add_backend(s)
     add_json(s)
 
     c = sub.add_parser("scale", help="strong scaling on the simulated cluster")
@@ -66,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partitioner seed")
     c.add_argument("--jobs", type=int, default=1,
                    help="process-parallel sweep workers (default serial)")
+    add_backend(c)
     add_json(c)
 
     b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
@@ -93,8 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scenario's timestep count")
     r.add_argument("--seed", type=int, default=None,
                    help="override the scenario's seed (where supported)")
+    add_backend(r)
     add_json(r)
     return p
+
+
+def _apply_backend(spec, args):
+    """The spec with the CLI's ``--backend`` override applied, if any."""
+    if getattr(args, "backend", None):
+        return spec.replace(kernel_backend=args.backend)
+    return spec
 
 
 def _write_records(path: Optional[str], records) -> None:
@@ -126,8 +145,9 @@ def _cmd_validate(args) -> int:
 
 def _cmd_solve(args) -> int:
     from .experiments import build, run_scenario
-    spec = build("solve_serial", nx=args.nx, eps_factor=args.eps_factor,
-                 steps=args.steps, source_mode=args.source)
+    spec = _apply_backend(
+        build("solve_serial", nx=args.nx, eps_factor=args.eps_factor,
+              steps=args.steps, source_mode=args.source), args)
     rec = run_scenario(spec)
     eps = args.eps_factor / args.nx
     print(f"mesh {args.nx}x{args.nx}, eps = {eps:.4g}, "
@@ -143,8 +163,9 @@ def _cmd_scale(args) -> int:
     from .reporting.tables import print_series
     node_counts = [n for n in (1, 2, 4, 8, 12, 16, 24, 32)
                    if n <= min(args.max_nodes, args.sds * args.sds)]
-    specs = [build("scale_strong", mesh=args.mesh, sd_axis=args.sds,
-                   nodes=n, steps=args.steps, seed=args.seed)
+    specs = [_apply_backend(
+                 build("scale_strong", mesh=args.mesh, sd_axis=args.sds,
+                       nodes=n, steps=args.steps, seed=args.seed), args)
              for n in node_counts]
     records = run_sweep(specs, serial=args.jobs <= 1, max_workers=args.jobs)
     times = [rec.makespan for rec in records]
@@ -232,9 +253,11 @@ def _cmd_run(args) -> int:
         overrides["steps"] = args.steps
     if args.seed is not None and "seed" in accepted:
         overrides["seed"] = args.seed
-    spec = build(args.scenario, **overrides)
+    spec = _apply_backend(build(args.scenario, **overrides), args)
     rec = run_scenario(spec)
     print(f"scenario: {spec.name} ({rec.solver}, {rec.num_steps} steps)")
+    if spec.kernel_backend != "auto":
+        print(f"kernel backend: {spec.kernel_backend}")
     if rec.solver == "distributed":
         print(f"virtual makespan: {rec.makespan * 1e3:.3f} ms")
         print(f"ghost bytes: {rec.ghost_bytes:,}   "
@@ -252,6 +275,12 @@ def _cmd_run(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from .solver.backends import requested_backend
+    try:
+        requested_backend()  # a bad REPRO_KERNEL_BACKEND fails every
+    except ValueError as exc:  # command; report it without a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     handlers = {
         "validate": _cmd_validate,
         "solve": _cmd_solve,

@@ -233,6 +233,27 @@ def abl_balancing_gain(source: str = "hetero", balanced: bool = True,
         num_steps=steps, cracks=cracks)
 
 
+@register("abl_backends")
+def abl_backends(backend: str = "auto", mesh: int = 256, sd_axis: int = 8,
+                 nodes: int = 4, steps: int = 3, seed: int = 0) -> ScenarioSpec:
+    """Ablation E: kernel backend choice on the numerics-on hot path.
+
+    A numerics-on distributed run at the paper's horizon (eps = 8h, so
+    17x17 masks) whose wall-clock cost is dominated by the per-SD
+    operator applies; sweep ``backend`` over
+    ``repro.solver.backend_names()`` (plus ``auto``) to compare apply
+    throughput.  The virtual makespan is backend-independent by design
+    — only real execution time changes.
+    """
+    return ScenarioSpec(
+        name="abl_backends",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes),
+        partition=PartitionSpec(method="metis", seed=seed),
+        num_steps=steps, compute_numerics=True,
+        kernel_backend=backend)
+
+
 # ---------------------------------------------------------------------------
 # application scenarios (examples / CLI workloads)
 # ---------------------------------------------------------------------------

@@ -69,6 +69,11 @@ class RunRecord:
     errors: Optional[List[float]] = None
     #: summed eq.-(7) error (None when errors were not tracked)
     total_error: Optional[float] = None
+    #: kernel backend that executed the numerics: the spec's request
+    #: after the env override and the radius heuristic resolved it
+    #: (deterministic, so sweep parity is unaffected; "" in records
+    #: written before the backend field existed)
+    backend_resolved: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -3,10 +3,12 @@
 This is the single place in the repository where a scenario description
 is turned into running code:
 
-* :func:`cached_operator` — an LRU cache over ``(nx, ny, eps_factor)``
-  for the :class:`NonlocalOperator` neighborhood assembly, the dominant
-  repeated cost when a sweep revisits the same discretization (every
-  strong-scaling figure runs many node counts on one mesh);
+* :func:`cached_operator` — an LRU cache over ``(nx, ny, eps_factor,
+  backend)`` for the :class:`NonlocalOperator` neighborhood assembly,
+  the dominant repeated cost when a sweep revisits the same
+  discretization (every strong-scaling figure runs many node counts on
+  one mesh); the backend is part of the key so scenarios pinning
+  different kernel backends never share an operator;
 * :func:`build_solver` — grid → decomposition → partition → simulated
   cluster → solver from a :class:`ScenarioSpec`;
 * :func:`run_scenario` — executes one spec and returns a
@@ -35,34 +37,57 @@ __all__ = ["cached_operator", "operator_cache_info", "clear_operator_cache",
 
 
 @lru_cache(maxsize=64)
-def cached_operator(nx: int, ny: int, eps_factor: float):
+def _cached_operator(nx: int, ny: int, eps_factor: float, backend: str):
+    from ..mesh.grid import UniformGrid
+    from ..solver.kernel import NonlocalOperator
+    from ..solver.model import NonlocalHeatModel
+    grid = UniformGrid(nx, ny)
+    model = NonlocalHeatModel(epsilon=eps_factor * grid.h)
+    return NonlocalOperator(model, grid, backend=backend)
+
+
+def cached_operator(nx: int, ny: int, eps_factor: float,
+                    backend: str = "auto"):
     """The :class:`NonlocalOperator` for an ``nx x ny`` mesh, eps = f·h.
 
     Builds (and memoizes) the grid, the default nonlocal heat model, and
     the stencil/neighborhood assembly.  The returned operator is
     immutable and shared freely between solvers; grid and model hang off
     it as ``operator.grid`` / ``operator.model``.
+
+    ``backend`` is part of the cache key: an ``"fft"`` operator (with
+    its cached mask transforms) is a different object from a
+    ``"direct"`` one.  The key is *fully resolved* before memoization:
+    the ``REPRO_KERNEL_BACKEND`` override of ``"auto"`` is applied at
+    call time (a memoized key could not see environment changes), and
+    the radius heuristic is resolved from ``R = floor(eps_factor)`` —
+    so omitting the argument, passing ``"auto"``, and naming the
+    backend ``auto`` resolves to all share one entry (a backend sweep
+    does not rebuild the auto-selected operator).
     """
-    from ..mesh.grid import UniformGrid
-    from ..solver.kernel import NonlocalOperator
-    from ..solver.model import NonlocalHeatModel
-    grid = UniformGrid(nx, ny)
-    model = NonlocalHeatModel(epsilon=eps_factor * grid.h)
-    return NonlocalOperator(model, grid)
+    from ..solver.backends import (AUTO, auto_backend_name,
+                                   requested_backend)
+    name = requested_backend(str(backend))
+    if name == AUTO:
+        # same inclusion tolerance as build_stencil: eps = eps_factor*h
+        name = auto_backend_name(int(np.floor(
+            float(eps_factor) * (1 + 1e-12))))
+    return _cached_operator(int(nx), int(ny), float(eps_factor), name)
 
 
 def operator_cache_info():
     """``functools`` cache statistics of the operator cache."""
-    return cached_operator.cache_info()
+    return _cached_operator.cache_info()
 
 
 def clear_operator_cache() -> None:
-    cached_operator.cache_clear()
+    _cached_operator.cache_clear()
 
 
 def build_problem(spec: ScenarioSpec):
     """``(operator, model, grid, sd_grid)`` for a scenario's mesh."""
-    op = cached_operator(spec.mesh.nx, spec.mesh.ny, spec.mesh.eps_factor)
+    op = cached_operator(spec.mesh.nx, spec.mesh.ny, spec.mesh.eps_factor,
+                         spec.kernel_backend)
     return op, op.model, op.grid, spec.mesh.build_sd_grid()
 
 
@@ -137,7 +162,8 @@ def _run_serial(spec: ScenarioSpec) -> RunRecord:
     return RunRecord(
         scenario=spec.name, solver="serial", spec=spec.to_dict(),
         num_steps=spec.num_steps, dt=float(solver.dt),
-        errors=errors, total_error=res.total_error)
+        errors=errors, total_error=res.total_error,
+        backend_resolved=solver.operator.backend_name)
 
 
 def _run_distributed(spec: ScenarioSpec) -> RunRecord:
@@ -167,7 +193,8 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
                       for step, parts in res.parts_history],
         final_parts=[int(p) for p in solver.parts],
         busy_total=[float(b) for b in res.busy_total],
-        errors=errors, total_error=res.total_error)
+        errors=errors, total_error=res.total_error,
+        backend_resolved=solver.operator.backend_name)
 
 
 def run_scenario(spec: ScenarioSpec) -> RunRecord:

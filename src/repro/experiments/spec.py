@@ -387,6 +387,13 @@ class ScenarioSpec:
     distributed solver.  ``cracks`` is a tuple of polylines (each a tuple
     of ``(x, y)`` points in the unit square) inducing per-SD work factors
     via :func:`repro.models.crack.crack_work_factors`.
+
+    ``kernel_backend`` names the kernel backend executing the operator
+    applies (``"auto"``, ``"direct"``, ``"fft"``, ``"sparse"`` — see
+    :mod:`repro.solver.backends`).  ``"auto"`` resolves by the radius
+    heuristic and honors the ``REPRO_KERNEL_BACKEND`` environment
+    override; the backend changes numerics execution speed only, never
+    the simulated schedule.
     """
 
     name: str
@@ -404,6 +411,7 @@ class ScenarioSpec:
     cracks: Tuple[Tuple[Tuple[float, float], ...], ...] = ()
     crack_floor: float = 0.25
     crack_horizon_factor: float = 2.0
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         _require(isinstance(self.name, str) and bool(self.name),
@@ -443,6 +451,11 @@ class ScenarioSpec:
         _require(self.crack_horizon_factor > 0,
                  "crack_horizon_factor must be positive, "
                  f"got {self.crack_horizon_factor}")
+        from ..solver.backends import backend_names
+        _require(self.kernel_backend == "auto"
+                 or self.kernel_backend in backend_names(),
+                 f"unknown kernel backend {self.kernel_backend!r}; "
+                 f"expected 'auto' or one of {tuple(backend_names())}")
 
     def replace(self, **changes: Any) -> "ScenarioSpec":
         """A copy with ``changes`` applied (re-validated)."""
@@ -466,6 +479,7 @@ class ScenarioSpec:
                        for polyline in self.cracks],
             "crack_floor": self.crack_floor,
             "crack_horizon_factor": self.crack_horizon_factor,
+            "kernel_backend": self.kernel_backend,
         }
 
     @classmethod

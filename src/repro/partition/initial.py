@@ -91,12 +91,30 @@ def grow_bisection(graph: Graph, target_weight: float,
         gain[v] = -float(graph.edge_weights(v).sum())
     absorb(seed_vertex)
 
-    while grown < target_weight and heap:
+    def would_overshoot(v: int) -> bool:
+        # stop rather than badly overshoot the target weight
+        return (grown + graph.vwgt[v] > 1.5 * target_weight
+                and grown > 0.5 * target_weight)
+
+    while grown < target_weight:
+        if not heap:
+            # the seed's component is exhausted: recursive bisection
+            # hands us disconnected regions, and stopping here used to
+            # return a degenerate split (e.g. weight 1 vs 38) whose
+            # zero cut then won best_bisection — jump to a fresh
+            # component and keep growing toward the target
+            remaining = np.flatnonzero(~in_region)
+            if remaining.size == 0:
+                break
+            v = int(remaining[0])
+            if would_overshoot(v):
+                break
+            absorb(v)
+            continue
         neg_gain, v, st = heapq.heappop(heap)
         if in_region[v] or st != stamp[v]:
             continue
-        # stop rather than badly overshoot the target weight
-        if grown + graph.vwgt[v] > 1.5 * target_weight and grown > 0.5 * target_weight:
+        if would_overshoot(v):
             break
         absorb(v)
     return parts
@@ -104,24 +122,32 @@ def grow_bisection(graph: Graph, target_weight: float,
 
 def best_bisection(graph: Graph, target_weight: float,
                    rng: np.random.Generator, trials: int = 4) -> np.ndarray:
-    """Run several growing trials; return the partition with lowest cut.
+    """Run several growing trials; return the best partition.
 
     The first trial seeds from a pseudo-peripheral vertex; remaining
     trials use random seeds.  ``trials`` is small because refinement
     dominates the final quality.
+
+    Trials compare by ``(badly unbalanced?, cut)``: a trial whose part-0
+    weight misses the target by more than 50% loses to any roughly
+    balanced one regardless of cut — otherwise a tiny isolated
+    component (cut 0) beats every genuine bisection and the downstream
+    refinement, which only improves cuts, is stuck with it.
     """
     n = graph.num_vertices
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     if n == 1:
         return np.zeros(1, dtype=np.int64)
-    best: Optional[Tuple[float, np.ndarray]] = None
+    best: Optional[Tuple[Tuple[bool, float], np.ndarray]] = None
     seeds = [pseudo_peripheral_vertex(graph)]
     seeds += [int(rng.integers(0, n)) for _ in range(max(0, trials - 1))]
     for seed in seeds:
         parts = grow_bisection(graph, target_weight, seed)
-        cut = edge_cut(graph, parts)
-        if best is None or cut < best[0]:
-            best = (cut, parts)
+        w0 = float(graph.vwgt[parts == 0].sum())
+        deviation = abs(w0 - target_weight) / max(target_weight, 1e-300)
+        key = (deviation > 0.5, edge_cut(graph, parts))
+        if best is None or key < best[0]:
+            best = (key, parts)
     assert best is not None
     return best[1]

@@ -103,6 +103,34 @@ def _one_pass(graph: Graph, parts: np.ndarray, max_weight: np.ndarray) -> float:
     return best_gain
 
 
+def _rebalance(graph: Graph, parts: np.ndarray,
+               max_weight: np.ndarray) -> None:
+    """Force an overweight side back under its cap, in place.
+
+    Balance beats cut here (as in METIS): vertices leave the overweight
+    side in order of gain — least cut damage first — until the cap
+    holds or only one vertex remains.  Gains are not updated between
+    moves; this is coarse repair of degenerate inputs (e.g. a
+    disconnected region whose initial bisection collapsed), and the FM
+    passes that follow clean up the cut.
+    """
+    side_weight = np.zeros(2)
+    np.add.at(side_weight, parts, graph.vwgt)
+    for s in (0, 1):
+        if side_weight[s] <= max_weight[s]:
+            continue
+        gains = compute_gains(graph, parts)
+        heap = [(-gains[v], v) for v in np.flatnonzero(parts == s)]
+        heapq.heapify(heap)
+        n_side = len(heap)
+        while side_weight[s] > max_weight[s] and n_side > 1 and heap:
+            _, v = heapq.heappop(heap)
+            parts[v] = 1 - s
+            side_weight[s] -= graph.vwgt[v]
+            side_weight[1 - s] += graph.vwgt[v]
+            n_side -= 1
+
+
 def fm_refine_bisection(graph: Graph, parts: np.ndarray,
                         balance: float = 1.05,
                         max_passes: int = 8,
@@ -114,9 +142,12 @@ def fm_refine_bisection(graph: Graph, parts: np.ndarray,
     balance:
         Allowed imbalance: side ``s`` may not exceed
         ``balance * target_fractions[s] * total_weight``.  If the incoming
-        partition already violates a cap, that cap is relaxed to the
-        current side weight so refinement can still reduce the cut (it
-        will not make balance worse thanks to the per-move weight check).
+        partition violates a cap, it is first *repaired* — vertices
+        leave the overweight side, least cut damage first, until the cap
+        holds (``_rebalance``).  The previous behavior of relaxing the
+        cap to the incoming weight let a degenerate initial bisection
+        (a 1/38 split of a disconnected region) survive refinement
+        untouched and surface as an imbalanced final partition.
     max_passes:
         Upper bound on FM passes; iteration stops early once a pass
         yields no improvement.
@@ -134,10 +165,15 @@ def fm_refine_bisection(graph: Graph, parts: np.ndarray,
     total = graph.total_vertex_weight()
     current = np.zeros(2)
     np.add.at(current, parts, graph.vwgt)
-    max_weight = np.array([
-        max(balance * f0 * total, float(current[0])),
-        max(balance * f1 * total, float(current[1])),
-    ])
+    max_weight = np.array([balance * f0 * total, balance * f1 * total])
+    if current[0] > max_weight[0] or current[1] > max_weight[1]:
+        _rebalance(graph, parts, max_weight)
+        # vertex granularity can make a cap unreachable (e.g. one
+        # heavy coarse vertex); never let the FM passes make balance
+        # worse than the repaired state
+        current[:] = 0.0
+        np.add.at(current, parts, graph.vwgt)
+        max_weight = np.maximum(max_weight, current)
 
     for _ in range(max_passes):
         improvement = _one_pass(graph, parts, max_weight)

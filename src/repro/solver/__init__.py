@@ -11,11 +11,15 @@ mirroring the paper's development path:
   simulated cluster (Secs. 6-7, 8.3).
 
 Supporting modules: the model constants (:mod:`repro.solver.model`), the
-vectorized kernels (:mod:`repro.solver.kernel`) and the manufactured
-exact solution (:mod:`repro.solver.exact`).
+vectorized kernels (:mod:`repro.solver.kernel`), the pluggable kernel
+backends (:mod:`repro.solver.backends`: direct / fft / sparse behind
+one interface) and the manufactured exact solution
+(:mod:`repro.solver.exact`).
 """
 
 from .async_solver import AsyncSolver
+from .backends import (KernelBackend, apply_operator_reference,
+                       auto_backend_name, backend_names, make_backend)
 from .distributed import DistributedResult, DistributedSolver
 from .implicit import ImplicitSolver
 from .local import LocalHeatSolver, local_stable_dt
@@ -28,6 +32,8 @@ from .serial import SerialSolver, SolveResult, solve_manufactured
 
 __all__ = [
     "AsyncSolver",
+    "KernelBackend", "apply_operator_reference", "auto_backend_name",
+    "backend_names", "make_backend",
     "DistributedResult", "DistributedSolver",
     "ImplicitSolver", "LocalHeatSolver", "local_stable_dt",
     "ManufacturedProblem", "interior_multiplier", "step_error", "total_error",

@@ -24,7 +24,7 @@ from ..amt.executor import TaskExecutor
 from ..amt.future import when_all
 from ..mesh.grid import UniformGrid
 from ..mesh.subdomain import SubdomainGrid
-from .kernel import NonlocalOperator, stable_dt
+from .kernel import NonlocalOperator, check_operator_matches, stable_dt
 from .model import NonlocalHeatModel
 from .serial import SolveResult
 from .exact import step_error
@@ -45,12 +45,18 @@ class AsyncSolver:
         Worker threads ("CPUs" in the paper's Figs. 9–10).
     source, dt:
         As in :class:`repro.solver.serial.SerialSolver`.
+    operator, backend:
+        Optional prebuilt :class:`NonlocalOperator`, or the kernel
+        backend name to build one with (see
+        :mod:`repro.solver.backends`).
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
                  sd_grid: SubdomainGrid, num_threads: int = 1,
                  source: Optional[Callable[[float], np.ndarray]] = None,
-                 dt: Optional[float] = None) -> None:
+                 dt: Optional[float] = None,
+                 operator: Optional[NonlocalOperator] = None,
+                 backend: str = "auto") -> None:
         if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
             raise ValueError(
                 f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
@@ -58,9 +64,14 @@ class AsyncSolver:
         self.model = model
         self.grid = grid
         self.sd_grid = sd_grid
-        self.operator = NonlocalOperator(model, grid)
+        if operator is None:
+            operator = NonlocalOperator(model, grid, backend=backend)
+        else:
+            check_operator_matches(operator, model, grid)
+        self.operator = operator
         self.source = source
-        self.dt = stable_dt(model, grid) if dt is None else float(dt)
+        self.dt = (stable_dt(model, grid, stencil=operator.stencil)
+                   if dt is None else float(dt))
         if self.dt <= 0:
             raise ValueError(f"dt must be positive, got {self.dt}")
         self.num_threads = num_threads

@@ -118,6 +118,12 @@ class DistributedSolver:
         (e.g. from :func:`repro.experiments.runner.cached_operator`);
         sweeps over repeated ``(nx, eps)`` points share the neighborhood
         assembly instead of rebuilding it per run.
+    backend:
+        Kernel backend name for the operator when none is injected
+        (``"auto"`` by default; see :mod:`repro.solver.backends`).
+        Backends change only how the real numerics are computed —
+        virtual task costs stay neighbor-count-based, so schedules and
+        makespans are backend-independent.
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
@@ -134,7 +140,8 @@ class DistributedSolver:
                  compute_numerics: bool = True,
                  domain_mask=None,
                  spawn_overhead: float = 0.0,
-                 operator: Optional[NonlocalOperator] = None) -> None:
+                 operator: Optional[NonlocalOperator] = None,
+                 backend: str = "auto") -> None:
         if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
             raise ValueError(
                 f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
@@ -145,7 +152,7 @@ class DistributedSolver:
         self.parts = np.asarray(parts, dtype=np.int64).copy()
         self.num_nodes = num_nodes
         if operator is None:
-            operator = NonlocalOperator(model, grid)
+            operator = NonlocalOperator(model, grid, backend=backend)
         else:
             check_operator_matches(operator, model, grid)
         self.operator = operator

@@ -6,30 +6,33 @@ The spatially discrete right-hand side of eq. (5) is, for DP ``i``,
 
 where ``W`` is the stencil mask (``J`` weights), ``S = sum(W)`` and ``V``
 the cell volume — the zero condition on ``Dc`` is exactly zero-extension
-of ``u`` outside the array, which FFT/overlap-add convolution with zero
-padding implements natively.  Two implementations are provided:
+of ``u`` outside the array, which convolution with zero padding
+implements natively.
 
-* :class:`NonlocalOperator` — dense convolution (``scipy.signal
-  .oaconvolve``), used by all solvers; also exposes :meth:`apply_block`
-  for SD-local application on a padded (ghost-augmented) block.
-* :func:`assemble_sparse_operator` — an explicit sparse matrix, used in
-  tests to cross-validate the convolution path entry by entry.
+:class:`NonlocalOperator` is the solver-facing object: it owns the
+stencil and the prefactor and delegates the actual arithmetic to a
+pluggable *kernel backend* (:mod:`repro.solver.backends`) — dense
+convolution, precomputed-FFT, or cached sparse matvec — selected by
+name (default ``"auto"``: radius heuristic, overridable via the
+``REPRO_KERNEL_BACKEND`` environment variable).  It exposes
+:meth:`~NonlocalOperator.apply` for the full grid and
+:meth:`~NonlocalOperator.apply_block` for SD-local application on a
+padded (ghost-augmented) block.
 
-Following the optimization guide: the mask is built once, applications
-are allocation-light, and the convolution routine is chosen by scipy
-(direct vs FFT) based on size.
+:func:`assemble_sparse_operator` remains the slow, loop-based explicit
+matrix used in tests to cross-validate every backend entry by entry.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
-from scipy.signal import oaconvolve
 import scipy.sparse as sp
 
 from ..mesh.grid import UniformGrid
 from ..mesh.stencil import NonlocalStencil, build_stencil
+from .backends import KernelBackend, make_backend
 from .model import NonlocalHeatModel
 
 __all__ = ["NonlocalOperator", "assemble_sparse_operator",
@@ -73,10 +76,16 @@ class NonlocalOperator:
     stencil:
         Optional precomputed stencil; built from the model/grid if
         omitted.
+    backend:
+        Kernel backend choice: a registered name (``"direct"``,
+        ``"fft"``, ``"sparse"``), ``"auto"`` (radius heuristic, env
+        overridable — the default), or a prebuilt
+        :class:`repro.solver.backends.KernelBackend` instance.
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
-                 stencil: Optional[NonlocalStencil] = None) -> None:
+                 stencil: Optional[NonlocalStencil] = None,
+                 backend: Union[str, KernelBackend] = "auto") -> None:
         if stencil is None:
             stencil = build_stencil(grid.h, model.epsilon, model.influence,
                                     dim=model.dim)
@@ -85,11 +94,27 @@ class NonlocalOperator:
         self.stencil = stencil
         #: combined prefactor ``c * V`` of the discrete sum
         self.scale = model.c * grid.cell_volume
+        if isinstance(backend, KernelBackend):
+            if backend.stencil is not stencil:
+                raise ValueError(
+                    "prebuilt backend was assembled for a different stencil")
+            if backend.scale != self.scale:
+                raise ValueError(
+                    f"prebuilt backend was assembled with scale "
+                    f"{backend.scale!r}, this operator needs {self.scale!r}")
+            self.backend = backend
+        else:
+            self.backend = make_backend(backend, stencil, self.scale)
 
     @property
     def radius(self) -> int:
         """Ghost-layer width in DPs."""
         return self.stencil.radius
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the kernel backend executing the applies."""
+        return self.backend.name
 
     def apply(self, u: np.ndarray) -> np.ndarray:
         """``L(u)`` over the full grid; ``u`` has shape ``grid.shape``.
@@ -99,8 +124,7 @@ class NonlocalOperator:
         """
         if u.shape != self.grid.shape:
             raise ValueError(f"field shape {u.shape} != grid {self.grid.shape}")
-        conv = oaconvolve(u, self.stencil.mask, mode="same")
-        return self.scale * (conv - self.stencil.weight_sum * u)
+        return self.backend.apply_full(u)
 
     def apply_block(self, padded: np.ndarray, radius: Optional[int] = None) -> np.ndarray:
         """``L(u)`` on an SD block given its ghost-padded neighborhood.
@@ -116,9 +140,7 @@ class NonlocalOperator:
         if padded.shape[0] <= 2 * r or padded.shape[1] <= 2 * r:
             raise ValueError(
                 f"padded block {padded.shape} too small for radius {r}")
-        conv = oaconvolve(padded, self.stencil.mask, mode="valid")
-        core = padded[r:-r, r:-r]
-        return self.scale * (conv - self.stencil.weight_sum * core)
+        return self.backend.apply_padded(padded)
 
     def flops_per_dp(self) -> float:
         """Approximate floating-point work per DP update.

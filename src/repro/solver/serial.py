@@ -62,16 +62,20 @@ class SerialSolver:
         Optional prebuilt :class:`NonlocalOperator` (e.g. from the
         experiment runner's cache); must match ``grid`` and the
         model's horizon.
+    backend:
+        Kernel backend name for the operator when none is injected
+        (``"auto"`` by default; see :mod:`repro.solver.backends`).
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
                  source: Optional[Callable[[float], np.ndarray]] = None,
                  dt: Optional[float] = None,
-                 operator: Optional[NonlocalOperator] = None) -> None:
+                 operator: Optional[NonlocalOperator] = None,
+                 backend: str = "auto") -> None:
         self.model = model
         self.grid = grid
         if operator is None:
-            operator = NonlocalOperator(model, grid)
+            operator = NonlocalOperator(model, grid, backend=backend)
         else:
             check_operator_matches(operator, model, grid)
         self.operator = operator

@@ -10,6 +10,7 @@ EXPECTED = {
     "fig11_strong_distributed", "fig12_weak_distributed",
     "fig13_metis_scaling", "fig14_load_balance",
     "abl_overlap", "abl_partitioners", "abl_balancing_gain",
+    "abl_backends",
     "crack_hetero", "hetero_interference", "quickstart",
     "solve_serial", "scale_strong",
 }

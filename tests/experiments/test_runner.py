@@ -33,6 +33,52 @@ class TestOperatorCache:
         assert warm.radius == cold.radius
         np.testing.assert_array_equal(warm.stencil.mask, cold.stencil.mask)
 
+    def test_backend_is_part_of_the_cache_key(self):
+        """Scenarios pinning different kernel backends must never share
+        an operator — the backend carries per-shape state."""
+        clear_operator_cache()
+        direct = cached_operator(32, 32, 8.0, "direct")
+        fft = cached_operator(32, 32, 8.0, "fft")
+        sparse = cached_operator(32, 32, 8.0, "sparse")
+        assert len({id(direct), id(fft), id(sparse)}) == 3
+        assert (direct.backend_name, fft.backend_name,
+                sparse.backend_name) == ("direct", "fft", "sparse")
+        assert cached_operator(32, 32, 8.0, "fft") is fft
+        assert operator_cache_info().misses == 3
+
+    def test_default_and_explicit_auto_share_one_entry(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        clear_operator_cache()
+        assert cached_operator(32, 32, 8.0) is cached_operator(
+            32, 32, 8.0, "auto")
+
+    def test_auto_shares_the_entry_of_its_resolution(self, monkeypatch):
+        """The key is fully resolved: a backend sweep over auto + the
+        name auto resolves to must not rebuild the same operator."""
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        clear_operator_cache()
+        assert cached_operator(32, 32, 8.0) is cached_operator(
+            32, 32, 8.0, "fft")         # R = 8 -> fft
+        assert cached_operator(32, 32, 2.0) is cached_operator(
+            32, 32, 2.0, "direct")      # R = 2 -> direct
+        assert operator_cache_info().misses == 2
+
+    def test_env_override_resolves_before_the_cache(self, monkeypatch):
+        """Forcing via REPRO_KERNEL_BACKEND must key the cache on the
+        resolved name, so a later unforced call cannot be served a
+        forced operator (and vice versa)."""
+        clear_operator_cache()
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "sparse")
+        forced = cached_operator(32, 32, 8.0)
+        assert forced.backend_name == "sparse"
+        assert forced is cached_operator(32, 32, 8.0, "sparse")
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND")
+        unforced = cached_operator(32, 32, 8.0)
+        assert unforced is not forced
+        # explicit names ignore the environment entirely
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "direct")
+        assert cached_operator(32, 32, 8.0, "fft").backend_name == "fft"
+
 
 class TestBuildSolver:
     def test_solver_uses_the_cached_operator(self):
@@ -58,6 +104,21 @@ class TestBuildSolver:
     def test_serial_spec_rejected(self):
         with pytest.raises(ValueError):
             build_solver(build("solve_serial"))
+
+    def test_spec_kernel_backend_reaches_the_solver(self):
+        spec = build("fig11_strong_distributed", mesh=32, sd_axis=4,
+                     nodes=2, steps=1).replace(kernel_backend="sparse")
+        solver = build_solver(spec)
+        assert solver.operator.backend_name == "sparse"
+        assert solver.operator is cached_operator(32, 32, 8.0, "sparse")
+
+    def test_abl_backends_scenario_sweeps_the_backend(self):
+        from repro.solver.backends import backend_names
+        for name in backend_names():
+            spec = build("abl_backends", backend=name, mesh=32, sd_axis=4,
+                         nodes=2, steps=1)
+            assert spec.kernel_backend == name
+            assert build_solver(spec).operator.backend_name == name
 
     def test_mismatched_operator_rejected(self):
         from repro.mesh.grid import UniformGrid
@@ -91,6 +152,34 @@ class TestRunScenario:
                                  steps=4))
         ref = solve_manufactured(16, eps_factor=8.0, num_steps=4)
         assert rec.total_error == pytest.approx(ref.total_error, rel=1e-12)
+
+    def test_backend_changes_numerics_execution_only(self):
+        """Across backends: the virtual schedule is bit-identical (task
+        costs are neighbor-count-based) and the temperatures agree to
+        rounding."""
+        from repro.solver.backends import backend_names
+        recs = [run_scenario(build("quickstart", nx=16, sd_axis=2, nodes=2,
+                                   steps=3).replace(kernel_backend=b))
+                for b in backend_names()]
+        for rec in recs[1:]:
+            assert rec.makespan == recs[0].makespan
+            assert rec.step_durations == recs[0].step_durations
+            assert rec.total_error == pytest.approx(recs[0].total_error,
+                                                    rel=1e-10)
+
+    def test_record_carries_the_resolved_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        from repro.solver.backends import backend_names
+        pinned = run_scenario(build("quickstart", nx=16, sd_axis=2, nodes=2,
+                                    steps=1).replace(kernel_backend="sparse"))
+        assert pinned.backend_resolved == "sparse"
+        auto = run_scenario(build("quickstart", nx=16, sd_axis=2, nodes=2,
+                                  steps=1))
+        assert auto.spec["kernel_backend"] == "auto"
+        assert auto.backend_resolved == "fft"  # eps = 8h -> R = 8
+        serial = run_scenario(build("solve_serial", nx=16, eps_factor=2.0,
+                                    steps=1))
+        assert serial.backend_resolved in backend_names()
 
     def test_record_spec_round_trips(self):
         spec = build("fig09_strong_shared", mesh=32, sd_axis=2, cpus=2,

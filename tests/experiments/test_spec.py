@@ -168,6 +168,8 @@ class TestScenarioSpec:
         dict(name="s", crack_floor=0.0),
         dict(name="s", crack_floor=1.5),
         dict(name="s", crack_horizon_factor=0.0),
+        dict(name="s", kernel_backend="quantum"),
+        dict(name="s", kernel_backend=""),
     ])
     def test_invalid(self, kwargs):
         kwargs.setdefault("mesh", MeshSpec(nx=16, sd_nx=4))
@@ -184,6 +186,22 @@ class TestScenarioSpec:
         assert s.replace(num_steps=7).num_steps == 7
         with pytest.raises(ValueError):
             s.replace(num_steps=-2)
+
+    def test_kernel_backend_defaults_to_auto(self):
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4))
+        assert s.kernel_backend == "auto"
+        # every registered backend is a valid choice
+        from repro.solver.backends import backend_names
+        for name in backend_names():
+            assert s.replace(kernel_backend=name).kernel_backend == name
+
+    def test_kernel_backend_survives_legacy_dicts(self):
+        """Spec dicts written before the backend field (PR-1 result
+        files) must still load, defaulting to auto."""
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4))
+        d = s.to_dict()
+        del d["kernel_backend"]
+        assert ScenarioSpec.from_dict(d).kernel_backend == "auto"
 
 
 def _sample_specs():
@@ -210,6 +228,8 @@ def _sample_specs():
                        cluster=ClusterSpec(num_nodes=2),
                        partition=PartitionSpec(method="explicit",
                                                parts=(0, 1, 1, 0)))
+    yield ScenarioSpec(name="backend", mesh=MeshSpec(nx=8, sd_nx=2),
+                       kernel_backend="fft")
 
 
 class TestRoundTrip:

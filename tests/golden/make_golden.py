@@ -1,0 +1,96 @@
+"""Regenerate the golden kernel fixtures (``tests/golden/*.npz``).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+Each fixture pins the numerics of the nonlocal operator on a small
+grid: the input field, the expected ``L(u)``, and (for the evolution
+fixture) the field after a few forward-Euler steps.  Expected arrays
+are computed with :func:`repro.solver.backends.apply_operator_reference`
+— the scipy-free oracle — never with any production backend, so the
+fixtures are an independent anchor: every backend must reproduce them
+to 1e-12 (relative; see ``tests/solver/test_golden.py``), which pins
+the discretization against silent drift from future kernel work.
+
+The files are committed; rerun this script only when the *intended*
+numerics change (e.g. a new influence function), and say so in the
+commit message.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.mesh.grid import UniformGrid  # noqa: E402
+from repro.solver.backends import apply_operator_reference  # noqa: E402
+from repro.solver.exact import ManufacturedProblem  # noqa: E402
+from repro.solver.kernel import stable_dt  # noqa: E402
+from repro.solver.model import NonlocalHeatModel  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: (name, nx, ny, dim, eps_factor, influence)
+APPLY_CASES = [
+    ("apply_2d_constant", 12, 12, 2, 3.0, "constant"),
+    ("apply_2d_linear", 10, 10, 2, 2.0, "linear"),
+    ("apply_2d_gaussian_rect", 16, 10, 2, 4.0, "gaussian"),
+    ("apply_1d_constant", 24, 1, 1, 4.0, "constant"),
+]
+
+
+def build(nx, ny, dim, eps_factor, influence):
+    from repro.solver.model import (constant_influence, gaussian_influence,
+                                    linear_influence)
+    J = {"constant": constant_influence, "linear": linear_influence,
+         "gaussian": gaussian_influence}[influence]
+    grid = UniformGrid(nx, ny, dim=dim)
+    model = NonlocalHeatModel(epsilon=eps_factor * grid.h, dim=dim,
+                              influence=J)
+    return model, grid
+
+
+def field(grid, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(grid.shape)
+
+
+def main():
+    for i, (name, nx, ny, dim, eps_factor, influence) in enumerate(APPLY_CASES):
+        model, grid = build(nx, ny, dim, eps_factor, influence)
+        from repro.mesh.stencil import build_stencil
+        stencil = build_stencil(grid.h, model.epsilon, model.influence,
+                                dim=dim)
+        u = field(grid, seed=100 + i)
+        lu = apply_operator_reference(stencil, model.c * grid.cell_volume, u)
+        path = os.path.join(HERE, name + ".npz")
+        np.savez(path, u=u, lu=lu, nx=nx, ny=ny, dim=dim,
+                 eps_factor=eps_factor, influence=influence)
+        print(f"wrote {path}: |L(u)| up to {np.abs(lu).max():.4g}")
+
+    # evolution fixture: 5 manufactured forward-Euler steps on a small
+    # 2-D grid, stepped with the reference apply (no backend involved)
+    model, grid = build(16, 16, 2, 2.0, "constant")
+    from repro.mesh.stencil import build_stencil
+    stencil = build_stencil(grid.h, model.epsilon, model.influence, dim=2)
+    prob = ManufacturedProblem(model, grid, source_mode="continuum")
+    dt = stable_dt(model, grid, stencil=stencil)
+    steps = 5
+    scale = model.c * grid.cell_volume
+    u = prob.initial_condition().astype(np.float64)
+    t = 0.0
+    for _ in range(steps):
+        rhs = apply_operator_reference(stencil, scale, u) + prob.source(t)
+        u = u + dt * rhs
+        t += dt
+    path = os.path.join(HERE, "evolve_2d_constant.npz")
+    np.savez(path, u0=prob.initial_condition(), u_final=u, nx=16, ny=16,
+             dim=2, eps_factor=2.0, influence="constant", steps=steps, dt=dt)
+    print(f"wrote {path}: {steps} steps, dt={dt:.4g}")
+
+
+if __name__ == "__main__":
+    main()

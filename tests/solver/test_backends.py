@@ -1,0 +1,302 @@
+"""Kernel-backend suite: registry semantics and backend equivalence.
+
+Every backend must compute the same operator as
+:func:`apply_operator_reference` — the scipy-free oracle — across
+random masks (including asymmetric ones, which pin the convolution
+orientation), radii, block shapes, non-square grids and the 1-D
+single-row-mask path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.grid import UniformGrid
+from repro.mesh.stencil import NonlocalStencil, build_stencil
+from repro.solver.backends import (AUTO, ENV_VAR, KernelBackend,
+                                   apply_operator_reference,
+                                   auto_backend_name, backend_names,
+                                   get_backend_class, make_backend,
+                                   register_backend, requested_backend)
+from repro.solver.kernel import NonlocalOperator
+from repro.solver.model import NonlocalHeatModel
+
+ALL_BACKENDS = backend_names()
+
+
+def random_stencil(rng, radius, single_row=False, symmetric=False):
+    """A stencil with random non-negative weights (center included —
+    backends must not assume the built-stencil zero center)."""
+    side = 2 * radius + 1
+    shape = (1, side) if single_row else (side, side)
+    mask = rng.random(shape)
+    if symmetric:
+        mask = mask + mask[::-1, ::-1]
+    return NonlocalStencil(mask, h=1.0, epsilon=float(max(radius, 1)))
+
+
+def reference_padded(stencil, scale, padded):
+    """Expected padded-block apply, derived from the full reference."""
+    r = stencil.radius
+    full = apply_operator_reference(stencil, scale, padded)
+    return full[r:-r, r:-r] if r > 0 else full
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert ALL_BACKENDS == ["direct", "fft", "sparse"]
+
+    def test_get_backend_class_roundtrip(self):
+        for name in ALL_BACKENDS:
+            assert get_backend_class(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernel backend"):
+            get_backend_class("quantum")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            requested_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("direct")(get_backend_class("direct"))
+
+    def test_auto_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend(AUTO)(get_backend_class("direct"))
+
+    def test_explicit_name_passes_through(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sparse")
+        # explicit names win over the environment
+        assert requested_backend("fft") == "fft"
+
+    def test_env_forces_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sparse")
+        assert requested_backend(AUTO) == "sparse"
+
+    def test_env_unset_leaves_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert requested_backend(AUTO) == AUTO
+
+    def test_env_auto_means_no_override(self, monkeypatch):
+        """Exporting REPRO_KERNEL_BACKEND=auto must behave like not
+        setting it, not error out as an unknown backend."""
+        monkeypatch.setenv(ENV_VAR, "auto")
+        assert requested_backend(AUTO) == AUTO
+        assert requested_backend("fft") == "fft"
+
+    def test_env_with_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "quantum")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            requested_backend(AUTO)
+
+    def test_auto_heuristic_picks_by_radius(self):
+        assert auto_backend_name(1) == "direct"
+        assert auto_backend_name(2) == "direct"
+        assert auto_backend_name(3) == "fft"
+        assert auto_backend_name(8) == "fft"
+
+    def test_make_backend_resolves_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        rng = np.random.default_rng(1)
+        small = make_backend(AUTO, random_stencil(rng, 1), 1.0)
+        large = make_backend(AUTO, random_stencil(rng, 4), 1.0)
+        assert small.name == "direct"
+        assert large.name == "fft"
+        assert isinstance(small, KernelBackend)
+
+
+class TestOperatorBackendSelection:
+    def make_op(self, **kw):
+        grid = UniformGrid(16, 16)
+        model = NonlocalHeatModel(epsilon=4 * grid.h)
+        return NonlocalOperator(model, grid, **kw)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_named_backend_used(self, backend):
+        assert self.make_op(backend=backend).backend_name == backend
+
+    def test_default_is_auto_heuristic(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert self.make_op().backend_name == "fft"  # R = 4
+
+    def test_env_forces_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sparse")
+        assert self.make_op().backend_name == "sparse"
+
+    def test_prebuilt_backend_instance_accepted(self):
+        op = self.make_op(backend="direct")
+        op2 = NonlocalOperator(op.model, op.grid, stencil=op.stencil,
+                               backend=op.backend)
+        assert op2.backend is op.backend
+
+    def test_foreign_backend_instance_rejected(self):
+        op = self.make_op(backend="direct")
+        other = self.make_op(backend="direct")
+        with pytest.raises(ValueError, match="different stencil"):
+            NonlocalOperator(op.model, op.grid, stencil=op.stencil,
+                             backend=other.backend)
+
+    def test_backend_with_stale_scale_rejected(self):
+        """A backend baked with another model's c*V prefactor must not
+        be accepted just because the stencil object is shared."""
+        op = self.make_op(backend="direct")
+        hotter = NonlocalHeatModel(epsilon=op.model.epsilon,
+                                   kappa=2.0 * op.model.kappa)
+        with pytest.raises(ValueError, match="scale"):
+            NonlocalOperator(hotter, op.grid, stencil=op.stencil,
+                             backend=op.backend)
+
+
+class TestSeededEquivalence:
+    """Deterministic sweep over the shapes the solvers actually use."""
+
+    CASES = [
+        # (radius, single_row, grid shape)
+        (1, False, (9, 9)),
+        (2, False, (16, 16)),
+        (3, False, (20, 13)),   # non-square
+        (4, False, (9, 17)),    # non-square, grid dim == 2R + 1 on y
+        (8, False, (40, 40)),   # the paper's eps = 8h mask
+        (2, True, (1, 25)),     # 1-D model path
+        (4, True, (1, 33)),
+    ]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("radius,single_row,shape", CASES)
+    def test_full_apply_matches_reference(self, backend, radius,
+                                          single_row, shape):
+        rng = np.random.default_rng(radius * 100 + shape[0])
+        stencil = random_stencil(rng, radius, single_row=single_row)
+        scale = 1.7
+        u = rng.standard_normal(shape)
+        expected = apply_operator_reference(stencil, scale, u)
+        got = make_backend(backend, stencil, scale).apply_full(u)
+        tol = 1e-12 * max(1.0, np.abs(expected).max())
+        assert np.abs(got - expected).max() <= tol
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("radius,single_row,block", [
+        (1, False, (5, 7)),
+        (3, False, (6, 6)),
+        (8, False, (10, 4)),
+        (2, True, (1, 9)),
+        (4, True, (1, 5)),
+    ])
+    def test_padded_apply_matches_reference(self, backend, radius,
+                                            single_row, block):
+        rng = np.random.default_rng(radius * 10 + block[1])
+        stencil = random_stencil(rng, radius, single_row=single_row)
+        scale = 0.9
+        padded = rng.standard_normal((block[0] + 2 * radius,
+                                      block[1] + 2 * radius))
+        expected = reference_padded(stencil, scale, padded)
+        got = make_backend(backend, stencil, scale).apply_padded(padded)
+        assert got.shape == block
+        tol = 1e-12 * max(1.0, np.abs(expected).max())
+        assert np.abs(got - expected).max() <= tol
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_repeated_applies_reuse_cached_state(self, backend):
+        """Per-shape state (FFT plans, CSR matrices) must not corrupt
+        later applies of other shapes."""
+        rng = np.random.default_rng(7)
+        stencil = random_stencil(rng, 3)
+        b = make_backend(backend, stencil, 1.0)
+        for shape in [(12, 12), (9, 15), (12, 12), (7, 7), (9, 15)]:
+            u = rng.standard_normal(shape)
+            expected = apply_operator_reference(stencil, 1.0, u)
+            for _ in range(2):
+                got = b.apply_full(u)
+                tol = 1e-12 * max(1.0, np.abs(expected).max())
+                assert np.abs(got - expected).max() <= tol
+
+
+class TestPropertyEquivalence:
+    """Hypothesis sweep: random masks / radii / shapes / scales."""
+
+    @given(radius=st.integers(1, 4),
+           single_row=st.booleans(),
+           ny=st.integers(1, 14),
+           nx=st.integers(1, 14),
+           scale=st.floats(0.1, 10.0),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_all_backends_match_reference_full(self, radius, single_row,
+                                               ny, nx, scale, seed):
+        rng = np.random.default_rng(seed)
+        stencil = random_stencil(rng, radius, single_row=single_row)
+        u = rng.standard_normal((1 if single_row else ny, nx))
+        expected = apply_operator_reference(stencil, scale, u)
+        tol = 1e-12 * max(1.0, np.abs(expected).max())
+        for name in ALL_BACKENDS:
+            got = make_backend(name, stencil, scale).apply_full(u)
+            assert np.abs(got - expected).max() <= tol, name
+
+    @given(radius=st.integers(1, 3),
+           single_row=st.booleans(),
+           bh=st.integers(1, 8),
+           bw=st.integers(1, 8),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_all_backends_match_reference_padded(self, radius, single_row,
+                                                 bh, bw, seed):
+        rng = np.random.default_rng(seed)
+        stencil = random_stencil(rng, radius, single_row=single_row)
+        padded = rng.standard_normal(((1 if single_row else bh) + 2 * radius,
+                                      bw + 2 * radius))
+        expected = reference_padded(stencil, 1.3, padded)
+        tol = 1e-12 * max(1.0, np.abs(expected).max())
+        for name in ALL_BACKENDS:
+            got = make_backend(name, stencil, 1.3).apply_padded(padded)
+            assert got.shape == expected.shape, name
+            assert np.abs(got - expected).max() <= tol, name
+
+    @given(nx=st.sampled_from([8, 12, 16]),
+           eps_factor=st.sampled_from([2, 3, 4]),
+           dim=st.sampled_from([1, 2]),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=20, deadline=None)
+    def test_built_stencil_operator_agrees_across_backends(self, nx,
+                                                           eps_factor, dim,
+                                                           seed):
+        """The production path: model-built stencils through
+        NonlocalOperator, 1-D and 2-D."""
+        grid = UniformGrid(nx, nx if dim == 2 else 1, dim=dim)
+        model = NonlocalHeatModel(epsilon=eps_factor * grid.h, dim=dim)
+        u = np.random.default_rng(seed).standard_normal(grid.shape)
+        ops = [NonlocalOperator(model, grid, backend=b)
+               for b in ALL_BACKENDS]
+        results = [op.apply(u) for op in ops]
+        tol = 1e-12 * max(1.0, np.abs(results[0]).max())
+        for name, got in zip(ALL_BACKENDS[1:], results[1:]):
+            assert np.abs(got - results[0]).max() <= tol, name
+
+
+class TestReferenceOracle:
+    def test_reference_matches_known_small_case(self):
+        """Hand-checkable 1x3 mask on a 1x3 field."""
+        stencil = NonlocalStencil(np.array([[2.0, 0.0, 5.0]]), 1.0, 1.0)
+        u = np.array([[1.0, 10.0, 100.0]])
+        # conv[i] = 2*u[i+1] + 5*u[i-1] (zero outside); S = 7
+        expected = 1.0 * (np.array([[20.0, 200.0 + 5.0, 50.0]])
+                          - 7.0 * u)
+        got = apply_operator_reference(stencil, 1.0, u)
+        np.testing.assert_allclose(got, expected, rtol=0, atol=1e-15)
+
+    def test_reference_rejects_non_2d(self):
+        stencil = NonlocalStencil(np.ones((1, 3)), 1.0, 1.0)
+        with pytest.raises(ValueError, match="2-D"):
+            apply_operator_reference(stencil, 1.0, np.zeros(5))
+
+    def test_reference_matches_legacy_sparse_assembly(self):
+        """The oracle agrees with the seed's loop-based sparse matrix."""
+        from repro.solver.kernel import assemble_sparse_operator
+        grid = UniformGrid(10, 10)
+        model = NonlocalHeatModel(epsilon=3 * grid.h)
+        A = assemble_sparse_operator(model, grid)
+        stencil = build_stencil(grid.h, model.epsilon, model.influence)
+        u = np.random.default_rng(3).standard_normal(grid.shape)
+        ref = apply_operator_reference(stencil, model.c * grid.cell_volume, u)
+        np.testing.assert_allclose(
+            (A @ u.ravel()).reshape(grid.shape), ref, atol=1e-11)

@@ -6,15 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mesh.grid import UniformGrid
+from repro.solver.backends import backend_names
 from repro.solver.kernel import (NonlocalOperator, assemble_sparse_operator,
                                  stable_dt)
 from repro.solver.model import NonlocalHeatModel, linear_influence
 
 
-def make(nx=16, eps_factor=3, **kw):
+def make(nx=16, eps_factor=3, backend="auto", **kw):
     grid = UniformGrid(nx, nx)
     model = NonlocalHeatModel(epsilon=eps_factor * grid.h, **kw)
-    return model, grid, NonlocalOperator(model, grid)
+    return model, grid, NonlocalOperator(model, grid, backend=backend)
 
 
 class TestNonlocalOperator:
@@ -115,6 +116,46 @@ class TestApplyBlock:
         assert op.flops_per_dp() == 2.0 * op.stencil.num_neighbors
 
 
+class TestOneDimensionalPath:
+    """Regression: the 1-D model's single-row mask through apply_block.
+
+    The seed's dense path assumed a square mask: a valid convolution
+    with a ``(1, 2R+1)`` mask does not shrink the y axis, so the block
+    update came back with shape ``(1 + 2R, w)`` instead of ``(1, w)``.
+    """
+
+    def make_1d(self, nx=32, eps_factor=4, backend="auto"):
+        grid = UniformGrid(nx, 1, dim=1)
+        model = NonlocalHeatModel(epsilon=eps_factor * grid.h, dim=1)
+        return grid, NonlocalOperator(model, grid, backend=backend)
+
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_block_shape_and_values_match_full_apply(self, backend):
+        grid, op = self.make_1d(backend=backend)
+        R = op.radius
+        u = np.random.default_rng(8).standard_normal(grid.shape)
+        full = op.apply(u)
+        padded = np.zeros((1 + 2 * R, 8 + 2 * R))
+        padded[R, :] = u[0, 8 - R:16 + R]  # block [8:16) with halo
+        block = op.apply_block(padded)
+        assert block.shape == (1, 8)
+        assert np.allclose(block, full[:, 8:16],
+                           atol=1e-12 * max(1.0, np.abs(full).max()))
+
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_boundary_block_with_zero_padding(self, backend):
+        grid, op = self.make_1d(backend=backend)
+        R = op.radius
+        u = np.random.default_rng(9).standard_normal(grid.shape)
+        full = op.apply(u)
+        padded = np.zeros((1 + 2 * R, 8 + 2 * R))
+        padded[R, R:] = u[0, :8 + R]  # leftmost block, Dc zeros on the left
+        block = op.apply_block(padded)
+        assert block.shape == (1, 8)
+        assert np.allclose(block, full[:, :8],
+                           atol=1e-12 * max(1.0, np.abs(full).max()))
+
+
 class TestStableDt:
     def test_euler_stable_at_stable_dt(self):
         """Integrating noise with stable dt must not blow up."""
@@ -143,6 +184,29 @@ class TestStableDt:
         model, grid, _ = make()
         assert stable_dt(model, grid, safety=0.25) == pytest.approx(
             0.5 * stable_dt(model, grid, safety=0.5))
+
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_bound_is_backend_independent(self, backend):
+        """stable_dt reads only the stencil's weight_sum — never backend
+        internals — so every backend shares one stability bound."""
+        model, grid, op = make(backend=backend)
+        assert stable_dt(model, grid) == pytest.approx(
+            stable_dt(model, grid, stencil=op.stencil), rel=0, abs=0)
+        assert stable_dt(model, grid) == pytest.approx(
+            0.5 / (model.c * grid.cell_volume * op.stencil.weight_sum))
+
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_euler_stable_at_stable_dt_under_each_backend(self, backend):
+        """The bound holds for the arithmetic each backend actually
+        performs, not just the dense reference."""
+        model, grid, op = make(nx=12, eps_factor=2, backend=backend)
+        dt = stable_dt(model, grid, stencil=op.stencil)
+        rng = np.random.default_rng(10)
+        u = rng.standard_normal(grid.shape)
+        norm0 = np.linalg.norm(u)
+        for _ in range(30):
+            u = u + dt * op.apply(u)
+        assert np.linalg.norm(u) <= norm0 * 1.001
 
     @given(nx=st.sampled_from([8, 12, 16]), eps_factor=st.sampled_from([2, 3, 4]))
     @settings(max_examples=9, deadline=None)

@@ -92,6 +92,42 @@ class TestRunCommand:
     def test_run_unknown_scenario(self, capsys):
         assert main(["run", "--scenario", "fig99_imaginary"]) == 2
 
+    def test_run_with_backend_override(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "quickstart", "--steps", "1",
+                   "--backend", "sparse", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel backend: sparse" in out
+        records = read_records(str(path))
+        assert records[0].spec["kernel_backend"] == "sparse"
+
+    def test_run_default_backend_is_the_scenario_choice(self, capsys,
+                                                        tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "fig14_load_balance", "--steps", "1",
+                   "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel backend" not in out  # auto is not worth a line
+        assert read_records(str(path))[0].spec["kernel_backend"] == "auto"
+
+    def test_run_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "quickstart", "--backend", "quantum"])
+
+    def test_bad_backend_env_reported_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "quantum")
+        rc = main(["run", "--scenario", "quickstart", "--steps", "1"])
+        assert rc == 2
+        assert "REPRO_KERNEL_BACKEND" in capsys.readouterr().err
+
+    def test_solve_accepts_backend(self, capsys):
+        rc = main(["solve", "--nx", "16", "--eps-factor", "2",
+                   "--steps", "2", "--backend", "fft"])
+        assert rc == 0
+        assert "total error" in capsys.readouterr().out
+
 
 class TestJsonOutput:
     def test_solve_json(self, capsys, tmp_path):
