@@ -1,0 +1,115 @@
+"""Ablation F: balancing-strategy choice under drifting node speeds.
+
+Compares every registered balancing strategy (``tree`` = the paper's
+Algorithm 1, ``diffusion``, ``greedy``, ``repartition``) against the
+``NeverBalance`` baseline and a one-shot policy on the ``hetero_drift``
+workload: node speeds ramp linearly to the *reversed* assignment over
+the middle of the run, so any fixed SD distribution — including one
+chosen by a single early balancing step — is wrong for most of the run.
+
+Everything measured is virtual-time (deterministic, machine-independent,
+DESIGN.md substitution 1), so the printed makespans and migration costs
+are exact properties of the schedules, not wall-clock noise.
+
+Acceptance criterion (ISSUE 3): every adaptive strategy must beat the
+``NeverBalance`` makespan by >= 10% (floor tunable for experimentation
+via ``REPRO_BENCH_MIN_BALANCE_GAIN``).  The one-shot row is expected to
+*lose* to every adaptive strategy — that is the drift ablation's point.
+
+Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
+writes it to a file (``BENCH_balancers.json`` at the repo root is the
+committed record).
+"""
+
+import json
+import os
+from functools import lru_cache
+
+from repro.experiments import (SCHEMA, PolicySpec, balancer_sweep, build,
+                               run_scenario, write_json)
+from repro.reporting.tables import format_table
+
+STEPS = 16
+
+#: adaptive-vs-never acceptance floor (1.1 = the ISSUE-3 10% bar)
+_MIN_GAIN = float(os.environ.get("REPRO_BENCH_MIN_BALANCE_GAIN", "1.1"))
+
+_SPEC = build("hetero_drift", steps=STEPS)
+MESH = _SPEC.mesh.nx
+NODES = _SPEC.cluster.num_nodes
+
+
+def _row(label, rec, never_makespan):
+    return {
+        "strategy": label,
+        "makespan_seconds": rec.makespan,
+        "gain_over_never": never_makespan / rec.makespan,
+        "sds_moved": rec.sds_moved,
+        "migration_bytes": rec.migration_bytes,
+        "balance_events": len(rec.balance_events),
+        "final_imbalance": (rec.imbalance_history[-1]
+                            if rec.imbalance_history else 1.0),
+    }
+
+
+@lru_cache(maxsize=1)
+def strategy_rows():
+    never = run_scenario(build("hetero_drift", steps=STEPS, balanced=False))
+    rows = [_row("never", never, never.makespan)]
+    oneshot_spec = build("hetero_drift", steps=STEPS).replace(
+        policy=PolicySpec(kind="threshold", ratio=1.0, min_interval=10 ** 9,
+                          balancer="tree"))
+    rows.append(_row("one-shot (tree)", run_scenario(oneshot_spec),
+                     never.makespan))
+    for spec in balancer_sweep(steps=STEPS):
+        rec = run_scenario(spec)
+        rows.append(_row(spec.policy.balancer, rec, never.makespan))
+    return rows
+
+
+def test_abl_balancer_strategies(benchmark):
+    rows = strategy_rows()
+    print("\n" + format_table(
+        ["strategy", "makespan (ms)", "gain", "SDs moved",
+         "migration bytes", "events", "final imb"],
+        [[r["strategy"], r["makespan_seconds"] * 1e3,
+          f"{r['gain_over_never']:.2f}x", r["sds_moved"],
+          r["migration_bytes"], r["balance_events"],
+          f"{r['final_imbalance']:.3f}"] for r in rows],
+        title=f"Ablation F — balancing strategies under drifting speeds "
+              f"(mesh {MESH}x{MESH}, {NODES} nodes, {STEPS} steps)"))
+
+    by_name = {r["strategy"]: r for r in rows}
+    adaptive = [r for r in rows
+                if r["strategy"] not in ("never", "one-shot (tree)")]
+    assert len(adaptive) == 4
+    # acceptance: every adaptive strategy beats NeverBalance by >= 10%
+    for r in adaptive:
+        assert r["gain_over_never"] >= _MIN_GAIN, (
+            f"{r['strategy']} gained only {r['gain_over_never']:.2f}x "
+            f"over never (floor {_MIN_GAIN:g}x)")
+    # the drift ablation's point: one-shot balancing ages badly — every
+    # adaptive strategy must beat it
+    oneshot = by_name["one-shot (tree)"]
+    for r in adaptive:
+        assert r["makespan_seconds"] < oneshot["makespan_seconds"]
+    # migration-cost telemetry sanity: repartition moves bulk data, the
+    # incremental strategies move far less for comparable makespans
+    assert (by_name["repartition"]["migration_bytes"]
+            > 2 * by_name["tree"]["migration_bytes"])
+
+    payload = {
+        "benchmark": "abl_balancer_strategies",
+        "scenario": "hetero_drift",
+        "mesh": [MESH, MESH],
+        "nodes": NODES,
+        "steps": STEPS,
+        "strategies": rows,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy

@@ -25,7 +25,9 @@ Sub-packages:
 * :mod:`repro.solver` — serial / shared-memory-async / distributed
   solvers for the nonlocal heat equation, with pluggable kernel
   backends (:mod:`repro.solver.backends`: direct / fft / sparse);
-* :mod:`repro.core` — the paper's load-balancing algorithm;
+* :mod:`repro.core` — the paper's load-balancing algorithm and its
+  pluggable strategy alternatives (:mod:`repro.core.strategies`:
+  tree / diffusion / greedy / repartition);
 * :mod:`repro.models` — crack and node-interference workload models;
 * :mod:`repro.reporting` — text rendering for the benchmark harness;
 * :mod:`repro.experiments` — the declarative scenario/experiment engine
@@ -37,8 +39,8 @@ from .amt import (ConstantSpeed, Network, PiecewiseSpeed, SimCluster,
 from .experiments import (ClusterSpec, MeshSpec, PartitionSpec, PolicySpec,
                           RunRecord, ScenarioSpec, build_scenario,
                           run_scenario, run_sweep, scenario_names)
-from .core import (IntervalPolicy, LoadBalancer, NeverBalance,
-                   ThresholdPolicy)
+from .core import (BalanceStrategy, IntervalPolicy, LoadBalancer,
+                   NeverBalance, ThresholdPolicy, strategy_names)
 from .mesh import Decomposition, SubdomainGrid, UniformGrid, build_stencil
 from .models import Crack, crack_work_factors
 from .partition import (block_partition, partition_graph, partition_sd_grid,
@@ -51,7 +53,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConstantSpeed", "Network", "PiecewiseSpeed", "SimCluster", "TaskExecutor",
-    "IntervalPolicy", "LoadBalancer", "NeverBalance", "ThresholdPolicy",
+    "BalanceStrategy", "IntervalPolicy", "LoadBalancer", "NeverBalance",
+    "ThresholdPolicy", "strategy_names",
     "Decomposition", "SubdomainGrid", "UniformGrid", "build_stencil",
     "Crack", "crack_work_factors",
     "block_partition", "partition_graph", "partition_sd_grid",

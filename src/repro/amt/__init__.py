@@ -20,7 +20,8 @@ from .des import Event, SimulationError, Simulator
 from .executor import TaskExecutor
 from .future import (Future, FutureError, Promise, dataflow,
                      make_exceptional_future, make_ready_future, when_all)
-from .cluster import (ConstantSpeed, Network, PiecewiseSpeed, SimCluster,
+from .cluster import (ConstantSpeed, Network, PiecewiseSpeed, RampSpeed,
+                      SimCluster,
                       SimNode, SimTask, SpeedTrace)
 
 __all__ = [
@@ -31,6 +32,6 @@ __all__ = [
     "TaskExecutor",
     "Future", "FutureError", "Promise", "dataflow",
     "make_exceptional_future", "make_ready_future", "when_all",
-    "ConstantSpeed", "Network", "PiecewiseSpeed", "SimCluster",
+    "ConstantSpeed", "Network", "PiecewiseSpeed", "RampSpeed", "SimCluster",
     "SimNode", "SimTask", "SpeedTrace",
 ]

@@ -21,6 +21,7 @@ which is exactly what the load balancer polls.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
@@ -29,8 +30,8 @@ from .counters import BusyTimeCounter, CounterRegistry
 from .des import SimulationError, Simulator
 from .future import Future, when_all
 
-__all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "Network",
-           "SimNode", "SimTask", "SimCluster"]
+__all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "RampSpeed",
+           "Network", "SimNode", "SimTask", "SimCluster"]
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +124,68 @@ class PiecewiseSpeed(SpeedTrace):
             remaining -= seg_capacity
             t = b
         return (t + remaining / self._rates[-1]) - t0
+
+
+class RampSpeed(SpeedTrace):
+    """Linear capacity drift: ``rate0`` before ``t0``, ramping linearly
+    to ``rate1`` over ``[t0, t1]``, ``rate1`` after.
+
+    Models *gradually* shifting node capacity (a co-located job slowly
+    scaling up, thermal drift) as opposed to :class:`PiecewiseSpeed`'s
+    step changes — the workload where one-shot balancing decisions age
+    badly and adaptive re-balancing pays off.  Completion times
+    integrate the ramp exactly (closed form per segment), so schedules
+    remain deterministic and machine-independent.
+    """
+
+    def __init__(self, rate0: float, rate1: float, t0: float, t1: float) -> None:
+        if rate0 <= 0 or rate1 <= 0:
+            raise ValueError("rates must be positive")
+        if not 0 <= t0 < t1:
+            raise ValueError(f"need 0 <= t0 < t1, got [{t0}, {t1}]")
+        self.rate0 = float(rate0)
+        self.rate1 = float(rate1)
+        self.t0 = float(t0)
+        self.t1 = float(t1)
+        self._slope = (self.rate1 - self.rate0) / (self.t1 - self.t0)
+
+    def rate(self, t: float) -> float:
+        if t <= self.t0:
+            return self.rate0
+        if t >= self.t1:
+            return self.rate1
+        return self.rate0 + self._slope * (t - self.t0)
+
+    def time_to_complete(self, work: float, t0: float) -> float:
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        remaining = float(work)
+        t = float(t0)
+        # flat head segment
+        if t < self.t0:
+            head = (self.t0 - t) * self.rate0
+            if remaining <= head:
+                return (t + remaining / self.rate0) - t0
+            remaining -= head
+            t = self.t0
+        # ramp segment: integral of r(a) + slope*x over x in [0, dt]
+        if t < self.t1 and self._slope != 0.0:
+            r_here = self.rate(t)
+            ramp_capacity = 0.5 * (r_here + self.rate1) * (self.t1 - t)
+            if remaining <= ramp_capacity:
+                # solve slope/2 * x^2 + r_here * x = remaining for x > 0
+                disc = r_here * r_here + 2.0 * self._slope * remaining
+                x = (math.sqrt(disc) - r_here) / self._slope
+                return (t + x) - t0
+            remaining -= ramp_capacity
+            t = self.t1
+        elif t < self.t1:  # degenerate flat "ramp" (rate0 == rate1)
+            cap = (self.t1 - t) * self.rate0
+            if remaining <= cap:
+                return (t + remaining / self.rate0) - t0
+            remaining -= cap
+            t = self.t1
+        return (t + remaining / self.rate1) - t0
 
 
 # ---------------------------------------------------------------------------

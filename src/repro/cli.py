@@ -32,6 +32,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (separate for testability)."""
+    from .core.strategies import strategy_names
     from .solver.backends import backend_names
     p = argparse.ArgumentParser(
         prog="repro",
@@ -49,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the scenario's choice, normally "
                              "'auto' = radius heuristic; env "
                              "REPRO_KERNEL_BACKEND overrides 'auto')")
+
+    def add_balancer(sp):
+        sp.add_argument("--balancer", choices=["auto"] + strategy_names(),
+                        default=None,
+                        help="load-balancing strategy (default: the "
+                             "scenario's choice, normally 'auto' = the "
+                             "paper's tree algorithm; env REPRO_BALANCER "
+                             "overrides 'auto')")
 
     v = sub.add_parser("validate", help="Fig. 8 convergence sweep")
     v.add_argument("--max-exponent", type=int, default=6,
@@ -77,12 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--jobs", type=int, default=1,
                    help="process-parallel sweep workers (default serial)")
     add_backend(c)
+    add_balancer(c)
     add_json(c)
 
     b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
     b.add_argument("--sds", type=int, default=5, help="SDs per axis")
     b.add_argument("--nodes", type=int, default=4)
     b.add_argument("--iterations", type=int, default=3)
+    add_balancer(b)
     add_json(b)
 
     g = sub.add_parser("partition", help="partition an SD grid")
@@ -105,14 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=None,
                    help="override the scenario's seed (where supported)")
     add_backend(r)
+    add_balancer(r)
     add_json(r)
     return p
 
 
-def _apply_backend(spec, args):
-    """The spec with the CLI's ``--backend`` override applied, if any."""
+def _apply_overrides(spec, args):
+    """The spec with the CLI's --backend/--balancer overrides applied."""
     if getattr(args, "backend", None):
-        return spec.replace(kernel_backend=args.backend)
+        spec = spec.replace(kernel_backend=args.backend)
+    if getattr(args, "balancer", None):
+        spec = spec.with_balancer(args.balancer)
     return spec
 
 
@@ -145,7 +159,7 @@ def _cmd_validate(args) -> int:
 
 def _cmd_solve(args) -> int:
     from .experiments import build, run_scenario
-    spec = _apply_backend(
+    spec = _apply_overrides(
         build("solve_serial", nx=args.nx, eps_factor=args.eps_factor,
               steps=args.steps, source_mode=args.source), args)
     rec = run_scenario(spec)
@@ -163,7 +177,7 @@ def _cmd_scale(args) -> int:
     from .reporting.tables import print_series
     node_counts = [n for n in (1, 2, 4, 8, 12, 16, 24, 32)
                    if n <= min(args.max_nodes, args.sds * args.sds)]
-    specs = [_apply_backend(
+    specs = [_apply_overrides(
                  build("scale_strong", mesh=args.mesh, sd_axis=args.sds,
                        nodes=n, steps=args.steps, seed=args.seed), args)
              for n in node_counts]
@@ -183,8 +197,9 @@ def _cmd_balance(args) -> int:
     from .experiments import build, ownership_timeline, run_scenario
     from .reporting.ownership import render_ownership_sequence
     k = args.nodes
-    spec = build("fig14_load_balance", sd_axis=args.sds, nodes=k,
-                 steps=args.iterations)
+    spec = _apply_overrides(
+        build("fig14_load_balance", sd_axis=args.sds, nodes=k,
+              steps=args.iterations), args)
     rec = run_scenario(spec)
     sd_grid = spec.mesh.build_sd_grid()
     snapshots = ownership_timeline(spec, rec)
@@ -233,8 +248,28 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _run_balancer_ablation(args, overrides) -> int:
+    """``run --scenario abl_balancers`` without a pinned ``--balancer``:
+    one point per registered strategy, compared side by side."""
+    from .experiments import balancer_sweep, run_sweep
+    from .reporting.tables import print_table
+    specs = [_apply_overrides(s, args) for s in balancer_sweep(**overrides)]
+    records = run_sweep(specs, serial=True)
+    rows = [[rec.spec["policy"]["balancer"], rec.makespan * 1e3,
+             rec.sds_moved, rec.migration_bytes,
+             rec.imbalance_history[-1] if rec.imbalance_history else 1.0]
+            for rec in records]
+    print_table(["strategy", "makespan (ms)", "SDs moved",
+                 "migration bytes", "final imbalance"],
+                rows, title="Balancer-strategy ablation (hetero_drift "
+                            "workload, balancing every step)")
+    _write_records(args.json, records)
+    return 0
+
+
 def _cmd_run(args) -> int:
     from .experiments import build, get_factory, run_scenario, scenario_names
+    from .reporting.balance import format_balance_events
     if args.list_scenarios:
         for name in scenario_names():
             print(name)
@@ -253,11 +288,15 @@ def _cmd_run(args) -> int:
         overrides["steps"] = args.steps
     if args.seed is not None and "seed" in accepted:
         overrides["seed"] = args.seed
-    spec = _apply_backend(build(args.scenario, **overrides), args)
+    if args.scenario == "abl_balancers" and not args.balancer:
+        return _run_balancer_ablation(args, overrides)
+    spec = _apply_overrides(build(args.scenario, **overrides), args)
     rec = run_scenario(spec)
     print(f"scenario: {spec.name} ({rec.solver}, {rec.num_steps} steps)")
     if spec.kernel_backend != "auto":
         print(f"kernel backend: {spec.kernel_backend}")
+    if rec.solver == "distributed" and spec.policy.balancer != "auto":
+        print(f"balancer: {spec.policy.balancer}")
     if rec.solver == "distributed":
         print(f"virtual makespan: {rec.makespan * 1e3:.3f} ms")
         print(f"ghost bytes: {rec.ghost_bytes:,}   "
@@ -266,6 +305,9 @@ def _cmd_run(args) -> int:
         if rec.imbalance_history:
             print(f"imbalance max/mean: first {rec.imbalance_history[0]:.3f}"
                   f" -> last {rec.imbalance_history[-1]:.3f}")
+        if rec.balance_events:
+            print()
+            print(format_balance_events(rec.balance_events))
     if rec.total_error is not None:
         print(f"total error e = {rec.total_error:.4e}")
     _write_records(args.json, [rec])
@@ -275,10 +317,12 @@ def _cmd_run(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from .core.strategies import requested_strategy
     from .solver.backends import requested_backend
     try:
-        requested_backend()  # a bad REPRO_KERNEL_BACKEND fails every
-    except ValueError as exc:  # command; report it without a traceback
+        requested_backend()    # a bad REPRO_KERNEL_BACKEND (or
+        requested_strategy()   # REPRO_BALANCER) fails every command;
+    except ValueError as exc:  # report it without a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
     handlers = {

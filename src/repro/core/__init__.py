@@ -5,8 +5,11 @@
 * :mod:`repro.core.tree` — dependency tree + topological processing order.
 * :mod:`repro.core.transfer` — direction-uniform, contiguity-preserving
   SD selection.
-* :mod:`repro.core.balancer` — the Algorithm 1 driver.
-* :mod:`repro.core.policy` — when-to-balance strategies.
+* :mod:`repro.core.strategies` — the pluggable balancing strategies
+  (``tree`` = Algorithm 1, ``diffusion``, ``greedy``, ``repartition``)
+  behind a registry with the ``REPRO_BALANCER`` override.
+* :mod:`repro.core.balancer` — the :class:`LoadBalancer` facade.
+* :mod:`repro.core.policy` — when-to-balance strategies (stateless).
 """
 
 from .balancer import BalanceResult, LoadBalancer
@@ -15,12 +18,16 @@ from .policy import (BalancePolicy, IntervalPolicy, NeverBalance,
 from .power import (compute_power, expected_sds, imbalance_ratio, integer_targets,
                     load_imbalance)
 from .smoothing import SmoothedPowerEstimator
+from .strategies import (BalanceEvent, BalanceStrategy, is_uniform_work,
+                         make_strategy, requested_strategy, strategy_names)
 from .transfer import (TransferPlan, apply_transfers,
                        naive_select_transfers, select_transfers)
 from .tree import DependencyTree, build_dependency_tree, topological_order
 
 __all__ = [
     "BalanceResult", "LoadBalancer",
+    "BalanceEvent", "BalanceStrategy", "is_uniform_work", "make_strategy",
+    "requested_strategy", "strategy_names",
     "BalancePolicy", "IntervalPolicy", "NeverBalance", "ThresholdPolicy",
     "compute_power", "expected_sds", "imbalance_ratio", "integer_targets", "load_imbalance",
     "SmoothedPowerEstimator",

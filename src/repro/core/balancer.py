@@ -1,79 +1,27 @@
-"""Algorithm 1: the paper's load balancing algorithm.
+"""The load-balancer facade over the pluggable strategy subsystem.
 
-One balancing step:
-
-1. read the per-node busy-time counters accumulated since the last reset;
-2. compute Power / ExpectedSDs / LoadImbalance (eqs. 8-10), rounding the
-   fractional expected shares to integer **targets** with
-   largest-remainder apportionment (SDs are indivisible; naive rounding
-   makes the algorithm oscillate between configurations that are equally
-   close to ideal);
-3. root a BFS dependency tree at ``argmin(LoadImbalance)`` over the node
-   adjacency induced by the current SD ownership (lines 13-18);
-4. settle every tree edge with its **subtree flow**: the amount crossing
-   edge (child, parent) is the summed residual of the child's subtree.
-   On the paper's star example (Fig. 7) this reduces exactly to the
-   published walk — every leaf settles its own imbalance against the
-   hub (``XchngNum = imbalance / L`` with ``L = 1``) and the hub is
-   balanced by conservation.  On general trees the aggregated form is
-   required for termination: per-node uniform splitting can strand
-   residual on tree leaves and drain intermediate nodes that later
-   transfers need as relays.  Surplus flows run bottom-up first, deficit
-   flows top-down second, so every transfer is physically realizable
-   when it executes;
-5. each individual exchange moves concrete SDs chosen by the
-   direction-uniform, contiguity-preserving policy in
-   :mod:`repro.core.transfer` (geometry can cap a transfer below the
-   requested amount; the shortfall stays as residual and is retried at
-   the next balancing step);
-6. reset all busy-time counters (line 35, done by the caller that owns
-   the counters).
-
-With heterogeneous per-SD work (the crack model), all quantities are in
-work units rather than SD counts and transfers move SDs one at a time
-until the settled work is within half an average SD of the share.
+Algorithm 1 itself now lives in :mod:`repro.core.strategies.tree`; its
+classic alternatives (``diffusion``, ``greedy``, ``repartition``) sit
+beside it behind the shared :class:`repro.core.strategies.base
+.BalanceStrategy` interface and name registry.  :class:`LoadBalancer`
+is the stable entry point the solvers and tests use: it resolves a
+strategy *name* (``"auto"`` honors the ``REPRO_BALANCER`` environment
+override and defaults to the paper's algorithm) and delegates
+``balance_step`` to it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Union
 
-import numpy as np
-
-from ..mesh.decomposition import Decomposition
 from ..mesh.subdomain import SubdomainGrid
-from .power import compute_power, expected_sds, integer_targets
-from .transfer import TransferPlan, select_transfers
-from .tree import build_dependency_tree, topological_order
+from .strategies import BalanceResult, BalanceStrategy, make_strategy
 
 __all__ = ["BalanceResult", "LoadBalancer"]
 
 
-class BalanceResult:
-    """Diagnostics of one balancing step."""
-
-    def __init__(self, parts_before: np.ndarray, parts_after: np.ndarray,
-                 imbalance_before: np.ndarray, plans: List[TransferPlan],
-                 triggered: bool) -> None:
-        self.parts_before = parts_before
-        self.parts_after = parts_after
-        #: eq. (9) per node at decision time (work units)
-        self.imbalance_before = imbalance_before
-        self.plans = plans
-        self.triggered = triggered
-
-    @property
-    def sds_moved(self) -> int:
-        """Total SDs that changed owner."""
-        return int(np.count_nonzero(self.parts_before != self.parts_after))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<BalanceResult moved={self.sds_moved} "
-                f"triggered={self.triggered}>")
-
-
 class LoadBalancer:
-    """The paper's load balancer bound to an SD grid.
+    """A balancing strategy bound to an SD grid.
 
     Parameters
     ----------
@@ -84,136 +32,43 @@ class LoadBalancer:
         required to act; below it the step is a no-op.
     preserve_connectivity:
         Forwarded to the transfer policy.
+    strategy:
+        A registered strategy name (``"tree"``, ``"diffusion"``,
+        ``"greedy"``, ``"repartition"``), ``"auto"`` (the
+        ``REPRO_BALANCER`` override, else the paper's algorithm), or a
+        prebuilt :class:`BalanceStrategy` instance.  Resolution happens
+        here, at construction, so a run's strategy is fixed up front.
     """
 
     def __init__(self, sd_grid: SubdomainGrid,
                  trigger_threshold: float = 1.0,
-                 preserve_connectivity: bool = True) -> None:
+                 preserve_connectivity: bool = True,
+                 strategy: Union[str, BalanceStrategy] = "auto") -> None:
+        if isinstance(strategy, BalanceStrategy):
+            self._strategy = strategy
+        else:
+            self._strategy = make_strategy(
+                strategy, sd_grid, trigger_threshold=trigger_threshold,
+                preserve_connectivity=preserve_connectivity)
         self.sd_grid = sd_grid
         self.trigger_threshold = trigger_threshold
         self.preserve_connectivity = preserve_connectivity
 
-    # -- the algorithm ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The resolved strategy name (telemetry records this)."""
+        return self._strategy.name
+
     def balance_step(self, parts: Sequence[int], num_nodes: int,
                      busy_times: Sequence[float],
                      work_per_sd: Optional[Sequence[float]] = None) -> BalanceResult:
-        """Run Algorithm 1 once; returns the new ownership and diagnostics.
+        """Run one balancing step; returns the new ownership and diagnostics.
 
-        Parameters
-        ----------
-        parts:
-            Current SD ownership (node id per SD).
-        num_nodes:
-            Cluster size.
-        busy_times:
-            Per-node busy time since the last counter reset.
-        work_per_sd:
-            Optional per-SD work weights; when provided, node power and
-            shares are computed in work units so heterogeneous SDs
-            balance by actual load.
+        See :meth:`repro.core.strategies.base.BalanceStrategy
+        .balance_step` for the parameters.
         """
-        parts = np.asarray(parts, dtype=np.int64)
-        decomp = Decomposition(self.sd_grid, parts, num_nodes)
-        busy = np.asarray(busy_times, dtype=np.float64)
-        if len(busy) != num_nodes:
-            raise ValueError(f"need {num_nodes} busy times, got {len(busy)}")
+        return self._strategy.balance_step(parts, num_nodes, busy_times,
+                                           work_per_sd=work_per_sd)
 
-        uniform = work_per_sd is None or np.allclose(
-            work_per_sd, np.asarray(work_per_sd)[0] if len(np.atleast_1d(work_per_sd)) else 1.0)
-        if work_per_sd is None:
-            sd_work = np.ones(self.sd_grid.num_subdomains)
-        else:
-            sd_work = np.asarray(work_per_sd, dtype=np.float64)
-            if len(sd_work) != self.sd_grid.num_subdomains:
-                raise ValueError("work_per_sd must have one entry per SD")
-
-        # lines 2-12: counts, power, expected, imbalance
-        node_load = np.zeros(num_nodes)
-        np.add.at(node_load, parts, sd_work)
-        total = float(node_load.sum())
-        mean_sd_work = total / max(1, self.sd_grid.num_subdomains)
-        power = compute_power(node_load, busy)
-        expected = expected_sds(total, power)
-        imbalance = expected - node_load
-
-        if uniform:
-            # integer targets (in SDs scaled by the common work factor)
-            scale = mean_sd_work if mean_sd_work > 0 else 1.0
-            targets = integer_targets(expected / scale).astype(np.float64) * scale
-            residual = targets - node_load
-        else:
-            residual = imbalance.copy()
-
-        threshold = self.trigger_threshold * mean_sd_work
-        if np.abs(residual).max() < max(threshold, 1e-12):
-            return BalanceResult(parts, parts.copy(), imbalance, [], False)
-
-        # lines 13-19: dependency tree + processing order
-        root = int(np.argmin(imbalance))
-        adjacency = decomp.node_adjacency()
-        tree = build_dependency_tree(num_nodes, adjacency, root)
-        order = topological_order(tree, num_nodes, leaves_first=False)
-
-        # lines 21-34: settle every tree edge with its subtree flow.
-        # The flow on edge (child, parent) is the summed residual of the
-        # child's subtree: positive = the subtree as a whole needs SDs
-        # (parent sends down), negative = it has surplus (child sends
-        # up).  This is the exact-aggregation form of line 29's
-        # "XchngNum = LoadImbalance / L" — on the paper's star topology
-        # the two coincide.  Two passes keep every transfer physically
-        # realizable: surplus flows first, bottom-up (a child has its
-        # surplus in hand before its parent forwards it), then deficit
-        # flows top-down (a parent receives from above before feeding
-        # its children).
-        subtree = residual.copy()
-        for n in reversed(order):
-            p = tree.parent[n]
-            if p >= 0:
-                subtree[p] += subtree[n]
-
-        new_parts = parts.copy()
-        all_plans: List[TransferPlan] = []
-        half_sd = 0.5 * mean_sd_work
-        # pass 1 (bottom-up): children push surplus to their parents
-        for n in reversed(order):
-            p = tree.parent[n]
-            if p >= 0 and subtree[n] < -half_sd:
-                plans = self._settle(new_parts, donor=n, receiver=p,
-                                     amount=-subtree[n], sd_work=sd_work,
-                                     half_sd=half_sd)
-                all_plans.extend(plans)
-        # pass 2 (top-down): parents feed deficit subtrees
-        for n in order:
-            for c in tree.children.get(n, []):
-                if subtree[c] > half_sd:
-                    plans = self._settle(new_parts, donor=n, receiver=c,
-                                         amount=subtree[c], sd_work=sd_work,
-                                         half_sd=half_sd)
-                    all_plans.extend(plans)
-        return BalanceResult(parts, new_parts, imbalance, all_plans, True)
-
-    # -- one edge settlement -----------------------------------------------
-    def _settle(self, parts: np.ndarray, donor: int, receiver: int,
-                amount: float, sd_work: np.ndarray,
-                half_sd: float) -> List[TransferPlan]:
-        """Move ~``amount`` work units of SDs from ``donor`` to ``receiver``.
-
-        SDs move one at a time (re-evaluating the frontier after each) so
-        heterogeneous work weights settle as closely as the SD
-        granularity allows.  Stops early when the donor/receiver frontier
-        is exhausted — the shortfall simply remains as residual imbalance
-        and is retried at the next balancing step.
-        """
-        remaining = amount
-        plans: List[TransferPlan] = []
-        while remaining > half_sd:
-            plan = select_transfers(
-                self.sd_grid, parts, donor=donor, receiver=receiver, count=1,
-                preserve_donor_connectivity=self.preserve_connectivity)
-            if not plan.sds:
-                break
-            sd = plan.sds[0]
-            parts[sd] = receiver
-            remaining -= float(sd_work[sd])
-            plans.append(plan)
-        return plans
+    def __repr__(self) -> str:
+        return f"LoadBalancer(strategy={self.name!r})"

@@ -1,15 +1,22 @@
-"""Balance-triggering policies: when should Algorithm 1 run?
+"""Balance-triggering policies: when should the balancer run?
 
 The paper runs the balancing step "at the end of the timestep" (Fig. 4);
 in practice one balances on an interval, or only when the busy-time
 spread exceeds a threshold (running Algorithm 1 on a balanced cluster
 wastes migration bandwidth).  These small strategy objects let the
 distributed solver and the ablation benches swap policies.
+
+Policies are **stateless**: ``should_balance`` is a pure function of
+its arguments, with the step of the last balancing event passed *in*
+by the caller (the solver tracks it per run).  A policy object can
+therefore be shared between runs — and between sweep points built from
+one spec — without one run's rate-limiting history silently leaking
+into the next.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .power import imbalance_ratio
 
@@ -20,15 +27,22 @@ __all__ = ["BalancePolicy", "NeverBalance", "IntervalPolicy",
 class BalancePolicy:
     """Decides, after each timestep, whether to run a balancing step."""
 
-    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
-        """``step`` is the 0-based index of the step that just finished."""
+    def should_balance(self, step: int, busy_times: Sequence[float],
+                       last_balance: Optional[int] = None) -> bool:
+        """``step`` is the 0-based index of the step that just finished.
+
+        ``last_balance`` is the step at which this run last balanced
+        (``None`` if it has not yet); the caller owns that bookkeeping
+        so the policy object itself stays stateless.
+        """
         raise NotImplementedError
 
 
 class NeverBalance(BalancePolicy):
     """Baseline: load balancing disabled."""
 
-    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+    def should_balance(self, step: int, busy_times: Sequence[float],
+                       last_balance: Optional[int] = None) -> bool:
         return False
 
 
@@ -41,7 +55,8 @@ class IntervalPolicy(BalancePolicy):
             raise ValueError(f"interval must be >= 1, got {interval}")
         self.interval = interval
 
-    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
+    def should_balance(self, step: int, busy_times: Sequence[float],
+                       last_balance: Optional[int] = None) -> bool:
         return (step + 1) % self.interval == 0
 
 
@@ -51,7 +66,9 @@ class ThresholdPolicy(BalancePolicy):
     ``ratio`` is max/mean busy time; 1.0 is perfectly balanced.  A
     threshold of 1.1 triggers once some node is 10% busier than average.
     An optional minimum interval rate-limits consecutive balancing steps
-    (migration has a cost).
+    (migration has a cost) — enforced against the caller-supplied
+    ``last_balance`` step, not internal state, so reusing the policy
+    object across runs cannot rate-limit a fresh run.
     """
 
     def __init__(self, ratio: float = 1.1, min_interval: int = 1) -> None:
@@ -61,12 +78,9 @@ class ThresholdPolicy(BalancePolicy):
             raise ValueError(f"min_interval must be >= 1, got {min_interval}")
         self.ratio = ratio
         self.min_interval = min_interval
-        self._last_balance = -10 ** 9
 
-    def should_balance(self, step: int, busy_times: Sequence[float]) -> bool:
-        if step - self._last_balance < self.min_interval:
+    def should_balance(self, step: int, busy_times: Sequence[float],
+                       last_balance: Optional[int] = None) -> bool:
+        if last_balance is not None and step - last_balance < self.min_interval:
             return False
-        if imbalance_ratio(busy_times) >= self.ratio:
-            self._last_balance = step
-            return True
-        return False
+        return imbalance_ratio(busy_times) >= self.ratio

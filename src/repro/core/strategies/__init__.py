@@ -1,0 +1,33 @@
+"""Pluggable load-balancing strategies.
+
+The paper's Algorithm 1 is one point in a design space; this package
+makes the balancing layer a first-class strategy subsystem mirroring
+the kernel-backend registry (:mod:`repro.solver.backends`): a shared
+:class:`BalanceStrategy` interface with the measurement preamble
+(eqs. 8-10, integer targets, trigger threshold), a name registry with
+an ``"auto"`` default and the ``REPRO_BALANCER`` environment override,
+and four implementations — ``tree`` (Algorithm 1), ``diffusion``,
+``greedy``, and ``repartition``.  See DESIGN.md, *Balancing
+strategies*.
+"""
+
+from .base import (BalanceEvent, BalanceResult, BalanceStrategy,
+                   is_uniform_work)
+from .registry import (AUTO, ENV_VAR, auto_strategy_name, get_strategy_class,
+                       make_strategy, register_strategy, requested_strategy,
+                       strategy_names)
+
+# importing the implementation modules registers them
+from .diffusion import DiffusionStrategy
+from .greedy import GreedyStrategy
+from .repartition import RepartitionStrategy
+from .tree import TreeStrategy
+
+__all__ = [
+    "BalanceEvent", "BalanceResult", "BalanceStrategy", "is_uniform_work",
+    "AUTO", "ENV_VAR", "auto_strategy_name", "get_strategy_class",
+    "make_strategy", "register_strategy", "requested_strategy",
+    "strategy_names",
+    "DiffusionStrategy", "GreedyStrategy", "RepartitionStrategy",
+    "TreeStrategy",
+]

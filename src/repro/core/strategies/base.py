@@ -1,0 +1,397 @@
+"""The balancing-strategy interface and its shared machinery.
+
+A :class:`BalanceStrategy` answers one question: given the current SD
+ownership and the busy-time counters of the measurement window, which
+SDs should move where?  Every strategy shares the paper's measurement
+preamble (eqs. 8-10: node power from busy time, expected shares, load
+imbalance, integer targets) and the transfer mechanics of
+:mod:`repro.core.transfer`; they differ only in *how* the residual
+imbalance is routed:
+
+* ``tree`` — the paper's Algorithm 1 (dependency-tree subtree flows);
+* ``diffusion`` — first-order neighbor-pairwise diffusive exchange;
+* ``greedy`` — repeated max->min donor/receiver settlement;
+* ``repartition`` — re-run the multilevel partitioner and remap labels.
+
+All strategies preserve the balancing invariants — every SD stays
+owned by a valid node, SDs are moved (never created or relabeled
+wholesale), and the step is a no-op below the trigger threshold — and
+are deterministic: identical inputs give identical plans, which is
+what keeps the simulated schedules bit-identical across sweep workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import InitVar, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...mesh.decomposition import Decomposition
+from ...mesh.subdomain import SubdomainGrid
+from ..power import compute_power, expected_sds, imbalance_ratio, integer_targets
+from ..transfer import TransferPlan, select_transfers
+
+__all__ = ["BalanceResult", "BalanceEvent", "BalanceStrategy",
+           "is_uniform_work"]
+
+
+def is_uniform_work(work_per_sd: Optional[Sequence[float]]) -> bool:
+    """Whether per-SD work weights are effectively uniform.
+
+    ``None`` (no weights), an empty sequence, a scalar, and a
+    single-entry vector are all uniform by definition; otherwise every
+    entry must equal the first.  Uniform work lets the balancer snap
+    expected shares to integer SD targets (largest-remainder
+    apportionment), which is what stops Algorithm 1 oscillating between
+    configurations that are equally close to the fractional ideal.
+    """
+    if work_per_sd is None:
+        return True
+    work = np.atleast_1d(np.asarray(work_per_sd, dtype=np.float64))
+    if work.size <= 1:
+        return True
+    return bool(np.allclose(work, work.flat[0]))
+
+
+@dataclass(frozen=True, eq=False)
+class BalanceResult:
+    """Diagnostics of one balancing step (immutable).
+
+    ``imbalance_before``/``imbalance_after`` are eq. (9) per node —
+    ``expected - load`` in work units — evaluated at decision time and
+    after the planned transfers; ``imbalance_after`` is derived in
+    ``__post_init__`` from the ownership delta (the expected shares are
+    fixed within a step, so only the realized loads change).
+
+    ``imbalance_ratio_before``/``imbalance_ratio_after`` are the scalar
+    max/mean indicators the telemetry records: the measured busy-time
+    ratio at decision time, and the ratio *predicted* for the new
+    ownership from the measured node powers.
+    """
+
+    strategy: str
+    parts_before: np.ndarray
+    parts_after: np.ndarray
+    imbalance_before: np.ndarray
+    plans: Tuple[TransferPlan, ...]
+    triggered: bool
+    imbalance_ratio_before: float
+    imbalance_ratio_after: float
+    sd_work: InitVar[Optional[np.ndarray]] = None
+    imbalance_after: np.ndarray = field(init=False)
+
+    def __post_init__(self, sd_work: Optional[np.ndarray]) -> None:
+        def _freeze(name: str, arr, dtype) -> np.ndarray:
+            arr = np.array(arr, dtype=dtype, copy=True)
+            arr.flags.writeable = False
+            object.__setattr__(self, name, arr)
+            return arr
+
+        before = _freeze("parts_before", self.parts_before, np.int64)
+        after = _freeze("parts_after", self.parts_after, np.int64)
+        imb = _freeze("imbalance_before", self.imbalance_before, np.float64)
+        object.__setattr__(self, "plans", tuple(self.plans))
+        if len(before) != len(after):
+            raise ValueError(
+                f"ownership length changed: {len(before)} -> {len(after)}")
+        work = (np.ones(len(before)) if sd_work is None
+                else np.asarray(sd_work, dtype=np.float64))
+        delta = np.zeros(len(imb))
+        moved = np.nonzero(before != after)[0]
+        np.add.at(delta, after[moved], work[moved])
+        np.add.at(delta, before[moved], -work[moved])
+        _freeze("imbalance_after", imb - delta, np.float64)
+
+    @property
+    def sds_moved(self) -> int:
+        """Total SDs that changed owner."""
+        return int(np.count_nonzero(self.parts_before != self.parts_after))
+
+    def __repr__(self) -> str:
+        # stable (value-only, no addresses) so logs diff cleanly
+        return (f"BalanceResult(strategy={self.strategy!r}, "
+                f"triggered={self.triggered}, sds_moved={self.sds_moved}, "
+                f"imbalance_ratio={self.imbalance_ratio_before:.4f}"
+                f"->{self.imbalance_ratio_after:.4f})")
+
+
+@dataclass(frozen=True)
+class BalanceEvent:
+    """One balancer invocation as the run telemetry records it.
+
+    Emitted every time the policy fires (including no-op decisions, so
+    the migration-cost accounting shows *when* the balancer looked, not
+    just when it moved).  ``imbalance_before`` is the measured max/mean
+    busy-time ratio at decision time; ``imbalance_after`` the ratio
+    predicted for the new ownership from the measured node powers.
+    """
+
+    step: int
+    strategy: str
+    sds_moved: int
+    migration_bytes: int
+    imbalance_before: float
+    imbalance_after: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"step": self.step, "strategy": self.strategy,
+                "sds_moved": self.sds_moved,
+                "migration_bytes": self.migration_bytes,
+                "imbalance_before": self.imbalance_before,
+                "imbalance_after": self.imbalance_after}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BalanceEvent":
+        return cls(**d)
+
+
+class _StepContext:
+    """Everything the preamble measured, handed to ``_rebalance``."""
+
+    __slots__ = ("parts", "decomp", "num_nodes", "busy", "sd_work",
+                 "node_load", "power", "expected", "imbalance", "residual",
+                 "mean_sd_work", "half_sd", "uniform")
+
+    def __init__(self, **kw: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
+
+
+class BalanceStrategy:
+    """Base class: the measurement preamble all strategies share.
+
+    Parameters
+    ----------
+    sd_grid:
+        SD geometry (adjacency and transfer selection).
+    trigger_threshold:
+        Minimum ``max |target - current|`` (in average-SD work units)
+        required to act; below it the step is a no-op.
+    preserve_connectivity:
+        Forwarded to the transfer policy.
+    """
+
+    #: Registry name, set by :func:`repro.core.strategies.registry
+    #: .register_strategy`.
+    name: str = "?"
+
+    def __init__(self, sd_grid: SubdomainGrid,
+                 trigger_threshold: float = 1.0,
+                 preserve_connectivity: bool = True) -> None:
+        self.sd_grid = sd_grid
+        self.trigger_threshold = trigger_threshold
+        self.preserve_connectivity = preserve_connectivity
+
+    # -- the shared driver -------------------------------------------------
+    def balance_step(self, parts: Sequence[int], num_nodes: int,
+                     busy_times: Sequence[float],
+                     work_per_sd: Optional[Sequence[float]] = None) -> BalanceResult:
+        """Measure (eqs. 8-10), check the trigger, delegate to the strategy.
+
+        Parameters
+        ----------
+        parts:
+            Current SD ownership (node id per SD).
+        num_nodes:
+            Cluster size.
+        busy_times:
+            Per-node busy time since the last counter reset.
+        work_per_sd:
+            Optional per-SD work weights; when provided, node power and
+            shares are computed in work units so heterogeneous SDs
+            balance by actual load.
+        """
+        parts = np.asarray(parts, dtype=np.int64)
+        decomp = Decomposition(self.sd_grid, parts, num_nodes)
+        busy = np.asarray(busy_times, dtype=np.float64)
+        if len(busy) != num_nodes:
+            raise ValueError(f"need {num_nodes} busy times, got {len(busy)}")
+
+        uniform = is_uniform_work(work_per_sd)
+        if work_per_sd is None:
+            sd_work = np.ones(self.sd_grid.num_subdomains)
+        else:
+            sd_work = np.asarray(work_per_sd, dtype=np.float64)
+            if len(sd_work) != self.sd_grid.num_subdomains:
+                raise ValueError("work_per_sd must have one entry per SD")
+
+        # Algorithm 1 lines 2-12: loads, power, expected, imbalance
+        node_load = np.zeros(num_nodes)
+        np.add.at(node_load, parts, sd_work)
+        total = float(node_load.sum())
+        mean_sd_work = total / max(1, self.sd_grid.num_subdomains)
+        power = compute_power(node_load, busy)
+        expected = expected_sds(total, power)
+        imbalance = expected - node_load
+        ratio_before = imbalance_ratio(busy)
+
+        if uniform:
+            # integer targets (in SDs scaled by the common work factor)
+            scale = mean_sd_work if mean_sd_work > 0 else 1.0
+            targets = integer_targets(expected / scale).astype(np.float64) * scale
+            residual = targets - node_load
+        else:
+            residual = imbalance.copy()
+
+        threshold = self.trigger_threshold * mean_sd_work
+        if np.abs(residual).max() < max(threshold, 1e-12):
+            return BalanceResult(
+                strategy=self.name, parts_before=parts,
+                parts_after=parts.copy(), imbalance_before=imbalance,
+                plans=(), triggered=False,
+                imbalance_ratio_before=ratio_before,
+                imbalance_ratio_after=ratio_before, sd_work=sd_work)
+
+        ctx = _StepContext(parts=parts, decomp=decomp, num_nodes=num_nodes,
+                           busy=busy, sd_work=sd_work, node_load=node_load,
+                           power=power, expected=expected,
+                           imbalance=imbalance, residual=residual,
+                           mean_sd_work=mean_sd_work,
+                           half_sd=0.5 * mean_sd_work, uniform=uniform)
+        new_parts, plans = self._rebalance(ctx)
+        load_after = np.zeros(num_nodes)
+        np.add.at(load_after, new_parts, sd_work)
+        return BalanceResult(
+            strategy=self.name, parts_before=parts, parts_after=new_parts,
+            imbalance_before=imbalance, plans=tuple(plans), triggered=True,
+            imbalance_ratio_before=ratio_before,
+            imbalance_ratio_after=imbalance_ratio(load_after / power),
+            sd_work=sd_work)
+
+    def _rebalance(self, ctx: _StepContext) -> Tuple[np.ndarray, List[TransferPlan]]:
+        """Route the residual imbalance; returns ``(new_parts, plans)``.
+
+        ``ctx.parts`` must not be mutated — strategies work on a copy.
+        """
+        raise NotImplementedError
+
+    # -- shared movers -----------------------------------------------------
+    def _settle(self, parts: np.ndarray, donor: int, receiver: int,
+                amount: float, sd_work: np.ndarray,
+                half_sd: float) -> List[TransferPlan]:
+        """Move ~``amount`` work units of SDs from ``donor`` to ``receiver``.
+
+        SDs move one at a time (re-evaluating the frontier after each)
+        so heterogeneous work weights settle as closely as the SD
+        granularity allows.  Stops early when the donor/receiver
+        frontier is exhausted — the shortfall simply remains as residual
+        imbalance and is retried at the next balancing step.
+        """
+        remaining = amount
+        plans: List[TransferPlan] = []
+        while remaining > half_sd:
+            plan = select_transfers(
+                self.sd_grid, parts, donor=donor, receiver=receiver, count=1,
+                preserve_donor_connectivity=self.preserve_connectivity)
+            if not plan.sds:
+                break
+            sd = plan.sds[0]
+            parts[sd] = receiver
+            remaining -= float(sd_work[sd])
+            plans.append(plan)
+        return plans
+
+    def _greedy_settle(self, parts: np.ndarray, residual: np.ndarray,
+                       sd_work: np.ndarray,
+                       half_sd: float) -> List[TransferPlan]:
+        """Repeated max->min settlement: one SD per move, no tree.
+
+        Each move hands one frontier SD from the most-overloaded donor
+        reachable by the most-underloaded receiver (falling back through
+        the ranked pairs when geometry offers no shared frontier; when
+        *no* surplus/deficit pair touches, one SD is relayed hop-by-hop
+        along the node-adjacency path between the extreme pair).
+        ``parts`` and ``residual`` are updated in place; terminates when
+        every node is within half an average SD of its target or no
+        realizable move remains (bounded by a hard move cap so degenerate
+        zero-work weights cannot loop).
+        """
+        plans: List[TransferPlan] = []
+        num_nodes = len(residual)
+        budget = 4 * len(parts) + 8
+        while budget > 0:
+            # most surplus first / most deficit first, ties by node id
+            order = np.argsort(residual, kind="stable")
+            moves: List[TransferPlan] = []
+            for r in order[::-1]:
+                if residual[r] <= half_sd:
+                    break
+                for d in order:
+                    if residual[d] >= -half_sd:
+                        break
+                    if d == r:
+                        continue
+                    plan = select_transfers(
+                        self.sd_grid, parts, donor=int(d), receiver=int(r),
+                        count=1,
+                        preserve_donor_connectivity=self.preserve_connectivity)
+                    if plan.sds:
+                        moves = [plan]
+                        break
+                if moves:
+                    break
+            if not moves:
+                moves = self._relay_moves(parts, residual, half_sd, num_nodes)
+            if not moves:
+                break
+            for plan in moves:
+                sd = plan.sds[0]
+                parts[sd] = plan.receiver
+                residual[plan.donor] += sd_work[sd]
+                residual[plan.receiver] -= sd_work[sd]
+                plans.append(plan)
+                budget -= 1
+        return plans
+
+    def _relay_moves(self, parts: np.ndarray, residual: np.ndarray,
+                     half_sd: float, num_nodes: int) -> List[TransferPlan]:
+        """One SD relayed along the adjacency path from the most-
+        overloaded to the most-underloaded node.
+
+        Used when no surplus node shares a frontier with any deficit
+        node (hot and cold regions separated by near-balanced ones):
+        each hop moves one frontier SD to the next node on the BFS
+        path, so the intermediate nodes stay net-neutral while one SD's
+        worth of load crosses the gap.  Returns ``[]`` when the extreme
+        pair is within threshold, disconnected, or geometry blocks a
+        hop — the caller treats that as settled.
+        """
+        donor = int(np.argmin(residual))
+        receiver = int(np.argmax(residual))
+        if (residual[receiver] <= half_sd or residual[donor] >= -half_sd
+                or donor == receiver):
+            return []
+        nbrs: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
+        decomp = Decomposition(self.sd_grid, parts, num_nodes)
+        for a, b in decomp.node_adjacency():
+            nbrs[a].append(b)
+            nbrs[b].append(a)
+        # BFS (sorted neighbors: deterministic shortest path)
+        prev = {donor: donor}
+        queue = [donor]
+        while queue and receiver not in prev:
+            nxt: List[int] = []
+            for n in queue:
+                for m in sorted(nbrs[n]):
+                    if m not in prev:
+                        prev[m] = n
+                        nxt.append(m)
+            queue = nxt
+        if receiver not in prev:
+            return []
+        path = [receiver]
+        while path[-1] != donor:
+            path.append(prev[path[-1]])
+        path.reverse()
+        moves: List[TransferPlan] = []
+        staged = parts.copy()
+        for a, b in zip(path, path[1:]):
+            plan = select_transfers(
+                self.sd_grid, staged, donor=a, receiver=b, count=1,
+                preserve_donor_connectivity=self.preserve_connectivity)
+            if not plan.sds:
+                return []
+            staged[plan.sds[0]] = b
+            moves.append(plan)
+        return moves

@@ -1,0 +1,38 @@
+"""``greedy`` — repeated max->min donor/receiver settlement, no tree.
+
+The simplest global strategy: while some node is more than half an
+average SD above its target and another is below, hand one frontier SD
+from the most-overloaded donor to the most-underloaded receiver.  When
+the top pair shares no donor/receiver frontier the ranked fallback in
+:meth:`BalanceStrategy._greedy_settle` tries the next-best pairs, so
+imbalance still drains through intermediate neighbors — just one hop
+per step instead of the tree strategy's routed relays.
+
+Strengths: no tree construction, robust to any adjacency shape, and
+each move is individually the steepest-descent choice.  Weakness: with
+separated hot and cold regions the per-step movement can stall at the
+geometric frontier where ``tree`` would relay through the middle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..transfer import TransferPlan
+from .base import BalanceStrategy, _StepContext
+from .registry import register_strategy
+
+__all__ = ["GreedyStrategy"]
+
+
+@register_strategy("greedy")
+class GreedyStrategy(BalanceStrategy):
+    """Steepest-descent single-SD moves until within half an SD."""
+
+    def _rebalance(self, ctx: _StepContext) -> Tuple[np.ndarray, List[TransferPlan]]:
+        new_parts = ctx.parts.copy()
+        plans = self._greedy_settle(new_parts, ctx.residual.copy(),
+                                    ctx.sd_work, ctx.half_sd)
+        return new_parts, plans

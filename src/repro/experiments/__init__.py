@@ -13,24 +13,26 @@ JSON-serializable results (:mod:`results`).
 """
 
 from .registry import (CORE_SPEED, EPS_FACTOR, NUM_STEPS, SPAWN_OVERHEAD,
-                       build, get_factory, register, scenario_names)
+                       balancer_sweep, build, get_factory, register,
+                       scenario_names)
 from .results import (SCHEMA, RunRecord, read_records, write_json,
                       write_records)
 from .runner import (build_problem, build_solver, build_work_factors,
                      cached_operator, clear_operator_cache,
                      operator_cache_info, ownership_timeline, run_scenario,
                      run_sweep)
-from .spec import (ClusterSpec, InterferenceSpec, MeshSpec, PartitionSpec,
-                   PolicySpec, ScenarioSpec)
+from .spec import (ClusterSpec, DriftSpec, InterferenceSpec, MeshSpec,
+                   PartitionSpec, PolicySpec, ScenarioSpec)
 
 #: Alias for re-export at the package root, where bare ``build`` would
 #: be ambiguous.
 build_scenario = build
 
 __all__ = [
-    "MeshSpec", "ClusterSpec", "InterferenceSpec", "PartitionSpec",
-    "PolicySpec", "ScenarioSpec",
+    "MeshSpec", "ClusterSpec", "DriftSpec", "InterferenceSpec",
+    "PartitionSpec", "PolicySpec", "ScenarioSpec",
     "register", "build", "build_scenario", "get_factory", "scenario_names",
+    "balancer_sweep",
     "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",
     "RunRecord", "SCHEMA", "write_json", "write_records", "read_records",
     "cached_operator", "operator_cache_info", "clear_operator_cache",

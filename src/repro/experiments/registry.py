@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from .spec import (ClusterSpec, InterferenceSpec, MeshSpec, PartitionSpec,
-                   PolicySpec, ScenarioSpec)
+from .spec import (ClusterSpec, DriftSpec, InterferenceSpec, MeshSpec,
+                   PartitionSpec, PolicySpec, ScenarioSpec)
 
 __all__ = ["register", "build", "scenario_names", "get_factory",
+           "balancer_sweep",
            "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD"]
 
 #: The paper's horizon ratio (all scaling figures): eps = 8 h.
@@ -213,7 +214,14 @@ def abl_partitioners(method: str = "metis", steps: int = 5,
 def abl_balancing_gain(source: str = "hetero", balanced: bool = True,
                        steps: int = 15, seed: int = 0) -> ScenarioSpec:
     """Ablation D: balancing gain under static heterogeneity and/or a
-    crack lightening part of the domain."""
+    crack network lightening part of the domain.
+
+    Crack sources use SD-row strips so the cracked rows concentrate in
+    specific nodes (a count-balanced METIS layout hides crack work
+    imbalance below the balancer's one-SD trigger threshold — the
+    balancer then correctly declines to move anything and the ablation
+    measures nothing).
+    """
     if source not in ("hetero", "crack", "both"):
         raise ValueError(f"unknown imbalance source {source!r}")
     speeds = None
@@ -221,13 +229,16 @@ def abl_balancing_gain(source: str = "hetero", balanced: bool = True,
         speeds = (0.5e9, 1e9, 1.5e9, 2e9)
     cracks = ()
     if source in ("crack", "both"):
-        cracks = (((0.05, 0.3), (0.95, 0.3)),
+        cracks = (((0.05, 0.18), (0.95, 0.18)),
+                  ((0.05, 0.3), (0.95, 0.3)),
                   ((0.05, 0.42), (0.95, 0.42)))
+    partition = (PartitionSpec(method="strips", axis=1) if cracks
+                 else PartitionSpec(method="metis", seed=seed))
     return ScenarioSpec(
         name="abl_balancing_gain",
         mesh=MeshSpec(nx=256, sd_nx=8, eps_factor=EPS_FACTOR),
         cluster=ClusterSpec(num_nodes=4, speed_rates=speeds),
-        partition=PartitionSpec(method="metis", seed=seed),
+        partition=partition,
         policy=(PolicySpec(kind="interval", interval=1) if balanced
                 else PolicySpec()),
         num_steps=steps, cracks=cracks)
@@ -252,6 +263,35 @@ def abl_backends(backend: str = "auto", mesh: int = 256, sd_axis: int = 8,
         partition=PartitionSpec(method="metis", seed=seed),
         num_steps=steps, compute_numerics=True,
         kernel_backend=backend)
+
+
+@register("abl_balancers")
+def abl_balancers(balancer: str = "auto", mesh: int = 128, sd_axis: int = 8,
+                  nodes: int = 4, steps: int = 12,
+                  seed: int = 0) -> ScenarioSpec:
+    """Ablation F: balancing-strategy choice under drifting node speeds.
+
+    The ``hetero_drift`` workload with the balancer running every step;
+    sweep ``balancer`` over ``repro.core.strategy_names()`` (see
+    :func:`balancer_sweep`) to compare the paper's Algorithm 1 against
+    diffusion, greedy settlement, and scratch-remap repartitioning on
+    makespan *and* migration cost (``balance_events`` telemetry).
+    """
+    return hetero_drift(mesh=mesh, sd_axis=sd_axis, nodes=nodes,
+                        steps=steps, seed=seed, balancer=balancer,
+                        balanced=True).replace(name="abl_balancers")
+
+
+def balancer_sweep(**overrides) -> List[ScenarioSpec]:
+    """One ``abl_balancers`` spec per registered balancing strategy.
+
+    This is the sweep ``repro run --scenario abl_balancers`` executes
+    when no ``--balancer`` is pinned; ``overrides`` are forwarded to
+    the factory (``steps``, ``nodes``, ``seed``, ...).
+    """
+    from ..core.strategies import strategy_names
+    return [build("abl_balancers", balancer=name, **overrides)
+            for name in strategy_names()]
 
 
 # ---------------------------------------------------------------------------
@@ -299,6 +339,43 @@ def hetero_interference(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
         partition=PartitionSpec(method="metis", seed=seed),
         policy=(PolicySpec(kind="threshold", ratio=1.15) if balanced
                 else PolicySpec()),
+        num_steps=steps)
+
+
+@register("hetero_drift")
+def hetero_drift(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+                 steps: int = 16, seed: int = 0, balancer: str = "auto",
+                 balanced: bool = True) -> ScenarioSpec:
+    """Drifting node capacity: the workload where one-shot balancing loses.
+
+    Node speeds start spread over ``0.4x .. 1.6x`` the base core speed
+    and ramp *linearly to the reversed assignment* over the middle of
+    the run (fast nodes become slow and vice versa), so any fixed SD
+    distribution — the initial partition, or a single early balancing
+    decision — is wrong for most of the run.  Adaptive per-step
+    balancing tracks the drift; ``balanced=False`` is the
+    ``NeverBalance`` baseline the drift ablation beats by >= 10%.
+    """
+    if nodes == 1:
+        start_rates = (CORE_SPEED,)
+    else:
+        lo, hi = 0.4 * CORE_SPEED, 1.6 * CORE_SPEED
+        start_rates = tuple(hi - (hi - lo) * i / (nodes - 1)
+                            for i in range(nodes))
+    # drift across the heart of the run: one step is roughly
+    # (#SDs x DPs/SD x flops/DP) / (mean rate x nodes) virtual seconds
+    dps_per_sd = (mesh // sd_axis) ** 2
+    step_guess = (sd_axis * sd_axis) * dps_per_sd * 400 / CORE_SPEED / nodes
+    drift = DriftSpec(rates_end=start_rates[::-1],
+                      start=2 * step_guess, stop=12 * step_guess)
+    return ScenarioSpec(
+        name="hetero_drift",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, speed_rates=start_rates,
+                            drift=drift),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="interval", interval=1, balancer=balancer)
+                if balanced else PolicySpec(balancer=balancer)),
         num_steps=steps)
 
 

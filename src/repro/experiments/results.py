@@ -26,7 +26,10 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
            "read_records"]
 
 #: Schema tag stamped into every JSON file this module writes.
-SCHEMA = "repro.experiments/v1"
+#: v2: per-event ``balance_events`` telemetry replaced the aggregate
+#: ``sds_moved``/``migration_bytes`` counters (now derived properties),
+#: and ``balancer_resolved`` records the strategy that ran.
+SCHEMA = "repro.experiments/v2"
 
 
 @dataclass
@@ -55,10 +58,12 @@ class RunRecord:
     imbalance_history: List[float] = field(default_factory=list)
     #: ghost bytes sent over the run
     ghost_bytes: int = 0
-    #: SD migration bytes charged by balancing
-    migration_bytes: int = 0
-    #: total SDs moved by balancing over the run
-    sds_moved: int = 0
+    #: one dict per balancer invocation (including no-op decisions):
+    #: ``{step, strategy, sds_moved, migration_bytes, imbalance_before,
+    #: imbalance_after}`` — see :class:`repro.core.strategies
+    #: .BalanceEvent`; the aggregate ``sds_moved``/``migration_bytes``
+    #: are derived properties summing these events
+    balance_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``[step, parts_after]`` per balancing event that moved SDs
     parts_events: List[List[Any]] = field(default_factory=list)
     #: SD ownership at the end of the run
@@ -74,6 +79,20 @@ class RunRecord:
     #: (deterministic, so sweep parity is unaffected; "" in records
     #: written before the backend field existed)
     backend_resolved: str = ""
+    #: balancing strategy the run was wired with: the policy's request
+    #: after the ``REPRO_BALANCER`` override and the ``auto`` default
+    #: resolved it ("" for serial runs and pre-strategy records)
+    balancer_resolved: str = ""
+
+    @property
+    def sds_moved(self) -> int:
+        """Total SDs moved by balancing (sum over ``balance_events``)."""
+        return sum(int(e["sds_moved"]) for e in self.balance_events)
+
+    @property
+    def migration_bytes(self) -> int:
+        """Total migration bytes charged (sum over ``balance_events``)."""
+        return sum(int(e["migration_bytes"]) for e in self.balance_events)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

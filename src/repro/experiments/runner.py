@@ -107,7 +107,6 @@ def build_solver(spec: ScenarioSpec, source=None):
     """The fully wired :class:`DistributedSolver` for ``spec``."""
     if spec.solver != "distributed":
         raise ValueError(f"spec {spec.name!r} is not a distributed scenario")
-    from ..core.balancer import LoadBalancer
     from ..solver.distributed import DistributedSolver
     op, model, grid, sd_grid = build_problem(spec)
     parts = spec.partition.build(spec.mesh.sd_nx, spec.mesh.sd_ny,
@@ -121,7 +120,7 @@ def build_solver(spec: ScenarioSpec, source=None):
         source=source,
         dt=spec.dt,
         work_factors=build_work_factors(spec),
-        balancer=LoadBalancer(sd_grid) if spec.policy.enabled else None,
+        balancer=spec.policy.balancer,  # the solver resolves the name
         policy=spec.policy.build(),
         overlap=spec.overlap,
         compute_numerics=spec.compute_numerics,
@@ -186,15 +185,14 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
         step_durations=[float(d) for d in res.step_durations],
         imbalance_history=[float(r) for r in res.imbalance_history],
         ghost_bytes=int(res.ghost_bytes),
-        migration_bytes=int(res.migration_bytes),
-        sds_moved=int(sum(b.sds_moved for b in res.balance_results
-                          if b.triggered)),
+        balance_events=[e.to_dict() for e in res.balance_events],
         parts_events=[[int(step), [int(p) for p in parts]]
                       for step, parts in res.parts_history],
         final_parts=[int(p) for p in solver.parts],
         busy_total=[float(b) for b in res.busy_total],
         errors=errors, total_error=res.total_error,
-        backend_resolved=solver.operator.backend_name)
+        backend_resolved=solver.operator.backend_name,
+        balancer_resolved=solver.balancer.name)
 
 
 def run_scenario(spec: ScenarioSpec) -> RunRecord:

@@ -27,8 +27,8 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MeshSpec", "ClusterSpec", "InterferenceSpec", "PartitionSpec",
-           "PolicySpec", "ScenarioSpec"]
+__all__ = ["MeshSpec", "ClusterSpec", "DriftSpec", "InterferenceSpec",
+           "PartitionSpec", "PolicySpec", "ScenarioSpec"]
 
 
 def _require(cond: bool, msg: str) -> None:
@@ -123,12 +123,51 @@ class InterferenceSpec:
 
 
 @dataclass(frozen=True)
+class DriftSpec:
+    """Linear per-node capacity drift over a virtual-time window.
+
+    Node ``i`` ramps from its base rate (``ClusterSpec.speed_rates[i]``,
+    or the solver default) to ``rates_end[i]`` over ``[start, stop]``
+    and holds ``rates_end[i]`` afterwards — the ``hetero_drift``
+    workload: the load distribution shifts *mid-run*, so one-shot
+    balancing decisions age badly and adaptive strategies win.
+    """
+
+    rates_end: Tuple[float, ...] = ()
+    start: float = 0.0
+    stop: float = 1.0
+
+    def __post_init__(self) -> None:
+        _set(self, "rates_end", tuple(float(r) for r in self.rates_end))
+        _set(self, "start", float(self.start))
+        _set(self, "stop", float(self.stop))
+        _require(len(self.rates_end) >= 1,
+                 "drift needs at least one end rate")
+        _require(all(r > 0 for r in self.rates_end),
+                 "drift end rates must all be positive")
+        _require(0 <= self.start < self.stop,
+                 f"need 0 <= start < stop, got [{self.start}, {self.stop}]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rates_end": list(self.rates_end), "start": self.start,
+                "stop": self.stop}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DriftSpec":
+        d = dict(d)
+        d["rates_end"] = tuple(d.get("rates_end", ()))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Simulated cluster shape: nodes, cores, speeds, network, overheads.
 
     ``speed_rates`` are per-node constant rates in work units per virtual
     second (``None`` → the solver default of 1 GF/s per core);
-    ``interference`` entries overlay time-varying slowdowns on top.
+    ``interference`` entries overlay time-varying slowdowns on top, and
+    ``drift`` ramps every node linearly to new rates over a window
+    (mutually exclusive with ``interference`` — both rewrite the trace).
     ``latency``/``bandwidth`` of ``None`` use the :class:`repro.amt
     .cluster.Network` defaults.
     """
@@ -137,6 +176,7 @@ class ClusterSpec:
     cores_per_node: int = 1
     speed_rates: Optional[Tuple[float, ...]] = None
     interference: Tuple[InterferenceSpec, ...] = ()
+    drift: Optional[DriftSpec] = None
     latency: Optional[float] = None
     bandwidth: Optional[float] = None
     spawn_overhead: float = 0.0
@@ -164,6 +204,15 @@ class ClusterSpec:
         _set(self, "interference", tuple(items))
         _require(all(i.node < self.num_nodes for i in self.interference),
                  "interference entries must target existing nodes")
+        if isinstance(self.drift, dict):
+            _set(self, "drift", DriftSpec.from_dict(self.drift))
+        if self.drift is not None:
+            _require(len(self.drift.rates_end) == self.num_nodes,
+                     f"drift has {len(self.drift.rates_end)} end rates "
+                     f"for {self.num_nodes} nodes")
+            _require(not self.interference,
+                     "drift and interference cannot be combined "
+                     "(both rewrite the per-node speed traces)")
         if self.latency is not None:
             _set(self, "latency", float(self.latency))
             _require(self.latency >= 0,
@@ -179,12 +228,16 @@ class ClusterSpec:
     # -- builders (data -> runtime objects) -------------------------------
     def build_speeds(self, default_rate: float = 1e9):
         """Per-node :class:`SpeedTrace` list, or ``None`` for defaults."""
-        from ..models.workload import step_interference
+        from ..models.workload import drift_ramp, step_interference
         from ..amt.cluster import ConstantSpeed
-        if self.speed_rates is None and not self.interference:
+        if (self.speed_rates is None and not self.interference
+                and self.drift is None):
             return None
         rates = (self.speed_rates if self.speed_rates is not None
                  else (default_rate,) * self.num_nodes)
+        if self.drift is not None:
+            return drift_ramp(rates, self.drift.rates_end,
+                              self.drift.start, self.drift.stop)
         traces = [ConstantSpeed(r) for r in rates]
         for i in self.interference:
             traces[i.node] = step_interference(
@@ -208,6 +261,7 @@ class ClusterSpec:
             "speed_rates": (None if self.speed_rates is None
                             else list(self.speed_rates)),
             "interference": [i.to_dict() for i in self.interference],
+            "drift": None if self.drift is None else self.drift.to_dict(),
             "latency": self.latency,
             "bandwidth": self.bandwidth,
             "spawn_overhead": self.spawn_overhead,
@@ -221,6 +275,8 @@ class ClusterSpec:
             d["speed_rates"] = tuple(rates)
         d["interference"] = tuple(
             InterferenceSpec.from_dict(i) for i in d.get("interference", ()))
+        if d.get("drift") is not None:
+            d["drift"] = DriftSpec.from_dict(d["drift"])
         return cls(**d)
 
 
@@ -333,7 +389,15 @@ class PartitionSpec:
 
 @dataclass(frozen=True)
 class PolicySpec:
-    """When (and whether) Algorithm 1 runs after a timestep."""
+    """When (and with which strategy) the balancer runs after a timestep.
+
+    ``balancer`` names the balancing strategy (``"auto"``, ``"tree"``,
+    ``"diffusion"``, ``"greedy"``, ``"repartition"`` — see
+    :mod:`repro.core.strategies`).  ``"auto"`` honors the
+    ``REPRO_BALANCER`` environment override and defaults to the paper's
+    Algorithm 1; validation is eager, like ``kernel_backend``, so an
+    unknown name fails at spec construction rather than mid-sweep.
+    """
 
     KINDS = ("never", "interval", "threshold")
 
@@ -341,6 +405,7 @@ class PolicySpec:
     interval: int = 1
     ratio: float = 1.1
     min_interval: int = 1
+    balancer: str = "auto"
 
     def __post_init__(self) -> None:
         _require(self.kind in self.KINDS,
@@ -355,6 +420,11 @@ class PolicySpec:
                  f"ratio must be >= 1.0, got {self.ratio}")
         _require(self.min_interval >= 1,
                  f"min_interval must be >= 1, got {self.min_interval}")
+        from ..core.strategies import strategy_names
+        _require(self.balancer == "auto"
+                 or self.balancer in strategy_names(),
+                 f"unknown balancing strategy {self.balancer!r}; "
+                 f"expected 'auto' or one of {tuple(strategy_names())}")
 
     @property
     def enabled(self) -> bool:
@@ -372,10 +442,12 @@ class PolicySpec:
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "interval": self.interval,
-                "ratio": self.ratio, "min_interval": self.min_interval}
+                "ratio": self.ratio, "min_interval": self.min_interval,
+                "balancer": self.balancer}
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "PolicySpec":
+        # dicts written before the strategy field existed default to auto
         return cls(**d)
 
 
@@ -394,6 +466,11 @@ class ScenarioSpec:
     heuristic and honors the ``REPRO_KERNEL_BACKEND`` environment
     override; the backend changes numerics execution speed only, never
     the simulated schedule.
+
+    The balancing-strategy choice lives on the policy
+    (``spec.policy.balancer``, surfaced here as the read-only
+    :attr:`balancer` property): ``"auto"`` honors ``REPRO_BALANCER``
+    and defaults to the paper's Algorithm 1.
     """
 
     name: str
@@ -457,9 +534,18 @@ class ScenarioSpec:
                  f"unknown kernel backend {self.kernel_backend!r}; "
                  f"expected 'auto' or one of {tuple(backend_names())}")
 
+    @property
+    def balancer(self) -> str:
+        """The policy's balancing-strategy name (``spec.policy.balancer``)."""
+        return self.policy.balancer
+
     def replace(self, **changes: Any) -> "ScenarioSpec":
         """A copy with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
+
+    def with_balancer(self, balancer: str) -> "ScenarioSpec":
+        """A copy whose policy pins the named balancing strategy."""
+        return self.replace(policy=replace(self.policy, balancer=balancer))
 
     def to_dict(self) -> Dict[str, Any]:
         return {

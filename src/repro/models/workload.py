@@ -20,15 +20,33 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..amt.cluster import ConstantSpeed, PiecewiseSpeed, SpeedTrace
+from ..amt.cluster import ConstantSpeed, PiecewiseSpeed, RampSpeed, SpeedTrace
 
 __all__ = ["step_interference", "staircase_degradation",
-           "random_interference", "heterogeneous_constant"]
+           "random_interference", "heterogeneous_constant", "drift_ramp"]
 
 
 def heterogeneous_constant(rates: Sequence[float]) -> List[SpeedTrace]:
     """Constant-but-unequal node speeds (static heterogeneity)."""
     return [ConstantSpeed(r) for r in rates]
+
+
+def drift_ramp(rates_start: Sequence[float], rates_end: Sequence[float],
+               start: float, stop: float) -> List[SpeedTrace]:
+    """Per-node capacity that drifts linearly from start to end rates.
+
+    Every node ramps from ``rates_start[i]`` to ``rates_end[i]`` over
+    the virtual-time window ``[start, stop]`` (constant outside it) —
+    the ``hetero_drift`` workload where the load distribution shifts
+    *mid-run* and one-shot balancing decisions age badly.  Nodes whose
+    two rates coincide get a plain :class:`ConstantSpeed`.
+    """
+    if len(rates_start) != len(rates_end):
+        raise ValueError(f"need matching rate vectors, got "
+                         f"{len(rates_start)} vs {len(rates_end)}")
+    return [ConstantSpeed(r0) if r0 == r1
+            else RampSpeed(r0, r1, start, stop)
+            for r0, r1 in zip(rates_start, rates_end)]
 
 
 def step_interference(base_rate: float, start: float, stop: float,

@@ -1,0 +1,43 @@
+"""Rendering of per-event balancing telemetry.
+
+``repro run`` and the balancer-ablation bench print the
+``balance_events`` list a distributed run records — one row per
+balancer invocation with the strategy, movement, migration cost, and
+the measured/predicted busy-time imbalance ratio around the decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Union
+
+from .tables import format_table
+
+__all__ = ["format_balance_events"]
+
+
+def _get(event: Any, key: str) -> Any:
+    if isinstance(event, dict):
+        return event[key]
+    return getattr(event, key)
+
+
+def format_balance_events(events: Iterable[Union[dict, Any]],
+                          title: str = "balance events") -> str:
+    """An aligned table of balance events (dicts or ``BalanceEvent``s).
+
+    ``imb before -> after`` is the max/mean busy-time ratio measured at
+    decision time and the ratio predicted for the new ownership; rows
+    with zero movement are balancer invocations that decided not to act.
+    """
+    rows = []
+    for e in events:
+        rows.append([
+            _get(e, "step"), _get(e, "strategy"), _get(e, "sds_moved"),
+            f"{_get(e, 'migration_bytes'):,}",
+            f"{_get(e, 'imbalance_before'):.3f}",
+            f"{_get(e, 'imbalance_after'):.3f}",
+        ])
+    return format_table(
+        ["step", "strategy", "SDs moved", "migration B",
+         "imb before", "imb after"],
+        rows, title=title)

@@ -23,7 +23,7 @@ scaling studies where only the schedule matters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..amt.future import Future, when_all
 from ..core.balancer import BalanceResult, LoadBalancer
 from ..core.policy import BalancePolicy, NeverBalance
 from ..core.power import imbalance_ratio
+from ..core.strategies import BalanceEvent, BalanceStrategy, make_strategy
 from ..mesh.decomposition import BYTES_PER_DP, Decomposition
 from ..mesh.grid import UniformGrid
 from ..mesh.subdomain import SubdomainGrid
@@ -62,12 +63,25 @@ class DistributedResult:
         self.parts_history: List = []
         #: BalanceResult per triggered balancing step
         self.balance_results: List[BalanceResult] = []
+        #: one :class:`BalanceEvent` per balancer invocation (including
+        #: no-op decisions): step, strategy, SDs moved, migration bytes,
+        #: measured/predicted imbalance ratio — the migration-cost
+        #: telemetry the paper's evaluation reads per event
+        self.balance_events: List[BalanceEvent] = []
         #: ghost bytes sent over the run
         self.ghost_bytes: int = 0
-        #: SD migration bytes charged by balancing
-        self.migration_bytes: int = 0
         #: per-node busy time accumulated over the whole run
         self.busy_total: Optional[np.ndarray] = None
+
+    @property
+    def migration_bytes(self) -> int:
+        """SD migration bytes charged by balancing (sum over events)."""
+        return sum(e.migration_bytes for e in self.balance_events)
+
+    @property
+    def sds_moved(self) -> int:
+        """Total SDs moved by balancing over the run (sum over events)."""
+        return sum(e.sds_moved for e in self.balance_events)
 
     @property
     def total_error(self) -> Optional[float]:
@@ -96,7 +110,15 @@ class DistributedSolver:
         Optional per-SD work multipliers (< 1 inside a crack — see
         :mod:`repro.models.crack`); scales simulated task cost only.
     balancer, policy:
-        Load balancing configuration; default is balancing disabled.
+        Load balancing configuration.  ``balancer`` may be a strategy
+        *name* (``"tree"``, ``"diffusion"``, ``"greedy"``,
+        ``"repartition"``, or ``"auto"`` — the ``REPRO_BALANCER``
+        override, else the paper's algorithm), a prebuilt
+        :class:`repro.core.strategies.BalanceStrategy`, or a
+        :class:`LoadBalancer` facade; the solver resolves names at
+        construction.  ``None`` disables balancing outright (the
+        pre-strategy contract), as does the default
+        :class:`NeverBalance` policy.
     overlap:
         ``False`` disables the Case-1/Case-2 split (every SD task waits
         for its ghosts) — the ablation baseline for Sec. 6.3.
@@ -134,7 +156,8 @@ class DistributedSolver:
                  source: Optional[Callable[[float], np.ndarray]] = None,
                  dt: Optional[float] = None,
                  work_factors: Optional[Sequence[float]] = None,
-                 balancer: Optional[LoadBalancer] = None,
+                 balancer: Union[str, LoadBalancer, BalanceStrategy,
+                                 None] = "auto",
                  policy: Optional[BalancePolicy] = None,
                  overlap: bool = True,
                  compute_numerics: bool = True,
@@ -169,6 +192,10 @@ class DistributedSolver:
                 raise ValueError("work_factors must have one entry per SD")
             if np.any(self.work_factors < 0):
                 raise ValueError("work_factors must be non-negative")
+        if isinstance(balancer, str):
+            balancer = make_strategy(balancer, sd_grid)
+        #: ``None`` keeps the legacy contract: balancing disabled even
+        #: when the policy would fire
         self.balancer = balancer
         self.policy = policy if policy is not None else NeverBalance()
         self.overlap = overlap
@@ -231,6 +258,10 @@ class DistributedSolver:
         self._flops = self.operator.flops_per_dp()
         self._step_start_time = 0.0
         self._failure: Optional[BaseException] = None
+        # per-run policy bookkeeping: policies are stateless, the solver
+        # owns the step of the last balancing event (fresh every run, so
+        # a reused policy object cannot rate-limit the next run)
+        self._last_balance: Optional[int] = None
 
         if num_steps > 0:
             self._start_step(0)
@@ -358,11 +389,14 @@ class DistributedSolver:
         busy = [self.cluster.busy_time(n) for n in range(self.num_nodes)]
         result.imbalance_history.append(imbalance_ratio(busy))
         if (self.balancer is not None
-                and self.policy.should_balance(step, busy)):
+                and self.policy.should_balance(
+                    step, busy, last_balance=self._last_balance)):
+            self._last_balance = step
             bal = self.balancer.balance_step(
                 self.parts, self.num_nodes, busy,
                 work_per_sd=self.work_factors)
             result.balance_results.append(bal)
+            event_bytes = 0
             if bal.triggered and bal.sds_moved > 0:
                 moved = np.nonzero(bal.parts_before != bal.parts_after)[0]
                 for sd in moved:
@@ -371,9 +405,14 @@ class DistributedSolver:
                     nbytes = self.sd_grid.dp_count(int(sd)) * BYTES_PER_DP
                     migration_futs.append(
                         self.cluster.send(src, dst, nbytes))
-                    result.migration_bytes += nbytes
+                    event_bytes += nbytes
                 self.parts = bal.parts_after.copy()
                 result.parts_history.append((step, self.parts.copy()))
+            result.balance_events.append(BalanceEvent(
+                step=step, strategy=bal.strategy,
+                sds_moved=bal.sds_moved, migration_bytes=event_bytes,
+                imbalance_before=float(bal.imbalance_ratio_before),
+                imbalance_after=float(bal.imbalance_ratio_after)))
             # Algorithm 1 line 35: new measurement window either way
             self.cluster.reset_counters()
 

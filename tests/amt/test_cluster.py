@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.amt.cluster import (ConstantSpeed, Network, PiecewiseSpeed,
-                               SimCluster)
+                               RampSpeed, SimCluster)
 from repro.amt.des import SimulationError
 
 
@@ -63,6 +63,72 @@ class TestSpeedTraces:
             if t >= end:
                 break
         assert done == pytest.approx(work, abs=1e-6, rel=1e-6)
+
+
+class TestRampSpeed:
+    def test_rate_profile(self):
+        tr = RampSpeed(1.0, 3.0, 10.0, 20.0)
+        assert tr.rate(0.0) == 1.0
+        assert tr.rate(10.0) == 1.0
+        assert tr.rate(15.0) == pytest.approx(2.0)
+        assert tr.rate(20.0) == 3.0
+        assert tr.rate(100.0) == 3.0
+
+    def test_flat_head_segment(self):
+        tr = RampSpeed(2.0, 4.0, 10.0, 20.0)
+        # entirely before the ramp: plain constant rate
+        assert tr.time_to_complete(10.0, 0.0) == pytest.approx(5.0)
+
+    def test_integrates_across_the_ramp(self):
+        tr = RampSpeed(1.0, 3.0, 10.0, 20.0)
+        # full ramp holds the trapezoid area 0.5*(1+3)*10 = 20 units
+        assert tr.time_to_complete(20.0, 10.0) == pytest.approx(10.0)
+        # half the ramp area (5 units from rate 1 rising): solve the
+        # quadratic 0.1*x^2 + x = 5 -> x = 5*(sqrt(3)-1)
+        assert tr.time_to_complete(5.0, 10.0) == pytest.approx(
+            5 * (3 ** 0.5 - 1))
+
+    def test_spans_head_ramp_and_tail(self):
+        tr = RampSpeed(1.0, 3.0, 10.0, 20.0)
+        # 5 units head (5s) + 20 units ramp (10s) + 6 units tail (2s)
+        assert tr.time_to_complete(31.0, 5.0) == pytest.approx(17.0)
+
+    def test_downward_ramp(self):
+        tr = RampSpeed(3.0, 1.0, 0.0, 10.0)
+        assert tr.time_to_complete(20.0, 0.0) == pytest.approx(10.0)
+        assert tr.rate(5.0) == pytest.approx(2.0)
+
+    def test_equal_rates_degenerate_to_constant(self):
+        tr = RampSpeed(2.0, 2.0, 1.0, 3.0)
+        const = ConstantSpeed(2.0)
+        for work, t0 in ((0.0, 0.0), (1.0, 0.5), (10.0, 2.0), (3.0, 9.0)):
+            assert tr.time_to_complete(work, t0) == pytest.approx(
+                const.time_to_complete(work, t0))
+
+    @given(work=st.floats(0.0, 1e3), t0=st.floats(0.0, 40.0))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_inverts_the_rate_integral(self, work, t0):
+        """integral of rate over [t0, t0+dt] == work (the trace's
+        contract with the simulator)."""
+        tr = RampSpeed(0.5, 4.0, 10.0, 30.0)
+        dt = tr.time_to_complete(work, t0)
+        # numerically integrate the rate over [t0, t0 + dt]
+        n = 4000
+        ts = [t0 + dt * (i + 0.5) / n for i in range(n)]
+        integral = sum(tr.rate(t) for t in ts) * (dt / n)
+        assert integral == pytest.approx(work, rel=1e-3, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampSpeed(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            RampSpeed(1.0, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            RampSpeed(1.0, 2.0, 5.0, 5.0)   # empty window
+        with pytest.raises(ValueError):
+            RampSpeed(1.0, 2.0, -1.0, 5.0)  # negative start
+        with pytest.raises(ValueError):
+            RampSpeed(1.0, 2.0, 0.0, 1.0).time_to_complete(-1.0, 0.0)
 
 
 class TestNetwork:

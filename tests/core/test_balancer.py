@@ -13,8 +13,10 @@ from repro.partition.metrics import parts_are_contiguous
 
 
 def make(sds=4):
+    # pin the paper's algorithm: these tests assert Algorithm-1-specific
+    # outcomes and must not be rewritten by a forced REPRO_BALANCER
     sg = SubdomainGrid(4 * sds, 4 * sds, sds, sds)
-    return sg, LoadBalancer(sg)
+    return sg, LoadBalancer(sg, strategy="tree")
 
 
 def block_parts(sds, nodes):
@@ -122,7 +124,7 @@ class TestBalanceStep:
         spread implied by the SD distribution."""
         k = len(speeds)
         sg = SubdomainGrid(32, 32, 8, 8)
-        lb = LoadBalancer(sg)
+        lb = LoadBalancer(sg, strategy="tree")
         from repro.partition.geometric import block_partition
         parts = block_partition(8, 8, k)
         counts = np.bincount(parts, minlength=k).astype(float)
@@ -142,7 +144,7 @@ class TestFig14Scenario:
         """The paper's Fig. 14: 5x5 SDs, 4 symmetric nodes, highly
         imbalanced start -> nearly balanced within 3 iterations."""
         sg = SubdomainGrid(20, 20, 5, 5)
-        lb = LoadBalancer(sg)
+        lb = LoadBalancer(sg, strategy="tree")
         # highly imbalanced start: node 0 owns almost everything
         parts = np.zeros(25, dtype=np.int64)
         parts[4] = 1    # single SD corners for the others
@@ -179,13 +181,57 @@ class TestPolicies:
         assert p.should_balance(1, [1.0, 2.0])
 
     def test_threshold_rate_limit(self):
+        """Rate limiting runs against the caller-supplied last-balance
+        step — policies themselves are stateless."""
+        p = ThresholdPolicy(ratio=1.1, min_interval=5)
+        assert p.should_balance(0, [1.0, 2.0], last_balance=None)
+        assert not p.should_balance(2, [1.0, 2.0], last_balance=0)  # too soon
+        assert p.should_balance(5, [1.0, 2.0], last_balance=0)
+
+    def test_threshold_is_stateless(self):
+        """Firing never mutates the policy: the same call repeated gives
+        the same answer (the old implementation recorded the step
+        internally and would rate-limit the second call)."""
         p = ThresholdPolicy(ratio=1.1, min_interval=5)
         assert p.should_balance(0, [1.0, 2.0])
-        assert not p.should_balance(2, [1.0, 2.0])  # too soon
-        assert p.should_balance(5, [1.0, 2.0])
+        assert p.should_balance(0, [1.0, 2.0])
+        assert p.should_balance(1, [1.0, 2.0], last_balance=None)
 
     def test_threshold_validation(self):
         with pytest.raises(ValueError):
             ThresholdPolicy(ratio=0.9)
         with pytest.raises(ValueError):
             ThresholdPolicy(min_interval=0)
+
+
+class TestPolicyReuseAcrossRuns:
+    def test_reused_threshold_policy_does_not_rate_limit_next_run(self):
+        """Regression: a ThresholdPolicy object reused for a second
+        solver run must behave exactly like a fresh policy — the old
+        mutable ``_last_balance`` attribute silently rate-limited the
+        next run's first balancing steps."""
+        from repro.amt.cluster import ConstantSpeed
+        from repro.mesh.grid import UniformGrid
+        from repro.partition.geometric import block_partition
+        from repro.solver.distributed import DistributedSolver
+        from repro.solver.model import NonlocalHeatModel
+
+        grid = UniformGrid(32, 32)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        sg = SubdomainGrid(32, 32, 4, 4)
+        policy = ThresholdPolicy(ratio=1.05, min_interval=4)
+
+        def run_with(p):
+            solver = DistributedSolver(
+                model, grid, sg, block_parts(4, 4), num_nodes=4,
+                speeds=[ConstantSpeed(s) for s in (1e9, 1e9, 2e9, 4e9)],
+                compute_numerics=False,
+                balancer=LoadBalancer(sg, strategy="tree"), policy=p)
+            res = solver.run(None, 6)
+            return [(step, parts.tolist()) for step, parts in res.parts_history]
+
+        first = run_with(policy)
+        again = run_with(policy)           # same object, second run
+        fresh = run_with(ThresholdPolicy(ratio=1.05, min_interval=4))
+        assert first, "the heterogeneous run must rebalance at least once"
+        assert again == fresh == first

@@ -10,8 +10,8 @@ EXPECTED = {
     "fig11_strong_distributed", "fig12_weak_distributed",
     "fig13_metis_scaling", "fig14_load_balance",
     "abl_overlap", "abl_partitioners", "abl_balancing_gain",
-    "abl_backends",
-    "crack_hetero", "hetero_interference", "quickstart",
+    "abl_backends", "abl_balancers",
+    "crack_hetero", "hetero_interference", "hetero_drift", "quickstart",
     "solve_serial", "scale_strong",
 }
 
@@ -55,6 +55,27 @@ def test_every_scenario_runs_tiny(name):
         assert len(rec.step_durations) == 1
     else:
         assert rec.total_error is not None
+
+
+def test_balancer_sweep_covers_every_strategy():
+    from repro.core.strategies import strategy_names
+    from repro.experiments import balancer_sweep
+    specs = balancer_sweep(steps=2)
+    assert [s.policy.balancer for s in specs] == strategy_names()
+    assert all(s.name == "abl_balancers" for s in specs)
+    assert all(s.num_steps == 2 for s in specs)
+
+
+def test_hetero_drift_spec_shape():
+    spec = build("hetero_drift", nodes=4, steps=5, balancer="greedy")
+    drift = spec.cluster.drift
+    assert drift is not None
+    # the drift reverses the start rates mid-run
+    assert drift.rates_end == spec.cluster.speed_rates[::-1]
+    assert 0 < drift.start < drift.stop
+    assert spec.policy.balancer == "greedy"
+    assert spec.policy.enabled
+    assert not build("hetero_drift", balanced=False).policy.enabled
 
 
 def test_overrides_reach_the_spec():

@@ -37,6 +37,33 @@ class TestRunRecord:
         assert rec.parts_events and rec.parts_events[0][0] == 0
         assert len(rec.imbalance_history) == 2
 
+    def test_balance_events_telemetry(self):
+        """Per-event telemetry: one row per balancer invocation, and the
+        aggregate counters are the sums over events."""
+        rec = _record()
+        assert len(rec.balance_events) == 2  # interval=1, 2 steps
+        first = rec.balance_events[0]
+        assert set(first) == {"step", "strategy", "sds_moved",
+                              "migration_bytes", "imbalance_before",
+                              "imbalance_after"}
+        assert first["step"] == 0
+        assert first["strategy"] == rec.balancer_resolved
+        assert first["sds_moved"] > 0
+        assert first["migration_bytes"] > 0
+        # the first sweep drains the corner hotspot
+        assert first["imbalance_after"] < first["imbalance_before"]
+        assert rec.sds_moved == sum(e["sds_moved"]
+                                    for e in rec.balance_events)
+        assert rec.migration_bytes == sum(e["migration_bytes"]
+                                          for e in rec.balance_events)
+
+    def test_balancer_resolved_recorded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BALANCER", raising=False)
+        assert _record().balancer_resolved == "tree"  # the auto default
+        rec = run_scenario(build("fig14_load_balance",
+                                 steps=1).with_balancer("greedy"))
+        assert rec.balancer_resolved == "greedy"
+
     def test_serial_record_defaults(self):
         rec = run_scenario(build("solve_serial", nx=8, eps_factor=2.0,
                                  steps=2))

@@ -92,8 +92,20 @@ class TestBuildSolver:
         spec = build("fig14_load_balance", steps=1)
         solver = build_solver(spec)
         assert solver.balancer is not None
+        # the policy decides whether balancing runs; the strategy is
+        # always wired (name resolved from spec.policy.balancer)
+        from repro.core.strategies import requested_strategy
+        expected = requested_strategy("auto")
+        if expected == "auto":
+            expected = "tree"
+        assert solver.balancer.name == expected
         off = spec.replace(policy=PolicySpec())
-        assert build_solver(off).balancer is None
+        off_solver = build_solver(off)
+        assert not off_solver.run(None, 1).balance_events
+
+    def test_balancer_pinned_by_spec(self):
+        spec = build("fig14_load_balance", steps=1).with_balancer("greedy")
+        assert build_solver(spec).balancer.name == "greedy"
 
     def test_work_factors_from_cracks(self):
         spec = build("crack_hetero", steps=1)
@@ -201,8 +213,10 @@ class TestOwnershipTimeline:
 
     def test_zero_move_steps_carry_forward(self):
         from repro.experiments import ownership_timeline
-        # enough extra steps that later sweeps are already balanced
-        spec = build("fig14_load_balance", steps=6)
+        # enough extra steps that later sweeps are already balanced;
+        # pinned to the tree strategy, whose integer-target apportionment
+        # guarantees it goes quiet once converged
+        spec = build("fig14_load_balance", steps=6).with_balancer("tree")
         rec = run_scenario(spec)
         frames = ownership_timeline(spec, rec)
         assert len(frames) == 7

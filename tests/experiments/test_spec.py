@@ -5,8 +5,9 @@ import json
 import numpy as np
 import pytest
 
-from repro.experiments import (ClusterSpec, InterferenceSpec, MeshSpec,
-                               PartitionSpec, PolicySpec, ScenarioSpec)
+from repro.experiments import (ClusterSpec, DriftSpec, InterferenceSpec,
+                               MeshSpec, PartitionSpec, PolicySpec,
+                               ScenarioSpec)
 
 
 class TestMeshSpec:
@@ -78,6 +79,51 @@ class TestClusterSpec:
             InterferenceSpec(**kwargs)
 
 
+class TestDriftSpec:
+    def test_build_speeds_ramps_every_node(self):
+        from repro.amt.cluster import RampSpeed
+        c = ClusterSpec(num_nodes=2, speed_rates=(1e9, 2e9),
+                        drift=DriftSpec(rates_end=(2e9, 1e9),
+                                        start=1.0, stop=3.0))
+        traces = c.build_speeds()
+        assert all(isinstance(t, RampSpeed) for t in traces)
+        assert traces[0].rate(0.0) == 1e9
+        assert traces[0].rate(2.0) == pytest.approx(1.5e9)  # mid-ramp
+        assert traces[0].rate(5.0) == 2e9
+        assert traces[1].rate(5.0) == 1e9
+
+    def test_drift_uses_default_base_rates(self):
+        c = ClusterSpec(num_nodes=2,
+                        drift=DriftSpec(rates_end=(2e9, 5e8),
+                                        start=0.0, stop=1.0))
+        traces = c.build_speeds(default_rate=1e9)
+        assert traces[0].rate(0.0) == 1e9
+        assert traces[0].rate(2.0) == 2e9
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rates_end=()),                              # no rates
+        dict(rates_end=(1e9, 0.0), start=0.0, stop=1.0),  # zero rate
+        dict(rates_end=(1e9,), start=1.0, stop=1.0),      # empty window
+        dict(rates_end=(1e9,), start=-1.0, stop=1.0),     # negative start
+    ])
+    def test_invalid_drift(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftSpec(**kwargs)
+
+    def test_drift_length_must_match_nodes(self):
+        with pytest.raises(ValueError, match="end rates"):
+            ClusterSpec(num_nodes=3,
+                        drift=DriftSpec(rates_end=(1e9,), start=0, stop=1))
+
+    def test_drift_and_interference_exclusive(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            ClusterSpec(
+                num_nodes=1,
+                drift=DriftSpec(rates_end=(1e9,), start=0, stop=1),
+                interference=(InterferenceSpec(node=0, start=0.0,
+                                               stop=1.0),))
+
+
 class TestPartitionSpec:
     def test_single(self):
         parts = PartitionSpec(method="single").build(4, 4, 3)
@@ -146,10 +192,34 @@ class TestPolicySpec:
         dict(kind="interval", interval=0),
         dict(kind="threshold", ratio=0.9),
         dict(kind="threshold", min_interval=0),
+        dict(balancer="magic"),
+        dict(balancer=""),
     ])
     def test_invalid(self, kwargs):
         with pytest.raises(ValueError):
             PolicySpec(**kwargs)
+
+    def test_balancer_defaults_to_auto(self):
+        from repro.core.strategies import strategy_names
+        assert PolicySpec().balancer == "auto"
+        for name in strategy_names():
+            assert PolicySpec(balancer=name).balancer == name
+
+    def test_balancer_survives_legacy_dicts(self):
+        """Policy dicts written before the strategy field (PR-1/2 result
+        files) must still load, defaulting to auto."""
+        d = PolicySpec(kind="interval", interval=2).to_dict()
+        del d["balancer"]
+        assert PolicySpec.from_dict(d).balancer == "auto"
+
+    def test_scenario_surfaces_the_policy_balancer(self):
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4),
+                         policy=PolicySpec(kind="interval",
+                                           balancer="diffusion"))
+        assert s.balancer == "diffusion"
+        assert s.with_balancer("greedy").policy.balancer == "greedy"
+        with pytest.raises(ValueError):
+            s.with_balancer("magic")
 
 
 class TestScenarioSpec:
@@ -230,6 +300,13 @@ def _sample_specs():
                                                parts=(0, 1, 1, 0)))
     yield ScenarioSpec(name="backend", mesh=MeshSpec(nx=8, sd_nx=2),
                        kernel_backend="fft")
+    yield ScenarioSpec(
+        name="drifting",
+        mesh=MeshSpec(nx=8, sd_nx=2),
+        cluster=ClusterSpec(num_nodes=2, speed_rates=(1e9, 2e9),
+                            drift=DriftSpec(rates_end=(2e9, 1e9),
+                                            start=0.5, stop=1.5)),
+        policy=PolicySpec(kind="interval", balancer="repartition"))
 
 
 class TestRoundTrip:
@@ -247,7 +324,12 @@ class TestRoundTrip:
     def test_sub_spec_round_trips(self):
         for sub in (MeshSpec(nx=32, sd_nx=2),
                     ClusterSpec(num_nodes=3, speed_rates=(1.0, 2.0, 3.0)),
+                    ClusterSpec(num_nodes=2, speed_rates=(1.0, 2.0),
+                                drift=DriftSpec(rates_end=(2.0, 1.0),
+                                                start=0.0, stop=1.0)),
+                    DriftSpec(rates_end=(1.0, 2.0), start=0.5, stop=2.0),
                     PartitionSpec(method="explicit", parts=(0, 1)),
-                    PolicySpec(kind="interval", interval=4)):
+                    PolicySpec(kind="interval", interval=4),
+                    PolicySpec(kind="threshold", balancer="greedy")):
             assert type(sub).from_dict(
                 json.loads(json.dumps(sub.to_dict()))) == sub

@@ -127,14 +127,61 @@ class TestCrackScenario:
         assert res.makespan > 0
 
 
+class TestExplicitNoneBalancer:
+    def test_none_disables_balancing_even_with_active_policy(self):
+        """The pre-strategy contract: ``balancer=None`` means disabled,
+        even when the policy fires — only the omitted argument means
+        the auto strategy."""
+        _, solver = build(speeds=[ConstantSpeed(s)
+                                  for s in (1e9, 1e9, 2e9, 4e9)],
+                          balancer=None, policy=IntervalPolicy(1))
+        res = solver.run(None, 4)
+        assert not res.balance_events
+        assert not res.parts_history
+        assert res.migration_bytes == 0
+
+
+class TestDriftWorkload:
+    """The hetero_drift scenario: node speeds ramp to the reversed
+    assignment mid-run, so any one-shot distribution is wrong for most
+    of the run.  Every adaptive strategy must beat NeverBalance."""
+
+    @pytest.mark.parametrize("strategy", ["tree", "diffusion", "greedy",
+                                          "repartition"])
+    def test_every_adaptive_strategy_beats_never(self, strategy):
+        from repro.experiments import build, run_scenario
+        base = run_scenario(build("hetero_drift", steps=12, balanced=False))
+        rec = run_scenario(build("hetero_drift", steps=12,
+                                 balancer=strategy))
+        assert rec.balancer_resolved == strategy
+        assert rec.balance_events, "the per-step policy must have fired"
+        assert base.makespan / rec.makespan >= 1.10, (
+            f"{strategy} must beat NeverBalance by >= 10% under drift")
+
+    def test_oneshot_balancing_loses_to_adaptive(self):
+        """Balancing once at the start (and then freezing) matches the
+        *initial* speeds — exactly wrong after the drift completes."""
+        from repro.experiments import PolicySpec, build, run_scenario
+        adaptive = run_scenario(build("hetero_drift", steps=10,
+                                      balancer="tree"))
+        oneshot = run_scenario(build("hetero_drift", steps=10).replace(
+            policy=PolicySpec(kind="threshold", ratio=1.0,
+                              min_interval=10 ** 9, balancer="tree")))
+        assert len(oneshot.balance_events) == 1
+        assert adaptive.makespan < oneshot.makespan
+
+
 class TestRandomizedBalancing:
     @given(seed=st.integers(0, 100))
     @settings(max_examples=15, deadline=None)
     def test_balance_from_random_contiguous_start(self, seed):
-        """From any partition, iterated balancing on symmetric nodes
-        approaches the uniform distribution without losing SDs."""
+        """From any partition, iterated Algorithm 1 on symmetric nodes
+        approaches the uniform distribution within four sweeps without
+        losing SDs (pinned to the tree strategy: the 4-sweep bound is
+        its global-rebalance guarantee; diffusion converges slower by
+        design)."""
         sg = SubdomainGrid(32, 32, 8, 8)
-        lb = LoadBalancer(sg)
+        lb = LoadBalancer(sg, strategy="tree")
         parts = partition_sd_grid(8, 8, 4, seed=seed,
                                   target_weights=[8, 1, 1, 1])
         for _ in range(4):

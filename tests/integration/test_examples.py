@@ -55,3 +55,9 @@ class TestExamples:
         out = run_example("heterogeneous_cluster.py", capsys)
         assert "threshold balancer" in out
         assert "SD redistribution events" in out
+
+    def test_balancer_strategies(self, capsys):
+        out = run_example("balancer_strategies.py", capsys)
+        for name in ("never", "tree", "diffusion", "greedy", "repartition"):
+            assert name in out
+        assert "balance events" in out.lower()

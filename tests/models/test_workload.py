@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.models.workload import (heterogeneous_constant,
+from repro.models.workload import (drift_ramp, heterogeneous_constant,
                                    random_interference,
                                    staircase_degradation, step_interference)
 
@@ -76,3 +76,21 @@ class TestHeterogeneousConstant:
     def test_builds_constant_traces(self):
         traces = heterogeneous_constant([1.0, 2.0, 4.0])
         assert [tr.rate(0.0) for tr in traces] == [1.0, 2.0, 4.0]
+
+
+class TestDriftRamp:
+    def test_builds_ramps_between_the_rate_vectors(self):
+        from repro.amt.cluster import ConstantSpeed, RampSpeed
+        traces = drift_ramp([1.0, 2.0, 3.0], [3.0, 2.0, 1.0],
+                            start=5.0, stop=15.0)
+        assert isinstance(traces[0], RampSpeed)
+        assert isinstance(traces[1], ConstantSpeed)  # unchanged rate
+        assert isinstance(traces[2], RampSpeed)
+        assert traces[0].rate(0.0) == 1.0
+        assert traces[0].rate(10.0) == pytest.approx(2.0)
+        assert traces[0].rate(20.0) == 3.0
+        assert traces[2].rate(20.0) == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="matching rate vectors"):
+            drift_ramp([1.0, 2.0], [1.0], start=0.0, stop=1.0)

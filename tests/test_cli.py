@@ -128,6 +128,73 @@ class TestRunCommand:
         assert rc == 0
         assert "total error" in capsys.readouterr().out
 
+    def test_run_with_balancer_override(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "fig14_load_balance", "--steps", "1",
+                   "--balancer", "greedy", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "balancer: greedy" in out
+        (rec,) = read_records(str(path))
+        assert rec.spec["policy"]["balancer"] == "greedy"
+        assert rec.balancer_resolved == "greedy"
+
+    def test_run_prints_balance_events(self, capsys):
+        rc = main(["run", "--scenario", "fig14_load_balance", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SDs moved" in out
+        assert "imb before" in out  # the balance-events telemetry table
+
+    def test_run_rejects_unknown_balancer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "fig14_load_balance",
+                  "--balancer", "magic"])
+
+    def test_bad_balancer_env_reported_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BALANCER", "magic")
+        rc = main(["run", "--scenario", "fig14_load_balance", "--steps", "1"])
+        assert rc == 2
+        assert "REPRO_BALANCER" in capsys.readouterr().err
+
+    def test_abl_balancers_sweeps_all_strategies(self, capsys, tmp_path):
+        from repro.core.strategies import strategy_names
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "abl_balancers", "--steps", "2",
+                   "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in strategy_names():
+            assert name in out
+        records = read_records(str(path))
+        assert [r.spec["policy"]["balancer"]
+                for r in records] == strategy_names()
+
+    def test_abl_balancers_sweep_honors_backend_override(self, capsys,
+                                                         tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "abl_balancers", "--steps", "1",
+                   "--backend", "direct", "--json", str(path)])
+        assert rc == 0
+        records = read_records(str(path))
+        assert all(r.spec["kernel_backend"] == "direct" for r in records)
+
+    def test_abl_balancers_pinned_runs_single(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "abl_balancers", "--steps", "2",
+                   "--balancer", "diffusion", "--json", str(path)])
+        assert rc == 0
+        records = read_records(str(path))
+        assert len(records) == 1
+        assert records[0].balancer_resolved == "diffusion"
+
+    def test_balance_accepts_balancer(self, capsys):
+        rc = main(["balance", "--sds", "5", "--nodes", "4",
+                   "--iterations", "3", "--balancer", "repartition"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "final SDs per node" in out
+
 
 class TestJsonOutput:
     def test_solve_json(self, capsys, tmp_path):
