@@ -1,0 +1,112 @@
+"""Ablation G: balancing strategies under elastic cluster churn.
+
+The ``hetero_churn`` workload loses a node mid-run (its SDs evacuated,
+its in-flight tasks requeued with the recovery penalty) and gains a
+faster replacement later, with an early straggle window on top.  The
+comparison isolates what *adaptive* balancing buys once membership
+changes: the ``never`` baseline pays for every SD stranded on the
+wrong survivor after the mechanical evacuation and leaves the joiner
+idle, while every registered strategy re-spreads load after each churn
+event and absorbs the joiner at the next balance step.
+
+Everything measured is virtual time (deterministic, machine-
+independent, DESIGN.md substitutions 1 and 4), so the makespans,
+migration bytes, and recovery costs are exact schedule properties.
+
+Acceptance criterion (ISSUE 4): every adaptive strategy must beat the
+``never`` makespan under node loss by >= 15% (floor tunable via
+``REPRO_BENCH_MIN_CHURN_GAIN``).
+
+Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
+writes it to a file (``BENCH_churn.json`` at the repo root is the
+committed record).
+"""
+
+import json
+import os
+from functools import lru_cache
+
+from repro.core.strategies import strategy_names
+from repro.experiments import SCHEMA, build, run_scenario, write_json
+from repro.reporting.tables import format_table
+
+STEPS = 16
+
+#: adaptive-vs-never acceptance floor under churn (1.15 = the 15% bar)
+_MIN_GAIN = float(os.environ.get("REPRO_BENCH_MIN_CHURN_GAIN", "1.15"))
+
+_SPEC = build("hetero_churn", steps=STEPS)
+MESH = _SPEC.mesh.nx
+NODES = _SPEC.cluster.num_nodes
+
+
+def _row(label, rec, never_makespan):
+    return {
+        "strategy": label,
+        "makespan_seconds": rec.makespan,
+        "gain_over_never": never_makespan / rec.makespan,
+        "sds_moved": rec.sds_moved,
+        "migration_bytes": rec.migration_bytes,
+        "recovery_bytes": rec.recovery_bytes,
+        "recovery_events": len(rec.recovery_events),
+        "balance_events": len(rec.balance_events),
+        "final_imbalance": (rec.imbalance_history[-1]
+                            if rec.imbalance_history else 1.0),
+    }
+
+
+@lru_cache(maxsize=1)
+def strategy_rows():
+    never = run_scenario(build("hetero_churn", steps=STEPS, balanced=False))
+    rows = [_row("never", never, never.makespan)]
+    for name in strategy_names():
+        rec = run_scenario(build("hetero_churn", steps=STEPS, balancer=name))
+        rows.append(_row(name, rec, never.makespan))
+    return rows
+
+
+def test_abl_churn(benchmark):
+    rows = strategy_rows()
+    print("\n" + format_table(
+        ["strategy", "makespan (ms)", "gain", "SDs moved",
+         "migration B", "recovery B", "final imb"],
+        [[r["strategy"], r["makespan_seconds"] * 1e3,
+          f"{r['gain_over_never']:.2f}x", r["sds_moved"],
+          r["migration_bytes"], r["recovery_bytes"],
+          f"{r['final_imbalance']:.3f}"] for r in rows],
+        title=f"Ablation G — balancing strategies under cluster churn "
+              f"(mesh {MESH}x{MESH}, {NODES} nodes -1 fail +1 join, "
+              f"{STEPS} steps)"))
+
+    by_name = {r["strategy"]: r for r in rows}
+    adaptive = [r for r in rows if r["strategy"] != "never"]
+    assert len(adaptive) == len(strategy_names())
+    # every run handled the same churn: one failure, one join
+    for r in rows:
+        assert r["recovery_events"] == 2, r
+    # acceptance: every adaptive strategy beats never by >= 15% once a
+    # node is lost (the baseline keeps the evacuation dump and never
+    # uses the joiner)
+    for r in adaptive:
+        assert r["gain_over_never"] >= _MIN_GAIN, (
+            f"{r['strategy']} gained only {r['gain_over_never']:.2f}x "
+            f"over never under churn (floor {_MIN_GAIN:g}x)")
+    # the never baseline still paid the mandatory evacuation traffic
+    assert by_name["never"]["recovery_bytes"] > 0
+
+    payload = {
+        "benchmark": "abl_churn",
+        "scenario": "hetero_churn",
+        "mesh": [MESH, MESH],
+        "nodes": NODES,
+        "steps": STEPS,
+        "min_gain": _MIN_GAIN,
+        "strategies": rows,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy

@@ -22,7 +22,9 @@ from .future import (Future, FutureError, Promise, dataflow,
                      make_exceptional_future, make_ready_future, when_all)
 from .cluster import (ConstantSpeed, Network, PiecewiseSpeed, RampSpeed,
                       SimCluster,
-                      SimNode, SimTask, SpeedTrace)
+                      SimNode, SimTask, SpeedTrace, StraggleSpeed)
+from .faults import (DEFAULT_RECOVERY_PENALTY, ChurnEvent, FaultSchedule,
+                     RecoveryEvent)
 
 __all__ = [
     "AddressSpace", "AgasError",
@@ -33,5 +35,7 @@ __all__ = [
     "Future", "FutureError", "Promise", "dataflow",
     "make_exceptional_future", "make_ready_future", "when_all",
     "ConstantSpeed", "Network", "PiecewiseSpeed", "RampSpeed", "SimCluster",
-    "SimNode", "SimTask", "SpeedTrace",
+    "SimNode", "SimTask", "SpeedTrace", "StraggleSpeed",
+    "ChurnEvent", "FaultSchedule", "RecoveryEvent",
+    "DEFAULT_RECOVERY_PENALTY",
 ]

@@ -31,7 +31,7 @@ from .des import SimulationError, Simulator
 from .future import Future, when_all
 
 __all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "RampSpeed",
-           "Network", "SimNode", "SimTask", "SimCluster"]
+           "StraggleSpeed", "Network", "SimNode", "SimTask", "SimCluster"]
 
 
 # ---------------------------------------------------------------------------
@@ -56,6 +56,16 @@ class SpeedTrace:
         """Seconds to finish ``work`` units when starting at ``t0``."""
         raise NotImplementedError
 
+    def work_until(self, t0: float, t1: float) -> float:
+        """Work units completed over ``[t0, t1]`` (the rate's integral).
+
+        The inverse view of :meth:`time_to_complete`; needed by
+        :class:`StraggleSpeed` to compose transient slowdown windows
+        onto *any* base trace exactly (no sampling, schedules stay
+        deterministic).
+        """
+        raise NotImplementedError
+
 
 class ConstantSpeed(SpeedTrace):
     """A fixed rate; the common case for homogeneous scaling studies."""
@@ -72,6 +82,11 @@ class ConstantSpeed(SpeedTrace):
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
         return work / self._rate
+
+    def work_until(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        return (t1 - t0) * self._rate
 
 
 class PiecewiseSpeed(SpeedTrace):
@@ -124,6 +139,20 @@ class PiecewiseSpeed(SpeedTrace):
             remaining -= seg_capacity
             t = b
         return (t + remaining / self._rates[-1]) - t0
+
+    def work_until(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        done = 0.0
+        t = float(t0)
+        for i, b in enumerate(self._bp):
+            if t >= b:
+                continue
+            if t1 <= b:
+                return done + (t1 - t) * self._rates[i]
+            done += (b - t) * self._rates[i]
+            t = b
+        return done + (t1 - t) * self._rates[-1]
 
 
 class RampSpeed(SpeedTrace):
@@ -187,6 +216,109 @@ class RampSpeed(SpeedTrace):
             t = self.t1
         return (t + remaining / self.rate1) - t0
 
+    def work_until(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        done = 0.0
+        t = float(t0)
+        if t < self.t0:
+            end = min(t1, self.t0)
+            done += (end - t) * self.rate0
+            t = end
+        if t < t1 and t < self.t1:
+            end = min(t1, self.t1)
+            # trapezoid: the ramp is linear between t and end
+            done += 0.5 * (self.rate(t) + self.rate(end)) * (end - t)
+            t = end
+        if t < t1:
+            done += (t1 - t) * self.rate1
+        return done
+
+
+class StraggleSpeed(SpeedTrace):
+    """A base trace scaled down over transient straggle windows.
+
+    During each window ``[start, stop)`` the node delivers ``factor``
+    times the base trace's rate — the fault model's straggler
+    (DESIGN.md substitution 4).  Composition is exact: completion times
+    invert the scaled integral segment by segment using the base
+    trace's own :meth:`SpeedTrace.work_until` / ``time_to_complete``,
+    so arbitrary bases (constant, piecewise, ramp, even another
+    straggle wrapper) keep bit-identical, machine-independent
+    schedules.
+
+    Parameters
+    ----------
+    base:
+        The unperturbed speed trace.
+    windows:
+        ``(start, stop, factor)`` triples; must be non-overlapping with
+        ``start < stop`` and ``factor`` in ``(0, 1]``.  Stored sorted
+        by start time.
+    """
+
+    def __init__(self, base: SpeedTrace,
+                 windows: Sequence[tuple]) -> None:
+        self.base = base
+        wins = sorted((float(a), float(b), float(f)) for a, b, f in windows)
+        for a, b, f in wins:
+            if not b > a:
+                raise ValueError(f"straggle window needs stop > start, "
+                                 f"got [{a}, {b})")
+            if not 0 < f <= 1:
+                raise ValueError(f"straggle factor must be in (0, 1], got {f}")
+        for (_, b1, _), (a2, _, _) in zip(wins, wins[1:]):
+            if a2 < b1:
+                raise ValueError("straggle windows must not overlap")
+        self.windows = wins
+
+    def _factor_at(self, t: float) -> float:
+        for a, b, f in self.windows:
+            if a <= t < b:
+                return f
+        return 1.0
+
+    def rate(self, t: float) -> float:
+        return self.base.rate(t) * self._factor_at(t)
+
+    def _boundaries_after(self, t: float) -> List[float]:
+        out = []
+        for a, b, _ in self.windows:
+            if a > t:
+                out.append(a)
+            if b > t:
+                out.append(b)
+        return sorted(out)
+
+    def work_until(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        done = 0.0
+        t = float(t0)
+        for edge in self._boundaries_after(t):
+            if edge >= t1:
+                break
+            done += self.base.work_until(t, edge) * self._factor_at(t)
+            t = edge
+        return done + self.base.work_until(t, t1) * self._factor_at(t)
+
+    def time_to_complete(self, work: float, t0: float) -> float:
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        remaining = float(work)
+        t = float(t0)
+        for edge in self._boundaries_after(t):
+            f = self._factor_at(t)
+            capacity = self.base.work_until(t, edge) * f
+            if remaining <= capacity:
+                # finish within this segment: the base must deliver
+                # remaining / f of unscaled work starting at t
+                return (t + self.base.time_to_complete(remaining / f, t)) - t0
+            remaining -= capacity
+            t = edge
+        f = self._factor_at(t)
+        return (t + self.base.time_to_complete(remaining / f, t)) - t0
+
 
 # ---------------------------------------------------------------------------
 # network
@@ -249,17 +381,24 @@ class SimTask:
 
     The task's :attr:`future` resolves — at the task's virtual completion
     time — with the return value of ``action()`` (or ``None``).
+
+    ``tag`` is an opaque owner-supplied marker (the distributed solver
+    stores the SD id) so that a task orphaned by a node failure can be
+    requeued on the SD's new owner.  ``node_id`` is rewritten when the
+    cluster resubmits an orphan.
     """
 
-    __slots__ = ("node_id", "work", "action", "future", "label")
+    __slots__ = ("node_id", "work", "action", "future", "label", "tag")
 
     def __init__(self, node_id: int, work: float,
-                 action: Optional[Callable[[], Any]], label: str) -> None:
+                 action: Optional[Callable[[], Any]], label: str,
+                 tag: Any = None) -> None:
         self.node_id = node_id
         self.work = float(work)
         self.action = action
         self.future: Future = Future()
         self.label = label
+        self.tag = tag
 
 
 class SimNode:
@@ -282,6 +421,13 @@ class SimNode:
         self.ready: Deque[SimTask] = deque()
         self.tasks_completed = 0
         self.work_completed = 0.0
+        #: ``False`` once the node has failed (permanently; a "rejoin"
+        #: is a fresh node with a new id)
+        self.alive = True
+        #: in-flight tasks: task -> (busy-counter token, completion
+        #: Event), so a failure can truncate busy time and cancel the
+        #: scheduled completions deterministically
+        self.running: Dict[SimTask, tuple] = {}
 
     def busy_time(self) -> float:
         """Window busy core-seconds (since last counter reset)."""
@@ -328,25 +474,59 @@ class SimCluster:
                 (self.counters.create(f"node{i}", "bytes_sent"),
                  self.counters.create(f"node{i}", "bytes_received")))
         self._window_start = 0.0
+        #: called with each :class:`SimTask` that targets a dead node
+        #: (set by the distributed solver after a failure); the handler
+        #: must route the task to a live node via :meth:`resubmit`
+        self.orphan_handler: Optional[Callable[[SimTask], None]] = None
 
     # -- submission --------------------------------------------------------
     def submit(self, node_id: int, work: float,
                action: Optional[Callable[[], Any]] = None,
-               deps: Sequence[Future] = (), label: str = "task") -> Future:
+               deps: Sequence[Future] = (), label: str = "task",
+               tag: Any = None) -> Future:
         """Queue a task on ``node_id`` once all ``deps`` are ready.
 
         Returns the task's future.  ``deps`` are typically message futures
         (ghost data) or other task futures; the task enters the node's
         ready queue at the virtual time the last dependency resolves,
         which is how communication/computation overlap arises naturally.
+
+        ``node_id`` must be alive at submission time; a task whose deps
+        resolve *after* the node failed is handed to
+        :attr:`orphan_handler` instead of running on the dead node.
         """
         node = self._node(node_id)
-        task = SimTask(node_id, work, action, label)
+        if not node.alive:
+            raise SimulationError(f"cannot submit to failed node {node_id}")
+        task = SimTask(node_id, work, action, label, tag=tag)
         if not deps:
             self._enqueue(node, task)
         else:
             when_all(list(deps))._add_callback(lambda _f: self._enqueue(node, task))
         return task.future
+
+    def resubmit(self, task: SimTask, node_id: int,
+                 deps: Sequence[Future] = ()) -> None:
+        """Requeue an orphaned ``task`` on live ``node_id``.
+
+        The task keeps its original future, so step barriers built from
+        :func:`repro.amt.future.when_all` over the pre-failure futures
+        still fire once the requeued work completes.  The caller (the
+        solver's recovery path) adjusts ``task.work`` for the recovery
+        penalty and passes the checkpoint re-fetch message as a dep.
+        """
+        node = self._node(node_id)
+        if not node.alive:
+            raise SimulationError(
+                f"cannot requeue task on failed node {node_id}")
+        if task.future.is_ready():
+            raise SimulationError("cannot requeue a completed task")
+        task.node_id = node_id
+        if not deps:
+            self._enqueue(node, task)
+        else:
+            when_all(list(deps))._add_callback(
+                lambda _f: self._enqueue(node, task))
 
     def timer(self, delay: float, payload: Any = None) -> Future:
         """A future that resolves ``delay`` virtual seconds from now.
@@ -379,6 +559,63 @@ class SimCluster:
             # priority 0: deliveries fire before same-time task completions
             self.sim.schedule(arrival, lambda: fut._set_value(payload), priority=0)
         return fut
+
+    # -- membership (elastic cluster, DESIGN.md substitution 4) ------------
+    def add_node(self, cores: int = 1,
+                 trace: Optional[SpeedTrace] = None) -> int:
+        """Provision a new node mid-simulation; returns its id.
+
+        The node starts alive, idle, and with fresh counters whose
+        measurement window begins now — its busy fraction is comparable
+        to the incumbents' from the next counter reset on.
+        """
+        i = len(self.nodes)
+        counter = self.counters.create_busy_time(f"node{i}")
+        if trace is None:
+            trace = ConstantSpeed(1.0)
+        self.nodes.append(SimNode(i, cores, trace, counter))
+        self._net_counters.append(
+            (self.counters.create(f"node{i}", "bytes_sent"),
+             self.counters.create(f"node{i}", "bytes_received")))
+        return i
+
+    def fail_node(self, node_id: int) -> List[SimTask]:
+        """Kill ``node_id`` now; returns its orphaned tasks.
+
+        In-flight tasks have their scheduled completions cancelled and
+        their busy intervals truncated at the failure instant (partial
+        work is *lost* — a requeued task restarts from scratch); queued
+        tasks are drained.  Orphans are returned in a deterministic
+        order (running tasks in dispatch order, then the ready queue)
+        for the caller to requeue via :meth:`resubmit`.  Tasks whose
+        dependencies resolve after the failure are routed to
+        :attr:`orphan_handler`.
+        """
+        node = self._node(node_id)
+        if not node.alive:
+            raise SimulationError(f"node {node_id} already failed")
+        if len(self.active_node_ids()) <= 1:
+            raise SimulationError(
+                f"cannot fail node {node_id}: it is the last alive node")
+        node.alive = False
+        orphans: List[SimTask] = []
+        for task, (token, event) in node.running.items():
+            event.cancel()
+            node.counter.end_work(self.sim.now, token)
+            orphans.append(task)
+        node.running.clear()
+        orphans.extend(node.ready)
+        node.ready.clear()
+        node.free_cores = 0
+        return orphans
+
+    def active_node_ids(self) -> List[int]:
+        """Ids of the currently alive nodes, ascending."""
+        return [n.node_id for n in self.nodes if n.alive]
+
+    def alive_mask(self) -> List[bool]:
+        """Per-node liveness flags (index = node id)."""
+        return [n.alive for n in self.nodes]
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -432,22 +669,33 @@ class SimCluster:
         return self.nodes[node_id]
 
     def _enqueue(self, node: SimNode, task: SimTask) -> None:
+        if not node.alive:
+            # deps resolved after the node died: reroute, don't run
+            if self.orphan_handler is None:
+                raise SimulationError(
+                    f"task {task.label!r} became ready on failed node "
+                    f"{node.node_id} and no orphan handler is set")
+            self.orphan_handler(task)
+            return
         node.ready.append(task)
         self._dispatch(node)
 
     def _dispatch(self, node: SimNode) -> None:
-        while node.free_cores > 0 and node.ready:
+        while node.alive and node.free_cores > 0 and node.ready:
             task = node.ready.popleft()
             node.free_cores -= 1
             start = self.sim.now
             duration = node.trace.time_to_complete(task.work, start)
             token = node.counter.begin_work(start)
             # priority 1: completions fire after same-time message deliveries
-            self.sim.schedule(start + duration,
-                              lambda t=task, n=node, tok=token: self._complete(n, t, tok),
-                              priority=1)
+            event = self.sim.schedule(
+                start + duration,
+                lambda t=task, n=node: self._complete(n, t),
+                priority=1)
+            node.running[task] = (token, event)
 
-    def _complete(self, node: SimNode, task: SimTask, token: int) -> None:
+    def _complete(self, node: SimNode, task: SimTask) -> None:
+        token, _event = node.running.pop(task)
         node.counter.end_work(self.sim.now, token)
         node.free_cores += 1
         node.tasks_completed += 1

@@ -115,18 +115,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scenario's timestep count")
     r.add_argument("--seed", type=int, default=None,
                    help="override the scenario's seed (where supported)")
+    r.add_argument("--faults", metavar="SPEC", default=None,
+                   help="overlay a churn schedule on the scenario's "
+                        "cluster: inline JSON ('{\"events\": [...]}') or "
+                        "a path to a JSON file in FaultSpec form "
+                        "(events with kind fail/join/straggle at virtual "
+                        "times, plus recovery_penalty)")
     add_backend(r)
     add_balancer(r)
     add_json(r)
     return p
 
 
+def _parse_faults(arg: str):
+    """``--faults``: inline JSON if it looks like an object, else a path."""
+    import json
+    from .experiments import FaultSpec
+    text = arg
+    if not arg.lstrip().startswith("{"):
+        try:
+            with open(arg, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read faults file {arg}: {exc}")
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: --faults is not valid JSON: {exc}")
+    try:
+        return FaultSpec.from_dict(doc)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: bad fault schedule: {exc}")
+
+
 def _apply_overrides(spec, args):
-    """The spec with the CLI's --backend/--balancer overrides applied."""
+    """The spec with the CLI's --backend/--balancer/--faults overrides."""
     if getattr(args, "backend", None):
         spec = spec.replace(kernel_backend=args.backend)
     if getattr(args, "balancer", None):
         spec = spec.with_balancer(args.balancer)
+    if getattr(args, "faults", None):
+        from dataclasses import replace as _replace
+        try:
+            spec = spec.replace(cluster=_replace(
+                spec.cluster, faults=_parse_faults(args.faults)))
+        except ValueError as exc:  # membership validation
+            raise SystemExit(f"error: bad fault schedule: {exc}")
     return spec
 
 
@@ -269,7 +303,8 @@ def _run_balancer_ablation(args, overrides) -> int:
 
 def _cmd_run(args) -> int:
     from .experiments import build, get_factory, run_scenario, scenario_names
-    from .reporting.balance import format_balance_events
+    from .reporting.balance import (format_balance_events,
+                                    format_recovery_events)
     if args.list_scenarios:
         for name in scenario_names():
             print(name)
@@ -305,6 +340,10 @@ def _cmd_run(args) -> int:
         if rec.imbalance_history:
             print(f"imbalance max/mean: first {rec.imbalance_history[0]:.3f}"
                   f" -> last {rec.imbalance_history[-1]:.3f}")
+        if rec.recovery_events:
+            print(f"recovery bytes: {rec.recovery_bytes:,}")
+            print()
+            print(format_recovery_events(rec.recovery_events))
         if rec.balance_events:
             print()
             print(format_balance_events(rec.balance_events))

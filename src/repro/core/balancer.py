@@ -61,14 +61,17 @@ class LoadBalancer:
 
     def balance_step(self, parts: Sequence[int], num_nodes: int,
                      busy_times: Sequence[float],
-                     work_per_sd: Optional[Sequence[float]] = None) -> BalanceResult:
+                     work_per_sd: Optional[Sequence[float]] = None,
+                     active: Optional[Sequence[bool]] = None) -> BalanceResult:
         """Run one balancing step; returns the new ownership and diagnostics.
 
         See :meth:`repro.core.strategies.base.BalanceStrategy
-        .balance_step` for the parameters.
+        .balance_step` for the parameters (``active`` is the elastic
+        cluster's per-node liveness mask).
         """
         return self._strategy.balance_step(parts, num_nodes, busy_times,
-                                           work_per_sd=work_per_sd)
+                                           work_per_sd=work_per_sd,
+                                           active=active)
 
     def __repr__(self) -> str:
         return f"LoadBalancer(strategy={self.name!r})"

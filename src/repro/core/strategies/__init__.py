@@ -12,7 +12,7 @@ strategies*.
 """
 
 from .base import (BalanceEvent, BalanceResult, BalanceStrategy,
-                   is_uniform_work)
+                   evacuate_assignments, is_uniform_work)
 from .registry import (AUTO, ENV_VAR, auto_strategy_name, get_strategy_class,
                        make_strategy, register_strategy, requested_strategy,
                        strategy_names)
@@ -25,6 +25,7 @@ from .tree import TreeStrategy
 
 __all__ = [
     "BalanceEvent", "BalanceResult", "BalanceStrategy", "is_uniform_work",
+    "evacuate_assignments",
     "AUTO", "ENV_VAR", "auto_strategy_name", "get_strategy_class",
     "make_strategy", "register_strategy", "requested_strategy",
     "strategy_names",

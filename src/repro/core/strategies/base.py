@@ -33,7 +33,7 @@ from ..power import compute_power, expected_sds, imbalance_ratio, integer_target
 from ..transfer import TransferPlan, select_transfers
 
 __all__ = ["BalanceResult", "BalanceEvent", "BalanceStrategy",
-           "is_uniform_work"]
+           "is_uniform_work", "evacuate_assignments"]
 
 
 def is_uniform_work(work_per_sd: Optional[Sequence[float]]) -> bool:
@@ -52,6 +52,62 @@ def is_uniform_work(work_per_sd: Optional[Sequence[float]]) -> bool:
     if work.size <= 1:
         return True
     return bool(np.allclose(work, work.flat[0]))
+
+
+def evacuate_assignments(sd_grid: SubdomainGrid, parts: np.ndarray,
+                         active: np.ndarray,
+                         sd_work: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, List[TransferPlan]]:
+    """Reassign every SD owned by an inactive node to an active one.
+
+    The mechanical half of failure recovery, shared by every balancing
+    strategy (and used directly by the solver when balancing is
+    disabled — evacuation is a *correctness* requirement, rebalancing a
+    performance choice).  Stranded SDs are absorbed frontier-first:
+    repeatedly hand the stranded SD that touches the least-loaded
+    active region to that region's owner (ties by node id, then SD id),
+    so the dead node's area is split between its live neighbors instead
+    of dumped wholesale on one of them.  If no stranded SD touches any
+    active region (every incumbent died at once), the lowest-id
+    stranded SD bootstraps onto the least-loaded active node and the
+    frontier sweep continues from there.
+
+    Returns ``(new_parts, plans)``; ``parts`` itself is not modified.
+    Deterministic by construction.
+    """
+    parts = np.array(parts, dtype=np.int64, copy=True)
+    active = np.asarray(active, dtype=bool)
+    if sd_work is None:
+        sd_work = np.ones(len(parts))
+    else:
+        sd_work = np.asarray(sd_work, dtype=np.float64)
+    if not active.any():
+        raise ValueError("evacuation needs at least one active node")
+    load = np.zeros(len(active))
+    owned_by_active = active[parts]
+    np.add.at(load, parts[owned_by_active], sd_work[owned_by_active])
+    active_ids = [int(n) for n in np.nonzero(active)[0]]
+    plans: List[TransferPlan] = []
+    while True:
+        stranded = np.nonzero(~active[parts])[0]
+        if len(stranded) == 0:
+            break
+        best = None  # (dst load, dst id, sd id)
+        for sd in stranded:
+            for nb in sd_grid.face_neighbors(int(sd)):
+                dst = int(parts[nb])
+                if active[dst]:
+                    key = (float(load[dst]), dst, int(sd))
+                    if best is None or key < best:
+                        best = key
+        if best is None:
+            dst = min(active_ids, key=lambda n: (float(load[n]), n))
+            best = (float(load[dst]), dst, int(stranded[0]))
+        _, dst, sd = best
+        plans.append(TransferPlan(int(parts[sd]), dst, 1, [sd]))
+        parts[sd] = dst
+        load[dst] += sd_work[sd]
+    return parts, plans
 
 
 @dataclass(frozen=True, eq=False)
@@ -78,6 +134,10 @@ class BalanceResult:
     triggered: bool
     imbalance_ratio_before: float
     imbalance_ratio_after: float
+    #: ``True`` when this step reacted to a topology change — it
+    #: evacuated a failed node's SDs and/or seeded a fresh joiner —
+    #: rather than to ordinary load drift
+    recovery: bool = False
     sd_work: InitVar[Optional[np.ndarray]] = None
     imbalance_after: np.ndarray = field(init=False)
 
@@ -133,13 +193,18 @@ class BalanceEvent:
     migration_bytes: int
     imbalance_before: float
     imbalance_after: float
+    #: recovery-tagged: the invocation handled a topology change
+    #: (evacuation after a failure, or absorption of a joiner) — kept
+    #: defaulted so pre-churn event dicts still round-trip
+    recovery: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {"step": self.step, "strategy": self.strategy,
                 "sds_moved": self.sds_moved,
                 "migration_bytes": self.migration_bytes,
                 "imbalance_before": self.imbalance_before,
-                "imbalance_after": self.imbalance_after}
+                "imbalance_after": self.imbalance_after,
+                "recovery": self.recovery}
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "BalanceEvent":
@@ -147,15 +212,28 @@ class BalanceEvent:
 
 
 class _StepContext:
-    """Everything the preamble measured, handed to ``_rebalance``."""
+    """Everything the preamble measured, handed to ``_rebalance``.
+
+    ``active`` is ``None`` for the fixed-membership contract, or a
+    boolean mask over node ids; inactive nodes own no SDs by the time
+    ``_rebalance`` runs (the shared preamble evacuated them), have
+    ``expected``/``residual`` pinned to zero, and must never receive
+    SDs.
+    """
 
     __slots__ = ("parts", "decomp", "num_nodes", "busy", "sd_work",
                  "node_load", "power", "expected", "imbalance", "residual",
-                 "mean_sd_work", "half_sd", "uniform")
+                 "mean_sd_work", "half_sd", "uniform", "active")
 
     def __init__(self, **kw: Any) -> None:
         for name in self.__slots__:
             setattr(self, name, kw[name])
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of the nodes allowed to own SDs, ascending."""
+        if self.active is None:
+            return np.arange(self.num_nodes)
+        return np.nonzero(self.active)[0]
 
 
 class BalanceStrategy:
@@ -186,7 +264,8 @@ class BalanceStrategy:
     # -- the shared driver -------------------------------------------------
     def balance_step(self, parts: Sequence[int], num_nodes: int,
                      busy_times: Sequence[float],
-                     work_per_sd: Optional[Sequence[float]] = None) -> BalanceResult:
+                     work_per_sd: Optional[Sequence[float]] = None,
+                     active: Optional[Sequence[bool]] = None) -> BalanceResult:
         """Measure (eqs. 8-10), check the trigger, delegate to the strategy.
 
         Parameters
@@ -201,12 +280,30 @@ class BalanceStrategy:
             Optional per-SD work weights; when provided, node power and
             shares are computed in work units so heterogeneous SDs
             balance by actual load.
+        active:
+            Optional per-node liveness mask (elastic clusters, DESIGN.md
+            substitution 4).  Inactive nodes are evacuated first (every
+            strategy shares that mechanical step — SDs *must* leave a
+            dead node), get a zero expected share, and never receive
+            SDs; active nodes that own nothing (fresh joiners) are
+            seeded with one frontier SD so adjacency-based routing can
+            reach them.  ``None`` — and a mask with every node active
+            and owning SDs — reproduce the fixed-membership behavior
+            bit for bit.  A step that evacuated or seeded is tagged
+            ``recovery=True`` and fires regardless of the threshold.
         """
         parts = np.asarray(parts, dtype=np.int64)
-        decomp = Decomposition(self.sd_grid, parts, num_nodes)
+        Decomposition(self.sd_grid, parts, num_nodes)  # validate ownership
         busy = np.asarray(busy_times, dtype=np.float64)
         if len(busy) != num_nodes:
             raise ValueError(f"need {num_nodes} busy times, got {len(busy)}")
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            if len(active) != num_nodes:
+                raise ValueError(
+                    f"need {num_nodes} active flags, got {len(active)}")
+            if not active.any():
+                raise ValueError("need at least one active node")
 
         uniform = is_uniform_work(work_per_sd)
         if work_per_sd is None:
@@ -216,26 +313,69 @@ class BalanceStrategy:
             if len(sd_work) != self.sd_grid.num_subdomains:
                 raise ValueError("work_per_sd must have one entry per SD")
 
+        # recovery preamble: a dead node's SDs must leave *now*
+        pre_plans: List[TransferPlan] = []
+        work_parts = parts
+        if active is not None and not active[parts].all():
+            work_parts, pre_plans = evacuate_assignments(
+                self.sd_grid, parts, active, sd_work)
+
         # Algorithm 1 lines 2-12: loads, power, expected, imbalance
         node_load = np.zeros(num_nodes)
-        np.add.at(node_load, parts, sd_work)
+        np.add.at(node_load, work_parts, sd_work)
         total = float(node_load.sum())
         mean_sd_work = total / max(1, self.sd_grid.num_subdomains)
-        power = compute_power(node_load, busy)
-        expected = expected_sds(total, power)
+        if active is None:
+            power = compute_power(node_load, busy)
+            expected = expected_sds(total, power)
+            ratio_before = imbalance_ratio(busy)
+        else:
+            # eq. (8) relates busy time to the load that *produced* it:
+            # measure power from the pre-evacuation ownership, and over
+            # the live cluster only — a dead node's stale busy time
+            # must not pollute the fallback power a measurement-less
+            # joiner is assigned
+            load_measured = np.zeros(num_nodes)
+            np.add.at(load_measured, parts, sd_work)
+            power = np.ones(num_nodes)
+            power[active] = compute_power(load_measured[active],
+                                          busy[active])
+            expected = np.zeros(num_nodes)
+            expected[active] = expected_sds(total, power[active])
+            ratio_before = imbalance_ratio(busy[active])
         imbalance = expected - node_load
-        ratio_before = imbalance_ratio(busy)
+
+        # joiners: an active node owning nothing is unreachable by
+        # frontier transfers — seed it with one well-placed SD
+        if active is not None:
+            if work_parts is parts:
+                work_parts = parts.copy()
+            seed_plans = self._seed_empty_nodes(
+                work_parts, node_load, expected, sd_work, 0.5 * mean_sd_work)
+            if seed_plans:
+                pre_plans.extend(seed_plans)
+                imbalance = expected - node_load  # loads changed in place
 
         if uniform:
-            # integer targets (in SDs scaled by the common work factor)
+            # integer targets (in SDs scaled by the common work factor),
+            # apportioned over the nodes allowed to own SDs so the sum
+            # is conserved even when the active set shrinks or grows
             scale = mean_sd_work if mean_sd_work > 0 else 1.0
-            targets = integer_targets(expected / scale).astype(np.float64) * scale
-            residual = targets - node_load
+            residual = np.zeros(num_nodes)
+            if active is None:
+                targets = integer_targets(expected / scale) * scale
+                residual[:] = targets - node_load
+            else:
+                targets = integer_targets(expected[active] / scale) * scale
+                residual[active] = targets - node_load[active]
         else:
             residual = imbalance.copy()
+            if active is not None:
+                residual[~active] = 0.0
 
+        recovery = bool(pre_plans)
         threshold = self.trigger_threshold * mean_sd_work
-        if np.abs(residual).max() < max(threshold, 1e-12):
+        if not recovery and np.abs(residual).max() < max(threshold, 1e-12):
             return BalanceResult(
                 strategy=self.name, parts_before=parts,
                 parts_after=parts.copy(), imbalance_before=imbalance,
@@ -243,21 +383,76 @@ class BalanceStrategy:
                 imbalance_ratio_before=ratio_before,
                 imbalance_ratio_after=ratio_before, sd_work=sd_work)
 
-        ctx = _StepContext(parts=parts, decomp=decomp, num_nodes=num_nodes,
+        decomp = Decomposition(self.sd_grid, work_parts, num_nodes)
+        ctx = _StepContext(parts=work_parts, decomp=decomp,
+                           num_nodes=num_nodes,
                            busy=busy, sd_work=sd_work, node_load=node_load,
                            power=power, expected=expected,
                            imbalance=imbalance, residual=residual,
                            mean_sd_work=mean_sd_work,
-                           half_sd=0.5 * mean_sd_work, uniform=uniform)
+                           half_sd=0.5 * mean_sd_work, uniform=uniform,
+                           active=active)
         new_parts, plans = self._rebalance(ctx)
         load_after = np.zeros(num_nodes)
         np.add.at(load_after, new_parts, sd_work)
+        if active is None:
+            ratio_after = imbalance_ratio(load_after / power)
+        else:
+            ratio_after = imbalance_ratio(
+                load_after[active] / power[active])
         return BalanceResult(
             strategy=self.name, parts_before=parts, parts_after=new_parts,
-            imbalance_before=imbalance, plans=tuple(plans), triggered=True,
+            imbalance_before=imbalance, plans=tuple(pre_plans) + tuple(plans),
+            triggered=True, recovery=recovery,
             imbalance_ratio_before=ratio_before,
-            imbalance_ratio_after=imbalance_ratio(load_after / power),
+            imbalance_ratio_after=ratio_after,
             sd_work=sd_work)
+
+    def _seed_empty_nodes(self, parts: np.ndarray, node_load: np.ndarray,
+                          expected: np.ndarray, sd_work: np.ndarray,
+                          half_sd: float) -> List[TransferPlan]:
+        """Give each SD-less active node one SD so transfers can reach it.
+
+        A joiner owns nothing, so it has no frontier and no node
+        adjacency — every routing strategy would starve it forever.
+        Each deserving node (expected share above half an average SD)
+        is seeded with one SD from the currently most-loaded donor: the
+        donor SD farthest from the donor's own centroid that keeps the
+        donor connected (a corner of its region), ties by SD id.
+        ``parts`` and ``node_load`` are updated in place.
+        """
+        from ..transfer import _donor_stays_connected, _sp_centroid
+        plans: List[TransferPlan] = []
+        counts = np.bincount(parts, minlength=len(node_load))
+        for n in np.nonzero(expected)[0]:
+            n = int(n)
+            if counts[n] > 0 or expected[n] <= half_sd:
+                continue
+            donors = [d for d in range(len(counts)) if counts[d] >= 2]
+            if not donors:
+                break
+            donor = max(donors, key=lambda d: (node_load[d], -d))
+            centroid = _sp_centroid(self.sd_grid, parts, donor)
+            best = None  # (-distance, sd id)
+            for sd in np.nonzero(parts == donor)[0]:
+                sd = int(sd)
+                if not _donor_stays_connected(self.sd_grid, parts, donor, sd):
+                    continue
+                cx, cy = self.sd_grid.sd_center(sd)
+                dist = float(np.hypot(cx - centroid[0], cy - centroid[1]))
+                key = (-round(dist, 9), sd)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                continue
+            sd = best[1]
+            plans.append(TransferPlan(donor, n, 1, [sd]))
+            parts[sd] = n
+            node_load[donor] -= sd_work[sd]
+            node_load[n] += sd_work[sd]
+            counts[donor] -= 1
+            counts[n] += 1
+        return plans
 
     def _rebalance(self, ctx: _StepContext) -> Tuple[np.ndarray, List[TransferPlan]]:
         """Route the residual imbalance; returns ``(new_parts, plans)``.

@@ -74,14 +74,22 @@ class RepartitionStrategy(BalanceStrategy):
     def _rebalance(self, ctx: _StepContext) -> Tuple[np.ndarray, List[TransferPlan]]:
         from ...partition.kway import partition_sd_grid
         sd_grid = self.sd_grid
-        fresh = partition_sd_grid(
-            sd_grid.sd_nx, sd_grid.sd_ny, ctx.num_nodes, seed=_SEED,
-            vwgt=ctx.sd_work, target_weights=ctx.power)
+        # with an elastic cluster, partition into the *live* nodes only
+        # (k = #active) and work in that compact label space; a dead
+        # node must appear in neither the fresh layout nor the remap
+        act = ctx.active_ids()
+        local_of = np.full(ctx.num_nodes, -1, dtype=np.int64)
+        local_of[act] = np.arange(len(act))
+        fresh_local = partition_sd_grid(
+            sd_grid.sd_nx, sd_grid.sd_ny, len(act), seed=_SEED,
+            vwgt=ctx.sd_work, target_weights=ctx.power[act])
         dp_counts = np.array([sd_grid.dp_count(sd)
                               for sd in range(sd_grid.num_subdomains)],
                              dtype=np.float64)
-        new_parts = _remap_by_overlap(fresh, ctx.parts, ctx.num_nodes,
-                                      dp_counts)
+        # ctx.parts is post-evacuation: every owner is active
+        old_local = local_of[ctx.parts]
+        new_parts = act[_remap_by_overlap(fresh_local, old_local, len(act),
+                                          dp_counts)]
 
         # record the remap movement as per-pair transfer plans
         plans: List[TransferPlan] = []

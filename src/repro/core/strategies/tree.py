@@ -48,8 +48,15 @@ class TreeStrategy(BalanceStrategy):
     """The paper's Algorithm 1: dependency-tree subtree flows."""
 
     def _rebalance(self, ctx: _StepContext) -> Tuple[np.ndarray, List[TransferPlan]]:
-        # lines 13-19: dependency tree + processing order
-        root = int(np.argmin(ctx.imbalance))
+        # lines 13-19: dependency tree + processing order.  With an
+        # elastic cluster the root must be a live node (a dead node has
+        # no adjacency — rooting there would yield an edgeless tree and
+        # stall every transfer).
+        if ctx.active is None:
+            root = int(np.argmin(ctx.imbalance))
+        else:
+            root = int(np.argmin(
+                np.where(ctx.active, ctx.imbalance, np.inf)))
         adjacency = ctx.decomp.node_adjacency()
         tree = build_dependency_tree(ctx.num_nodes, adjacency, root)
         order = topological_order(tree, ctx.num_nodes, leaves_first=False)

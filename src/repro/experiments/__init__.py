@@ -21,16 +21,17 @@ from .runner import (build_problem, build_solver, build_work_factors,
                      cached_operator, clear_operator_cache,
                      operator_cache_info, ownership_timeline, run_scenario,
                      run_sweep)
-from .spec import (ClusterSpec, DriftSpec, InterferenceSpec, MeshSpec,
-                   PartitionSpec, PolicySpec, ScenarioSpec)
+from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
+                   InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
+                   ScenarioSpec)
 
 #: Alias for re-export at the package root, where bare ``build`` would
 #: be ambiguous.
 build_scenario = build
 
 __all__ = [
-    "MeshSpec", "ClusterSpec", "DriftSpec", "InterferenceSpec",
-    "PartitionSpec", "PolicySpec", "ScenarioSpec",
+    "MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec", "ChurnEvent",
+    "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
     "register", "build", "build_scenario", "get_factory", "scenario_names",
     "balancer_sweep",
     "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",

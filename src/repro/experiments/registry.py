@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from .spec import (ClusterSpec, DriftSpec, InterferenceSpec, MeshSpec,
-                   PartitionSpec, PolicySpec, ScenarioSpec)
+from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
+                   InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
+                   ScenarioSpec)
 
 __all__ = ["register", "build", "scenario_names", "get_factory",
            "balancer_sweep",
@@ -324,10 +325,8 @@ def hetero_interference(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
     """Time-varying capacity (Sec. 4 challenge 4): node 0 suffers a
     competing job for a mid-run window; the threshold policy notices the
     busy-time spread and redistributes."""
-    # place the interference window in steps 5..12 of the run: one step
-    # is roughly (#SDs x DPs/SD x flops/DP) / (rate x nodes) virtual s
-    dps_per_sd = (mesh // sd_axis) ** 2
-    step_time_guess = (sd_axis * sd_axis) * dps_per_sd * 400 / CORE_SPEED / nodes
+    # place the interference window in steps 5..12 of the run
+    step_time_guess = _step_guess(mesh, sd_axis, nodes)
     window = (5 * step_time_guess, 12 * step_time_guess)
     return ScenarioSpec(
         name="hetero_interference",
@@ -362,10 +361,8 @@ def hetero_drift(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
         lo, hi = 0.4 * CORE_SPEED, 1.6 * CORE_SPEED
         start_rates = tuple(hi - (hi - lo) * i / (nodes - 1)
                             for i in range(nodes))
-    # drift across the heart of the run: one step is roughly
-    # (#SDs x DPs/SD x flops/DP) / (mean rate x nodes) virtual seconds
-    dps_per_sd = (mesh // sd_axis) ** 2
-    step_guess = (sd_axis * sd_axis) * dps_per_sd * 400 / CORE_SPEED / nodes
+    # drift across the heart of the run
+    step_guess = _step_guess(mesh, sd_axis, nodes)
     drift = DriftSpec(rates_end=start_rates[::-1],
                       start=2 * step_guess, stop=12 * step_guess)
     return ScenarioSpec(
@@ -376,6 +373,101 @@ def hetero_drift(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
         partition=PartitionSpec(method="metis", seed=seed),
         policy=(PolicySpec(kind="interval", interval=1, balancer=balancer)
                 if balanced else PolicySpec(balancer=balancer)),
+        num_steps=steps)
+
+
+def _step_guess(mesh: int, sd_axis: int, nodes: int,
+                flops_per_dp: float = 400.0) -> float:
+    """Rough virtual seconds per timestep: (#SDs x DPs/SD x flops/DP)
+    / (base rate x nodes).  Used to place churn/drift/interference
+    events relative to the run, not to predict exact makespans."""
+    dps_per_sd = (mesh // sd_axis) ** 2
+    return (sd_axis * sd_axis) * dps_per_sd * flops_per_dp / CORE_SPEED / nodes
+
+
+@register("hetero_churn")
+def hetero_churn(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+                 steps: int = 16, seed: int = 0, balancer: str = "auto",
+                 balanced: bool = True) -> ScenarioSpec:
+    """Elastic cluster churn (DESIGN.md substitution 4): membership
+    changes mid-run.
+
+    Node 1 straggles through the early steps, node 0 *fails* near the
+    middle of the run (its SDs are evacuated and its in-flight tasks
+    requeued with the recovery penalty), and a faster replacement joins
+    for the tail.  Adaptive balancing re-spreads load after each
+    change; ``balanced=False`` is the baseline that pays for every SD
+    stranded on the wrong survivor — the churn ablation's comparison.
+    """
+    sg = _step_guess(mesh, sd_axis, nodes)
+    faults = FaultSpec(events=(
+        ChurnEvent("straggle", 1.5 * sg, node=1, stop=4.5 * sg, factor=0.5),
+        ChurnEvent("fail", 5.5 * sg, node=0),
+        ChurnEvent("join", 9.5 * sg, node=nodes, cores=1,
+                    rate=1.25 * CORE_SPEED),
+    ))
+    return ScenarioSpec(
+        name="hetero_churn",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, faults=faults),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="interval", interval=1, balancer=balancer)
+                if balanced else PolicySpec(balancer=balancer)),
+        num_steps=steps)
+
+
+@register("fault_recovery")
+def fault_recovery(nx: int = 32, sd_axis: int = 4, nodes: int = 3,
+                   steps: int = 6, balancer: str = "tree") -> ScenarioSpec:
+    """The small numerics-on recovery validation (golden fixture).
+
+    One node fails mid-run on a 3-node cluster integrating the
+    manufactured problem; the run must recover — requeued kernels,
+    evacuated SDs, recovery-tagged balance events — with final
+    temperatures still bit-near the serial solver.  Everything is
+    pinned (``tree`` strategy, ``direct`` backend, block partition) so
+    the committed ``tests/golden/fault_recovery.json`` record is
+    invariant under the CI's REPRO_BALANCER / REPRO_KERNEL_BACKEND
+    matrices and across machines.
+    """
+    # eps = 2h -> radius 2, ~13 stencil neighbors, ~26 flops per DP.
+    # 3.8 guessed steps lands mid-step-2 while node 1 has kernels in
+    # flight, so the fixture pins the requeue path, not just evacuation
+    sg = _step_guess(nx, sd_axis, nodes, flops_per_dp=26.0)
+    faults = FaultSpec(events=(
+        ChurnEvent("fail", 3.8 * sg, node=1),))
+    return ScenarioSpec(
+        name="fault_recovery",
+        mesh=MeshSpec(nx=nx, sd_nx=sd_axis, eps_factor=2.0),
+        cluster=ClusterSpec(num_nodes=nodes, faults=faults),
+        partition=PartitionSpec(method="blocks"),
+        policy=PolicySpec(kind="interval", interval=1, balancer=balancer),
+        num_steps=steps, compute_numerics=True, track_error=True,
+        kernel_backend="direct")
+
+
+@register("straggler_tail")
+def straggler_tail(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+                   steps: int = 12, seed: int = 0,
+                   balanced: bool = True) -> ScenarioSpec:
+    """Transient stragglers (tail latency): two nodes take turns running
+    far below their nominal rate for a few-step window while membership
+    stays fixed.  The threshold policy notices the busy-time spread and
+    shifts SDs away from the straggler — then back once the window
+    passes; ``balanced=False`` rides the tail at full price.
+    """
+    sg = _step_guess(mesh, sd_axis, nodes)
+    faults = FaultSpec(events=(
+        ChurnEvent("straggle", 2.0 * sg, node=0, stop=5.0 * sg, factor=0.35),
+        ChurnEvent("straggle", 7.0 * sg, node=2, stop=10.0 * sg, factor=0.4),
+    ))
+    return ScenarioSpec(
+        name="straggler_tail",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, faults=faults),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="threshold", ratio=1.15) if balanced
+                else PolicySpec()),
         num_steps=steps)
 
 

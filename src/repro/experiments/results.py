@@ -29,7 +29,10 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
 #: v2: per-event ``balance_events`` telemetry replaced the aggregate
 #: ``sds_moved``/``migration_bytes`` counters (now derived properties),
 #: and ``balancer_resolved`` records the strategy that ran.
-SCHEMA = "repro.experiments/v2"
+#: v3: elastic-cluster churn — ``recovery_events`` (one dict per node
+#: failure/join the run handled), a ``recovery`` flag on every balance
+#: event, and ``ClusterSpec.faults`` in the embedded spec.
+SCHEMA = "repro.experiments/v3"
 
 
 @dataclass
@@ -64,6 +67,10 @@ class RunRecord:
     #: .BalanceEvent`; the aggregate ``sds_moved``/``migration_bytes``
     #: are derived properties summing these events
     balance_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: one dict per churn event the run handled, in virtual-time order:
+    #: ``{time, kind, node, sds_evacuated, tasks_requeued,
+    #: recovery_bytes}`` — see :class:`repro.amt.faults.RecoveryEvent`
+    recovery_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``[step, parts_after]`` per balancing event that moved SDs
     parts_events: List[List[Any]] = field(default_factory=list)
     #: SD ownership at the end of the run
@@ -93,6 +100,11 @@ class RunRecord:
     def migration_bytes(self) -> int:
         """Total migration bytes charged (sum over ``balance_events``)."""
         return sum(int(e["migration_bytes"]) for e in self.balance_events)
+
+    @property
+    def recovery_bytes(self) -> int:
+        """Checkpoint re-fetch bytes (sum over ``recovery_events``)."""
+        return sum(int(e["recovery_bytes"]) for e in self.recovery_events)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -125,7 +125,8 @@ def build_solver(spec: ScenarioSpec, source=None):
         overlap=spec.overlap,
         compute_numerics=spec.compute_numerics,
         spawn_overhead=spec.cluster.spawn_overhead,
-        operator=op)
+        operator=op,
+        faults=spec.cluster.build_faults())
 
 
 def ownership_timeline(spec: ScenarioSpec,
@@ -186,6 +187,7 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
         imbalance_history=[float(r) for r in res.imbalance_history],
         ghost_bytes=int(res.ghost_bytes),
         balance_events=[e.to_dict() for e in res.balance_events],
+        recovery_events=[e.to_dict() for e in res.recovery_events],
         parts_events=[[int(step), [int(p) for p in parts]]
                       for step, parts in res.parts_history],
         final_parts=[int(p) for p in solver.parts],

@@ -27,8 +27,15 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MeshSpec", "ClusterSpec", "DriftSpec", "InterferenceSpec",
-           "PartitionSpec", "PolicySpec", "ScenarioSpec"]
+# the fault layer is pure data (frozen dataclasses, no heavy deps), so
+# reusing its event type keeps one schema for churn schedules instead of
+# a spec-side mirror — the same kind of names-only exception to the
+# spec→library layering as the backend/strategy name validation
+from ..amt.faults import DEFAULT_RECOVERY_PENALTY, ChurnEvent, FaultSchedule
+
+__all__ = ["MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec",
+           "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
+           "ChurnEvent"]
 
 
 def _require(cond: bool, msg: str) -> None:
@@ -160,6 +167,49 @@ class DriftSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """A declarative churn schedule (elastic cluster, DESIGN.md
+    substitution 4): node failures, joins, and transient straggle
+    windows at fixed virtual times, plus the recovery penalty charged
+    to tasks requeued off a failed node.
+
+    Validation against the cluster size happens in
+    :meth:`ClusterSpec.__post_init__` (which builds the runtime
+    :class:`repro.amt.faults.FaultSchedule` eagerly), so an impossible
+    schedule — failing an unknown node, leaving the cluster empty,
+    non-sequential join ids — fails at spec construction, not
+    mid-sweep.
+    """
+
+    events: Tuple[ChurnEvent, ...] = ()
+    recovery_penalty: float = DEFAULT_RECOVERY_PENALTY
+
+    def __post_init__(self) -> None:
+        events = tuple(e if isinstance(e, ChurnEvent)
+                       else ChurnEvent.from_dict(e) for e in self.events)
+        _set(self, "events", events)
+        _set(self, "recovery_penalty", float(self.recovery_penalty))
+        _require(self.recovery_penalty >= 0,
+                 f"recovery_penalty must be >= 0, "
+                 f"got {self.recovery_penalty}")
+
+    def build(self, num_nodes: int) -> FaultSchedule:
+        """The validated runtime schedule for an ``num_nodes`` cluster."""
+        return FaultSchedule(num_nodes, self.events, self.recovery_penalty)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [e.to_dict() for e in self.events],
+                "recovery_penalty": self.recovery_penalty}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSpec":
+        d = dict(d)
+        d["events"] = tuple(ChurnEvent.from_dict(e)
+                            for e in d.get("events", ()))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Simulated cluster shape: nodes, cores, speeds, network, overheads.
 
@@ -169,7 +219,11 @@ class ClusterSpec:
     ``drift`` ramps every node linearly to new rates over a window
     (mutually exclusive with ``interference`` — both rewrite the trace).
     ``latency``/``bandwidth`` of ``None`` use the :class:`repro.amt
-    .cluster.Network` defaults.
+    .cluster.Network` defaults.  ``faults`` overlays a deterministic
+    churn schedule (failures/joins/straggles — see :class:`FaultSpec`);
+    straggle windows compose onto whatever speed trace the other fields
+    produce, so faults combine freely with static heterogeneity, drift,
+    and interference.
     """
 
     num_nodes: int = 1
@@ -180,6 +234,7 @@ class ClusterSpec:
     latency: Optional[float] = None
     bandwidth: Optional[float] = None
     spawn_overhead: float = 0.0
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         _set(self, "num_nodes", int(self.num_nodes))
@@ -224,8 +279,19 @@ class ClusterSpec:
         _set(self, "spawn_overhead", float(self.spawn_overhead))
         _require(self.spawn_overhead >= 0,
                  f"spawn_overhead must be >= 0, got {self.spawn_overhead}")
+        if isinstance(self.faults, dict):
+            _set(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.faults is not None:
+            # eager membership validation: a bad schedule fails here
+            self.faults.build(self.num_nodes)
 
     # -- builders (data -> runtime objects) -------------------------------
+    def build_faults(self):
+        """The runtime :class:`FaultSchedule`, or ``None``."""
+        if self.faults is None:
+            return None
+        return self.faults.build(self.num_nodes)
+
     def build_speeds(self, default_rate: float = 1e9):
         """Per-node :class:`SpeedTrace` list, or ``None`` for defaults."""
         from ..models.workload import drift_ramp, step_interference
@@ -265,6 +331,7 @@ class ClusterSpec:
             "latency": self.latency,
             "bandwidth": self.bandwidth,
             "spawn_overhead": self.spawn_overhead,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
@@ -277,6 +344,8 @@ class ClusterSpec:
             InterferenceSpec.from_dict(i) for i in d.get("interference", ()))
         if d.get("drift") is not None:
             d["drift"] = DriftSpec.from_dict(d["drift"])
+        if d.get("faults") is not None:
+            d["faults"] = FaultSpec.from_dict(d["faults"])
         return cls(**d)
 
 

@@ -1,9 +1,11 @@
-"""Rendering of per-event balancing telemetry.
+"""Rendering of per-event balancing and recovery telemetry.
 
-``repro run`` and the balancer-ablation bench print the
+``repro run`` and the balancer/churn ablation benches print the
 ``balance_events`` list a distributed run records — one row per
 balancer invocation with the strategy, movement, migration cost, and
-the measured/predicted busy-time imbalance ratio around the decision.
+the measured/predicted busy-time imbalance ratio around the decision —
+plus, for runs with a fault schedule, the ``recovery_events`` list
+(one row per node failure/join the run handled).
 """
 
 from __future__ import annotations
@@ -12,13 +14,19 @@ from typing import Any, Iterable, Union
 
 from .tables import format_table
 
-__all__ = ["format_balance_events"]
+__all__ = ["format_balance_events", "format_recovery_events"]
+
+_MISSING = object()
 
 
-def _get(event: Any, key: str) -> Any:
+def _get(event: Any, key: str, default: Any = _MISSING) -> Any:
     if isinstance(event, dict):
-        return event[key]
-    return getattr(event, key)
+        value = event.get(key, default)
+    else:
+        value = getattr(event, key, default)
+    if value is _MISSING:
+        raise KeyError(key)
+    return value
 
 
 def format_balance_events(events: Iterable[Union[dict, Any]],
@@ -27,7 +35,10 @@ def format_balance_events(events: Iterable[Union[dict, Any]],
 
     ``imb before -> after`` is the max/mean busy-time ratio measured at
     decision time and the ratio predicted for the new ownership; rows
-    with zero movement are balancer invocations that decided not to act.
+    with zero movement are balancer invocations that decided not to
+    act.  Recovery-tagged rows (evacuation after a failure, joiner
+    absorption) are marked in the last column; event dicts from
+    pre-churn records simply show no mark.
     """
     rows = []
     for e in events:
@@ -36,8 +47,32 @@ def format_balance_events(events: Iterable[Union[dict, Any]],
             f"{_get(e, 'migration_bytes'):,}",
             f"{_get(e, 'imbalance_before'):.3f}",
             f"{_get(e, 'imbalance_after'):.3f}",
+            "yes" if _get(e, "recovery", False) else "",
         ])
     return format_table(
         ["step", "strategy", "SDs moved", "migration B",
-         "imb before", "imb after"],
+         "imb before", "imb after", "recovery"],
+        rows, title=title)
+
+
+def format_recovery_events(events: Iterable[Union[dict, Any]],
+                           title: str = "recovery events") -> str:
+    """An aligned table of churn handling (dicts or ``RecoveryEvent``s).
+
+    One row per node failure or join the solver handled: when it
+    happened (virtual ms), how many SDs were evacuated, how many
+    orphaned tasks were requeued with the recovery penalty, and the
+    bytes re-fetched from the checkpoint store.
+    """
+    rows = []
+    for e in events:
+        rows.append([
+            f"{_get(e, 'time') * 1e3:.3f}", _get(e, "step", 0),
+            _get(e, "kind"), _get(e, "node"), _get(e, "sds_evacuated"),
+            _get(e, "tasks_requeued"),
+            f"{_get(e, 'recovery_bytes'):,}",
+        ])
+    return format_table(
+        ["t (ms)", "step", "kind", "node", "SDs evacuated",
+         "tasks requeued", "recovery B"],
         rows, title=title)

@@ -73,13 +73,13 @@ class TraceRecorder:
                 if id(task) not in after:
                     recorder._starts[id(task)] = recorder.cluster.sim.now
 
-        def complete(node: SimNode, task: SimTask, token: int) -> None:
+        def complete(node: SimNode, task: SimTask) -> None:
             start = recorder._starts.pop(id(task), None)
             end = recorder.cluster.sim.now
             if start is not None:
                 recorder.intervals.append(
                     TaskInterval(node.node_id, task.label, start, end))
-            original_complete(node, task, token)
+            original_complete(node, task)
 
         cluster._dispatch = dispatch  # type: ignore[method-assign]
         cluster._complete = complete  # type: ignore[method-assign]

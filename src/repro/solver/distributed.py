@@ -27,12 +27,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..amt.cluster import Network, SimCluster, SpeedTrace
+from ..amt.cluster import (ConstantSpeed, Network, SimCluster, SimTask,
+                           SpeedTrace, StraggleSpeed)
+from ..amt.faults import ChurnEvent, FaultSchedule, RecoveryEvent
 from ..amt.future import Future, when_all
 from ..core.balancer import BalanceResult, LoadBalancer
 from ..core.policy import BalancePolicy, NeverBalance
 from ..core.power import imbalance_ratio
-from ..core.strategies import BalanceEvent, BalanceStrategy, make_strategy
+from ..core.strategies import (BalanceEvent, BalanceStrategy,
+                               evacuate_assignments, make_strategy)
 from ..mesh.decomposition import BYTES_PER_DP, Decomposition
 from ..mesh.grid import UniformGrid
 from ..mesh.subdomain import SubdomainGrid
@@ -68,6 +71,9 @@ class DistributedResult:
         #: measured/predicted imbalance ratio — the migration-cost
         #: telemetry the paper's evaluation reads per event
         self.balance_events: List[BalanceEvent] = []
+        #: one :class:`repro.amt.faults.RecoveryEvent` per handled
+        #: churn event (node failure or join), in virtual-time order
+        self.recovery_events: List[RecoveryEvent] = []
         #: ghost bytes sent over the run
         self.ghost_bytes: int = 0
         #: per-node busy time accumulated over the whole run
@@ -146,6 +152,22 @@ class DistributedSolver:
         Backends change only how the real numerics are computed —
         virtual task costs stay neighbor-count-based, so schedules and
         makespans are backend-independent.
+    faults:
+        Optional :class:`repro.amt.faults.FaultSchedule` (elastic
+        cluster, DESIGN.md substitution 4).  Straggle windows are
+        composed exactly into the per-node speed traces at
+        construction; node failures and joins are injected into the
+        event queue at their virtual times.  On a failure the node's
+        in-flight and queued tasks are requeued on the SDs' new owners
+        at ``(1 + recovery_penalty)`` times their work, gated on the
+        SD-state re-fetch message from the checkpoint store on the
+        lead (lowest-id) surviving node; the dead node's SDs are
+        evacuated through the active balancing strategy (mechanically,
+        when balancing is disabled — evacuation is a correctness
+        requirement, rebalancing a policy choice).  Joiners are
+        absorbed at the end of the step they join in, at the next
+        balance step.  The schedule is data, so runs stay bit-identical
+        and process-parallel sweeps equal serial execution.
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
@@ -164,7 +186,8 @@ class DistributedSolver:
                  domain_mask=None,
                  spawn_overhead: float = 0.0,
                  operator: Optional[NonlocalOperator] = None,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 faults: Optional[FaultSchedule] = None) -> None:
         if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
             raise ValueError(
                 f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
@@ -200,17 +223,32 @@ class DistributedSolver:
         self.policy = policy if policy is not None else NeverBalance()
         self.overlap = overlap
         self.compute_numerics = compute_numerics
+        #: ~1 Gflop/s per core: puts per-SD task times (microseconds)
+        #: on the same scale as the default network's latency and
+        #: per-message wire times, the regime the paper operates in
+        self._default_rate = 1e9
         if speeds is None:
-            # ~1 Gflop/s per core: puts per-SD task times (microseconds)
-            # on the same scale as the default network's latency and
-            # per-message wire times, the regime the paper operates in
-            from ..amt.cluster import ConstantSpeed
-            speeds = [ConstantSpeed(1e9) for _ in range(num_nodes)]
+            speeds = [ConstantSpeed(self._default_rate)
+                      for _ in range(num_nodes)]
+        if faults is not None:
+            if faults.initial_nodes != num_nodes:
+                raise ValueError(
+                    f"fault schedule was built for {faults.initial_nodes} "
+                    f"initial nodes, cluster has {num_nodes}")
+            speeds = list(speeds)
+            for i in range(num_nodes):
+                windows = [(e.time, e.stop, e.factor)
+                           for e in faults.straggles_of(i)]
+                if windows:
+                    speeds[i] = StraggleSpeed(speeds[i], windows)
+        self.faults = faults
         if spawn_overhead < 0:
             raise ValueError(f"spawn_overhead must be >= 0, got {spawn_overhead}")
         self.spawn_overhead = float(spawn_overhead)
         self.cluster = SimCluster(num_nodes, cores_per_node=cores_per_node,
                                   speeds=speeds, network=network)
+        self._faults_armed = False
+        self._recovery_futs: Dict[int, Future] = {}
         self.domain_mask = domain_mask
         if domain_mask is not None:
             if domain_mask.sd_grid is not sd_grid and (
@@ -258,10 +296,35 @@ class DistributedSolver:
         self._flops = self.operator.flops_per_dp()
         self._step_start_time = 0.0
         self._failure: Optional[BaseException] = None
+        self._current_step = 0
+        self._done = False
+        self._topology_dirty = False
         # per-run policy bookkeeping: policies are stateless, the solver
         # owns the step of the last balancing event (fresh every run, so
         # a reused policy object cannot rate-limit the next run)
         self._last_balance: Optional[int] = None
+
+        # failure-path data movement (live migrations + checkpoint
+        # re-fetches) charged mid-step; the next step may not start
+        # until it has arrived, exactly like step-boundary migrations
+        self._pending_recovery_futs: List[Future] = []
+        if self.faults is not None and not self._faults_armed:
+            # straggles were composed into the speed traces up front;
+            # failures and joins are discrete events.  Priority -1:
+            # a failure at the exact instant a task would complete
+            # kills the task (fault detection wins the tie,
+            # deterministically).
+            self._faults_armed = True
+            self.cluster.orphan_handler = self._requeue_orphan
+            for event in self.faults.events:
+                if event.kind == "fail":
+                    self.cluster.sim.schedule(
+                        event.time,
+                        lambda e=event: self._on_fail(e.node), priority=-1)
+                elif event.kind == "join":
+                    self.cluster.sim.schedule(
+                        event.time,
+                        lambda e=event: self._on_join(e), priority=-1)
 
         if num_steps > 0:
             self._start_step(0)
@@ -270,20 +333,24 @@ class DistributedSolver:
                 raise RuntimeError(
                     "an SD kernel failed during the distributed run"
                 ) from self._failure
+        self._done = True
 
         result.makespan = self.cluster.now
         result.ghost_bytes = (self.cluster.network.bytes_sent
-                              - result.migration_bytes)
+                              - result.migration_bytes
+                              - sum(e.recovery_bytes
+                                    for e in result.recovery_events))
         result.busy_total = np.array(
-            [self.cluster.nodes[n].counter.total()
-             for n in range(self.num_nodes)])
+            [node.counter.total() for node in self.cluster.nodes])
         if self.compute_numerics:
             result.u = self._u_old.copy()
         return result
 
     # -- per-step machinery ----------------------------------------------------
     def _start_step(self, step: int) -> None:
-        decomp = Decomposition(self.sd_grid, self.parts, self.num_nodes)
+        self._current_step = step
+        num_nodes = len(self.cluster.nodes)
+        decomp = Decomposition(self.sd_grid, self.parts, num_nodes)
         R = self.operator.radius
         t = step * self.dt
         b = None
@@ -304,7 +371,7 @@ class DistributedSolver:
         # 2./3. per-SD tasks (inactive SDs run nothing).  With spawn
         # overhead, a node's i-th task of the step only becomes runnable
         # after i * overhead — the serial scheduler component.
-        spawn_count = [0] * self.num_nodes
+        spawn_count = [0] * num_nodes
 
         def spawn_deps(node: int) -> List[Future]:
             if self.spawn_overhead <= 0:
@@ -325,19 +392,19 @@ class DistributedSolver:
                 sd_futures.append(self.cluster.submit(
                     node, work=split.total * self._flops * wf,
                     action=action, deps=deps + spawn_deps(node),
-                    label=f"sd{sd}"))
+                    label=f"sd{sd}", tag=sd))
                 continue
             if split.case2_count > 0:
                 case2_action = action if split.case1_count == 0 else None
                 sd_futures.append(self.cluster.submit(
                     node, work=split.case2_count * self._flops * wf,
                     action=case2_action, deps=spawn_deps(node),
-                    label=f"sd{sd}-c2"))
+                    label=f"sd{sd}-c2", tag=sd))
             if split.case1_count > 0:
                 sd_futures.append(self.cluster.submit(
                     node, work=split.case1_count * self._flops * wf,
                     action=action, deps=deps + spawn_deps(node),
-                    label=f"sd{sd}-c1"))
+                    label=f"sd{sd}-c1", tag=sd))
 
         def barrier(done: Future, s: int = step) -> None:
             # surface kernel exceptions instead of silently continuing
@@ -385,16 +452,32 @@ class DistributedSolver:
                 result.errors.append(
                     step_error(self.grid, self._u_old, self._exact(t)))
 
-        migration_futs: List[Future] = []
-        busy = [self.cluster.busy_time(n) for n in range(self.num_nodes)]
-        result.imbalance_history.append(imbalance_ratio(busy))
+        # this step's recovery transfers gate the next step start just
+        # like ordinary migrations (SD data must arrive before the new
+        # owner can compute on it)
+        migration_futs: List[Future] = list(self._pending_recovery_futs)
+        self._pending_recovery_futs = []
+        num_nodes = len(self.cluster.nodes)
+        busy = [self.cluster.busy_time(n) for n in range(num_nodes)]
+        # all indicators are over the live cluster: a dead node's frozen
+        # window and a fixed-membership run's full set coincide when no
+        # faults are configured
+        alive_busy = [busy[n] for n in self.cluster.active_node_ids()]
+        result.imbalance_history.append(imbalance_ratio(alive_busy))
+        # a membership change since the last balance forces one: joiners
+        # are absorbed at the next balance step, which is this one
+        forced = (self._topology_dirty and self.balancer is not None
+                  and not isinstance(self.policy, NeverBalance))
         if (self.balancer is not None
-                and self.policy.should_balance(
-                    step, busy, last_balance=self._last_balance)):
+                and (forced or self.policy.should_balance(
+                    step, alive_busy, last_balance=self._last_balance))):
             self._last_balance = step
+            self._topology_dirty = False
+            active = (None if self.faults is None
+                      else np.asarray(self.cluster.alive_mask()))
             bal = self.balancer.balance_step(
-                self.parts, self.num_nodes, busy,
-                work_per_sd=self.work_factors)
+                self.parts, num_nodes, busy,
+                work_per_sd=self.work_factors, active=active)
             result.balance_results.append(bal)
             event_bytes = 0
             if bal.triggered and bal.sds_moved > 0:
@@ -412,7 +495,8 @@ class DistributedSolver:
                 step=step, strategy=bal.strategy,
                 sds_moved=bal.sds_moved, migration_bytes=event_bytes,
                 imbalance_before=float(bal.imbalance_ratio_before),
-                imbalance_after=float(bal.imbalance_ratio_after)))
+                imbalance_after=float(bal.imbalance_ratio_after),
+                recovery=bool(bal.recovery or forced)))
             # Algorithm 1 line 35: new measurement window either way
             self.cluster.reset_counters()
 
@@ -422,3 +506,118 @@ class DistributedSolver:
                     lambda _f, s=step + 1: self._start_step(s))
             else:
                 self._start_step(step + 1)
+        else:
+            self._done = True
+
+    # -- fault handling (elastic cluster, DESIGN.md substitution 4) --------
+    def _on_fail(self, node_id: int) -> None:
+        """Handle a scheduled node failure at the current virtual time.
+
+        The dead node's SDs are evacuated immediately — through the
+        active balancing strategy when the run balances (the strategy
+        both evacuates and redistributes toward the surviving nodes'
+        power-proportional targets), mechanically otherwise (evacuation
+        is a correctness requirement; rebalancing stays a policy
+        choice, so a ``never`` baseline measures exactly the cost of
+        not adapting).  Orphaned tasks are requeued on the new owners
+        with the recovery penalty, gated on the SD-state re-fetch from
+        the checkpoint store on the lead surviving node.
+        """
+        if self._done:
+            return  # scheduled beyond the workload's end: nothing to do
+        cluster = self.cluster
+        orphans = cluster.fail_node(node_id)
+        num_nodes = len(cluster.nodes)
+        alive = np.asarray(cluster.alive_mask())
+        busy = [cluster.busy_time(n) for n in range(num_nodes)]
+        old_parts = self.parts
+        step = self._current_step
+        result = self._result
+
+        if (self.balancer is not None
+                and not isinstance(self.policy, NeverBalance)):
+            bal = self.balancer.balance_step(
+                old_parts, num_nodes, busy,
+                work_per_sd=self.work_factors, active=alive)
+            result.balance_results.append(bal)
+            new_parts = bal.parts_after.copy()
+            strategy = bal.strategy
+            ratio_before = float(bal.imbalance_ratio_before)
+            ratio_after = float(bal.imbalance_ratio_after)
+            self._last_balance = step
+        else:
+            new_parts, _plans = evacuate_assignments(
+                self.sd_grid, old_parts, alive, self.work_factors)
+            strategy = "evacuate"
+            alive_busy = [busy[n] for n in np.nonzero(alive)[0]]
+            ratio_before = ratio_after = imbalance_ratio(alive_busy)
+
+        # charge the data movement: live donors send their SDs as
+        # ordinary migrations; the dead node's SDs are re-fetched from
+        # the checkpoint store on the lead surviving node
+        lead = int(cluster.active_node_ids()[0])
+        migration_bytes = 0
+        recovery_bytes = 0
+        moved = np.nonzero(old_parts != new_parts)[0]
+        for sd in moved:
+            src = int(old_parts[sd])
+            dst = int(new_parts[sd])
+            nbytes = self.sd_grid.dp_count(int(sd)) * BYTES_PER_DP
+            if alive[src]:
+                fut = cluster.send(src, dst, nbytes)
+                migration_bytes += nbytes
+            else:
+                fut = cluster.send(lead, dst, nbytes)
+                self._recovery_futs[int(sd)] = fut
+                if dst != lead:  # the store's own re-fetch is in-memory
+                    recovery_bytes += nbytes
+            self._pending_recovery_futs.append(fut)
+        sds_evacuated = int(np.count_nonzero(old_parts == node_id))
+        self.parts = new_parts
+        result.parts_history.append((step, self.parts.copy()))
+        result.balance_events.append(BalanceEvent(
+            step=step, strategy=strategy, sds_moved=int(len(moved)),
+            migration_bytes=migration_bytes,
+            imbalance_before=ratio_before, imbalance_after=ratio_after,
+            recovery=True))
+        result.recovery_events.append(RecoveryEvent(
+            time=cluster.now, kind="fail", node=node_id, step=step,
+            sds_evacuated=sds_evacuated, tasks_requeued=len(orphans),
+            recovery_bytes=recovery_bytes))
+        for task in orphans:
+            self._requeue_orphan(task)
+        # new measurement window: the old one mixes dead and live nodes
+        cluster.reset_counters()
+
+    def _on_join(self, event: ChurnEvent) -> None:
+        """Provision the scheduled joiner; it is absorbed at the next
+        balance step (the shared preamble seeds it with a frontier SD,
+        the strategy routes its power-proportional share to it)."""
+        if self._done:
+            return
+        rate = event.rate if event.rate > 0 else self._default_rate
+        trace: SpeedTrace = ConstantSpeed(rate)
+        windows = [(e.time, e.stop, e.factor)
+                   for e in self.faults.straggles_of(event.node)]
+        if windows:
+            trace = StraggleSpeed(trace, windows)
+        node_id = self.cluster.add_node(event.cores, trace)
+        self._topology_dirty = True
+        self._result.recovery_events.append(RecoveryEvent(
+            time=self.cluster.now, kind="join", node=node_id,
+            step=self._current_step))
+
+    def _requeue_orphan(self, task: SimTask) -> None:
+        """Resubmit an orphaned task on its SD's new owner.
+
+        Used both for the tasks returned by ``fail_node`` and (as the
+        cluster's ``orphan_handler``) for tasks whose dependencies
+        resolve after their node died.  The task restarts from scratch
+        at ``(1 + recovery_penalty)`` times its work, gated on the SD's
+        checkpoint re-fetch when one is in flight.
+        """
+        sd = int(task.tag)
+        task.work *= 1.0 + self.faults.recovery_penalty
+        dep = self._recovery_futs.get(sd)
+        self.cluster.resubmit(task, int(self.parts[sd]),
+                              deps=() if dep is None else (dep,))

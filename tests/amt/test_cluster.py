@@ -365,3 +365,77 @@ class TestTimer:
         t = cluster.timer(3.0)
         cluster.submit(0, work=1.0, deps=[t])
         assert cluster.run() == pytest.approx(4.0)
+
+
+class TestTracesAtExactBreakpoints:
+    """Edge cases the fault layer leans on: starting, stopping, and
+    measuring exactly at a trace's breakpoint times must be consistent
+    between ``rate``, ``time_to_complete``, and ``work_until`` (the
+    straggle composition walks these boundaries exactly)."""
+
+    PW = PiecewiseSpeed([5.0, 15.0], [2.0, 1.0, 3.0])
+    RAMP = RampSpeed(1.0, 3.0, 10.0, 20.0)
+
+    def test_piecewise_start_at_breakpoint_uses_next_segment(self):
+        # rate at the breakpoint belongs to the segment that starts
+        assert self.PW.rate(5.0) == 1.0
+        assert self.PW.rate(15.0) == 3.0
+        assert self.PW.time_to_complete(3.0, 5.0) == pytest.approx(3.0)
+        assert self.PW.time_to_complete(9.0, 15.0) == pytest.approx(3.0)
+
+    def test_piecewise_work_ending_exactly_at_breakpoint(self):
+        # 10 units from t=0: exactly consumes [0,5) at rate 2
+        assert self.PW.time_to_complete(10.0, 0.0) == pytest.approx(5.0)
+        # and the integral of the closed interval agrees
+        assert self.PW.work_until(0.0, 5.0) == pytest.approx(10.0)
+
+    def test_piecewise_work_until_across_both_breakpoints(self):
+        # [0,5): 10, [5,15): 10, [15,20]: 15
+        assert self.PW.work_until(0.0, 20.0) == pytest.approx(35.0)
+        assert self.PW.work_until(5.0, 15.0) == pytest.approx(10.0)
+        assert self.PW.work_until(15.0, 15.0) == 0.0
+        with pytest.raises(ValueError):
+            self.PW.work_until(2.0, 1.0)
+
+    def test_piecewise_zero_work_at_breakpoint(self):
+        assert self.PW.time_to_complete(0.0, 5.0) == 0.0
+        assert self.PW.time_to_complete(0.0, 15.0) == 0.0
+
+    def test_ramp_start_exactly_at_t0_and_t1(self):
+        # at t0: the ramp begins (rate 1, rising)
+        assert self.RAMP.rate(10.0) == 1.0
+        assert self.RAMP.time_to_complete(20.0, 10.0) == pytest.approx(10.0)
+        # at t1: constant tail
+        assert self.RAMP.rate(20.0) == 3.0
+        assert self.RAMP.time_to_complete(9.0, 20.0) == pytest.approx(3.0)
+
+    def test_ramp_work_ending_exactly_at_t0(self):
+        # 10 units of flat head from t=0 end exactly at the ramp foot
+        assert self.RAMP.time_to_complete(10.0, 0.0) == pytest.approx(10.0)
+        assert self.RAMP.work_until(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_ramp_work_until_trapezoid(self):
+        assert self.RAMP.work_until(10.0, 20.0) == pytest.approx(20.0)
+        assert self.RAMP.work_until(0.0, 25.0) == pytest.approx(
+            10.0 + 20.0 + 15.0)
+        assert self.RAMP.work_until(15.0, 15.0) == 0.0
+        with pytest.raises(ValueError):
+            self.RAMP.work_until(5.0, 4.0)
+
+    @given(a=st.floats(0.0, 30.0), b=st.floats(0.0, 30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_work_until_additive(self, a, b):
+        lo, hi = sorted((a, b))
+        mid = 0.5 * (lo + hi)
+        for tr in (self.PW, self.RAMP, ConstantSpeed(2.5)):
+            whole = tr.work_until(lo, hi)
+            split = tr.work_until(lo, mid) + tr.work_until(mid, hi)
+            assert whole == pytest.approx(split, rel=1e-12, abs=1e-12)
+
+    @given(work=st.floats(0.0, 100.0), t0=st.floats(0.0, 30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_work_until_inverts_time_to_complete(self, work, t0):
+        for tr in (self.PW, self.RAMP):
+            dt = tr.time_to_complete(work, t0)
+            assert tr.work_until(t0, t0 + dt) == pytest.approx(
+                work, rel=1e-9, abs=1e-9)

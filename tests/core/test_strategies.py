@@ -304,6 +304,155 @@ class TestStrategyInvariants:
                                   work_per_sd=np.ones(3))
 
 
+@pytest.mark.parametrize("name", ALL)
+class TestActiveMaskInvariants:
+    """Elastic-cluster invariants: every strategy must tolerate a
+    changing active-node set (failures evacuated, joiners seeded) while
+    keeping the fixed-membership behavior bit-identical when every node
+    is active."""
+
+    SG = SubdomainGrid(24, 24, 6, 6)
+
+    def _setup(self, draw):
+        k = draw(st.integers(2, 5))
+        parts = np.array(draw(st.lists(st.integers(0, k - 1), min_size=36,
+                                       max_size=36)), dtype=np.int64)
+        for n in range(k):
+            parts[n] = n
+        busy = np.array(draw(st.lists(
+            st.floats(0.1, 50.0, allow_nan=False), min_size=k, max_size=k)))
+        # at least one node stays active
+        active = np.array(draw(st.lists(st.booleans(), min_size=k,
+                                        max_size=k)))
+        active[draw(st.integers(0, k - 1))] = True
+        return k, parts, busy, active
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_no_sd_on_inactive_and_conserved(self, name, data):
+        """After any step with an active mask: every SD owned by an
+        active node, none lost or duplicated."""
+        k, parts, busy, active = self._setup(data.draw)
+        res = make_strategy(name, self.SG).balance_step(
+            parts, k, busy, active=active)
+        assert len(res.parts_after) == 36
+        owners = np.unique(res.parts_after)
+        assert set(owners) <= set(np.nonzero(active)[0])
+        if not active[parts].all():
+            assert res.recovery and res.triggered
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_integer_targets_conserved_over_active_subset(self, name, data):
+        """Regression (ISSUE 4): integer-target apportionment must be
+        computed over the shrunken/grown active set, so the targets sum
+        to the SD count — a full-vector apportionment can hand leftover
+        SDs to dead nodes and strand them."""
+        k, parts, busy, active = self._setup(data.draw)
+        strategy = make_strategy(name, self.SG)
+        res = strategy.balance_step(parts, k, busy, active=active)
+        counts = np.bincount(res.parts_after, minlength=k)
+        assert counts.sum() == 36
+        assert counts[~active].sum() == 0
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_all_active_mask_equals_legacy(self, name, data):
+        """An all-True mask must reproduce the fixed-membership result
+        bit for bit (the solver passes None only when no faults are
+        configured — the two paths may never diverge)."""
+        k, parts, busy, _ = self._setup(data.draw)
+        strategy = make_strategy(name, self.SG)
+        legacy = strategy.balance_step(parts, k, busy)
+        masked = strategy.balance_step(parts, k, busy,
+                                       active=np.ones(k, dtype=bool))
+        assert np.array_equal(legacy.parts_after, masked.parts_after)
+        assert legacy.imbalance_ratio_after == masked.imbalance_ratio_after
+        assert legacy.triggered == masked.triggered
+        assert not masked.recovery
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_under_masks(self, name, data):
+        k, parts, busy, active = self._setup(data.draw)
+        strategy = make_strategy(name, self.SG)
+        first = strategy.balance_step(parts, k, busy, active=active)
+        second = strategy.balance_step(parts, k, busy, active=active)
+        assert np.array_equal(first.parts_after, second.parts_after)
+        assert repr(first) == repr(second)
+
+    def test_joiner_seeded_and_absorbed(self, name):
+        """A fresh joiner (active, zero SDs) must end up owning work."""
+        parts = block_partition(6, 6, 4)  # node 4 owns nothing
+        res = make_strategy(name, self.SG).balance_step(
+            parts, 5, [9.0, 9.0, 9.0, 9.0, 0.0],
+            active=np.ones(5, dtype=bool))
+        counts = np.bincount(res.parts_after, minlength=5)
+        assert counts[4] > 0
+        assert res.recovery  # seeding is a topology reaction
+
+    def test_evacuation_is_forced_below_threshold(self, name):
+        """A dead node's SDs must leave even when the residual is below
+        the trigger threshold (evacuation is correctness, not policy)."""
+        parts = block_partition(6, 6, 4)
+        active = np.array([True, True, True, False])
+        res = make_strategy(name, self.SG).balance_step(
+            parts, 4, [9.0] * 4, active=active)
+        assert res.triggered and res.recovery
+        assert np.all(res.parts_after != 3)
+
+    def test_active_set_smaller_than_sds_per_node(self, name):
+        """Shrinking to a single active node: it must absorb all 36
+        SDs (the integer target equals the whole mesh)."""
+        parts = block_partition(6, 6, 4)
+        active = np.array([False, True, False, False])
+        res = make_strategy(name, self.SG).balance_step(
+            parts, 4, [9.0] * 4, active=active)
+        assert np.all(res.parts_after == 1)
+
+
+class TestEvacuateAssignments:
+    SG = SubdomainGrid(24, 24, 6, 6)
+
+    def test_splits_dead_region_between_neighbors(self):
+        from repro.core.strategies import evacuate_assignments
+        parts = block_partition(6, 6, 4)
+        active = np.array([True, True, False, True])
+        new, plans = evacuate_assignments(self.SG, parts, active)
+        assert np.all(new != 2)
+        assert len(plans) == 9
+        counts = np.bincount(new, minlength=4)
+        assert counts.sum() == 36
+        # the load spreads over the survivors instead of one dump
+        assert counts[counts > 0].max() <= 15
+
+    def test_bootstrap_when_no_active_frontier(self):
+        """Only survivor is an SD-less joiner: evacuation must still
+        converge by bootstrapping the frontier."""
+        from repro.core.strategies import evacuate_assignments
+        parts = np.zeros(36, dtype=np.int64)
+        active = np.array([False, True])
+        new, plans = evacuate_assignments(self.SG, parts, active)
+        assert np.all(new == 1)
+        assert len(plans) == 36
+
+    def test_input_not_mutated_and_deterministic(self):
+        from repro.core.strategies import evacuate_assignments
+        parts = block_partition(6, 6, 4)
+        before = parts.copy()
+        active = np.array([True, False, False, True])
+        a, _ = evacuate_assignments(self.SG, parts, active)
+        b, _ = evacuate_assignments(self.SG, parts, active)
+        assert np.array_equal(parts, before)
+        assert np.array_equal(a, b)
+
+    def test_requires_an_active_node(self):
+        from repro.core.strategies import evacuate_assignments
+        with pytest.raises(ValueError, match="at least one active"):
+            evacuate_assignments(self.SG, block_partition(6, 6, 4),
+                                 np.zeros(4, dtype=bool))
+
+
 class TestStrategySpecificBehavior:
     def test_diffusion_moves_only_between_adjacent_nodes(self):
         sg = SubdomainGrid(24, 24, 6, 6)

@@ -13,6 +13,7 @@ EXPECTED = {
     "abl_backends", "abl_balancers",
     "crack_hetero", "hetero_interference", "hetero_drift", "quickstart",
     "solve_serial", "scale_strong",
+    "hetero_churn", "fault_recovery", "straggler_tail",
 }
 
 
@@ -76,6 +77,29 @@ def test_hetero_drift_spec_shape():
     assert spec.policy.balancer == "greedy"
     assert spec.policy.enabled
     assert not build("hetero_drift", balanced=False).policy.enabled
+
+
+def test_churn_scenario_shapes():
+    spec = build("hetero_churn", nodes=4, steps=8, balancer="greedy")
+    faults = spec.cluster.faults
+    assert faults is not None
+    kinds = [e.kind for e in faults.events]
+    assert kinds == ["straggle", "fail", "join"]  # time-sorted
+    assert faults.events[-1].node == 4  # joiner id after the initial 4
+    assert spec.policy.balancer == "greedy"
+    assert not build("hetero_churn", balanced=False).policy.enabled
+
+    golden = build("fault_recovery")
+    # everything pinned so the committed golden record is invariant
+    # under the CI backend/balancer matrices
+    assert golden.policy.balancer == "tree"
+    assert golden.kernel_backend == "direct"
+    assert golden.compute_numerics and golden.track_error
+    assert [e.kind for e in golden.cluster.faults.events] == ["fail"]
+
+    tail = build("straggler_tail")
+    assert all(e.kind == "straggle" for e in tail.cluster.faults.events)
+    assert tail.policy.kind == "threshold"
 
 
 def test_overrides_reach_the_spec():

@@ -45,8 +45,9 @@ class TestRunRecord:
         first = rec.balance_events[0]
         assert set(first) == {"step", "strategy", "sds_moved",
                               "migration_bytes", "imbalance_before",
-                              "imbalance_after"}
+                              "imbalance_after", "recovery"}
         assert first["step"] == 0
+        assert first["recovery"] is False  # no churn in this scenario
         assert first["strategy"] == rec.balancer_resolved
         assert first["sds_moved"] > 0
         assert first["migration_bytes"] > 0

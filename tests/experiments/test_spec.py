@@ -5,9 +5,9 @@ import json
 import numpy as np
 import pytest
 
-from repro.experiments import (ClusterSpec, DriftSpec, InterferenceSpec,
-                               MeshSpec, PartitionSpec, PolicySpec,
-                               ScenarioSpec)
+from repro.experiments import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
+                               InterferenceSpec, MeshSpec, PartitionSpec,
+                               PolicySpec, ScenarioSpec)
 
 
 class TestMeshSpec:
@@ -122,6 +122,57 @@ class TestDriftSpec:
                 drift=DriftSpec(rates_end=(1e9,), start=0, stop=1),
                 interference=(InterferenceSpec(node=0, start=0.0,
                                                stop=1.0),))
+
+
+class TestFaultSpec:
+    EVENTS = (ChurnEvent("straggle", 0.5, 0, stop=1.0, factor=0.5),
+              ChurnEvent("fail", 1.0, 1),
+              ChurnEvent("join", 2.0, 3, rate=2e9))
+
+    def test_cluster_accepts_and_builds_schedule(self):
+        spec = ClusterSpec(num_nodes=3, faults=FaultSpec(events=self.EVENTS))
+        sched = spec.build_faults()
+        assert sched.initial_nodes == 3
+        assert sched.max_nodes == 4
+        assert [e.kind for e in sched.events] == ["straggle", "fail", "join"]
+        assert ClusterSpec(num_nodes=3).build_faults() is None
+
+    def test_membership_validated_at_spec_construction(self):
+        # a schedule that fails an unknown node must not survive to the
+        # solver: ClusterSpec builds the runtime schedule eagerly
+        with pytest.raises(ValueError, match="before it exists"):
+            ClusterSpec(num_nodes=2,
+                        faults=FaultSpec(events=(ChurnEvent("fail", 1.0, 7),)))
+        with pytest.raises(ValueError, match="no alive nodes"):
+            ClusterSpec(num_nodes=1,
+                        faults=FaultSpec(events=(ChurnEvent("fail", 1.0, 0),)))
+        with pytest.raises(ValueError, match="recovery_penalty"):
+            FaultSpec(recovery_penalty=-1.0)
+
+    def test_dicts_normalized_to_events(self):
+        spec = FaultSpec(events=(
+            {"kind": "fail", "time": 1.0, "node": 0},))
+        assert isinstance(spec.events[0], ChurnEvent)
+        cluster = ClusterSpec.from_dict(
+            {"num_nodes": 2,
+             "faults": {"events": [{"kind": "fail", "time": 1.0,
+                                    "node": 0}]}})
+        assert cluster.faults.events[0].node == 0
+        assert cluster.faults.recovery_penalty == FaultSpec().recovery_penalty
+
+    def test_faults_compose_with_other_capacity_fields(self):
+        # straggles wrap whatever trace the cluster produces, so faults
+        # are legal alongside speed_rates, interference, and drift
+        ClusterSpec(num_nodes=2, speed_rates=(1e9, 2e9),
+                    faults=FaultSpec(events=self.EVENTS[:1]))
+        ClusterSpec(num_nodes=2,
+                    drift=DriftSpec(rates_end=(1e9, 2e9), start=0.1,
+                                    stop=0.2),
+                    faults=FaultSpec(events=self.EVENTS[:1]))
+
+    def test_legacy_cluster_dicts_default_to_no_faults(self):
+        cluster = ClusterSpec.from_dict({"num_nodes": 2})
+        assert cluster.faults is None
 
 
 class TestPartitionSpec:
@@ -307,6 +358,18 @@ def _sample_specs():
                             drift=DriftSpec(rates_end=(2e9, 1e9),
                                             start=0.5, stop=1.5)),
         policy=PolicySpec(kind="interval", balancer="repartition"))
+    yield ScenarioSpec(
+        name="churny",
+        mesh=MeshSpec(nx=8, sd_nx=2),
+        cluster=ClusterSpec(
+            num_nodes=2,
+            faults=FaultSpec(
+                events=(ChurnEvent("straggle", 0.1, 0, stop=0.2,
+                                   factor=0.5),
+                        ChurnEvent("fail", 0.5, 1),
+                        ChurnEvent("join", 0.7, 2, cores=2, rate=2e9)),
+                recovery_penalty=0.5)),
+        policy=PolicySpec(kind="interval", balancer="tree"))
 
 
 class TestRoundTrip:
@@ -330,6 +393,9 @@ class TestRoundTrip:
                     DriftSpec(rates_end=(1.0, 2.0), start=0.5, stop=2.0),
                     PartitionSpec(method="explicit", parts=(0, 1)),
                     PolicySpec(kind="interval", interval=4),
-                    PolicySpec(kind="threshold", balancer="greedy")):
+                    PolicySpec(kind="threshold", balancer="greedy"),
+                    FaultSpec(events=(ChurnEvent("fail", 1.0, 0),
+                                      ChurnEvent("join", 2.0, 2)),
+                              recovery_penalty=0.125)):
             assert type(sub).from_dict(
                 json.loads(json.dumps(sub.to_dict()))) == sub

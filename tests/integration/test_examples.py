@@ -61,3 +61,12 @@ class TestExamples:
         for name in ("never", "tree", "diffusion", "greedy", "repartition"):
             assert name in out
         assert "balance events" in out.lower()
+
+    def test_elastic_churn(self, capsys):
+        out = run_example("elastic_churn.py", capsys)
+        assert "Recovery events" in out
+        assert "churn gain" in out
+        assert "OK: dead node empty, joiner absorbed" in out
+        # the gap between never and adaptive is the example's point
+        gain = float(out.split("churn gain: ")[1].split("x")[0])
+        assert gain > 1.15

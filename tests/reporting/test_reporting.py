@@ -85,3 +85,70 @@ class TestOwnershipRendering:
 
     def test_ownership_counts(self):
         assert ownership_counts([0, 0, 1, 2], 4) == [2, 1, 1, 0]
+
+
+class TestBalanceEventTables:
+    """Edge cases of the telemetry renderers: empty and one-row lists
+    (runs that never balanced, or saw exactly one churn event) and
+    pre-churn event dicts without the ``recovery`` key."""
+
+    EVENT = {"step": 3, "strategy": "tree", "sds_moved": 4,
+             "migration_bytes": 2048, "imbalance_before": 1.42,
+             "imbalance_after": 1.05, "recovery": True}
+
+    def test_empty_event_list_renders_header_only(self):
+        from repro.reporting import format_balance_events
+        out = format_balance_events([])
+        lines = out.split("\n")
+        assert lines[0] == "balance events"
+        assert "strategy" in lines[1] and "recovery" in lines[1]
+        assert len(lines) == 3  # title + header + separator, no rows
+
+    def test_single_event_row(self):
+        from repro.reporting import format_balance_events
+        out = format_balance_events([self.EVENT])
+        assert "2,048" in out and "1.420" in out and "yes" in out
+        assert len(out.split("\n")) == 4
+
+    def test_legacy_dict_without_recovery_key(self):
+        from repro.reporting import format_balance_events
+        legacy = {k: v for k, v in self.EVENT.items() if k != "recovery"}
+        out = format_balance_events([legacy])
+        assert "yes" not in out  # no mark, but no KeyError either
+
+    def test_missing_required_key_raises(self):
+        from repro.reporting import format_balance_events
+        with pytest.raises(KeyError):
+            format_balance_events([{"step": 0}])
+
+    def test_balance_event_objects_accepted(self):
+        from repro.core.strategies import BalanceEvent
+        from repro.reporting import format_balance_events
+        out = format_balance_events([BalanceEvent(**self.EVENT)])
+        assert "tree" in out and "yes" in out
+
+
+class TestRecoveryEventTables:
+    EVENT = {"time": 1.25e-3, "step": 2, "kind": "fail", "node": 1,
+             "sds_evacuated": 5, "tasks_requeued": 3,
+             "recovery_bytes": 4096}
+
+    def test_empty_list_renders_header_only(self):
+        from repro.reporting import format_recovery_events
+        out = format_recovery_events([])
+        assert out.split("\n")[0] == "recovery events"
+        assert len(out.split("\n")) == 3
+
+    def test_single_event_row(self):
+        from repro.reporting import format_recovery_events
+        out = format_recovery_events([self.EVENT])
+        assert "1.250" in out  # ms
+        assert "fail" in out and "4,096" in out
+        assert len(out.split("\n")) == 4
+
+    def test_recovery_event_objects_accepted(self):
+        from repro.amt.faults import RecoveryEvent
+        from repro.reporting import format_recovery_events
+        out = format_recovery_events(
+            [RecoveryEvent(**self.EVENT)], title="churn")
+        assert out.startswith("churn\n") and "join" not in out

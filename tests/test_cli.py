@@ -146,6 +146,57 @@ class TestRunCommand:
         assert "SDs moved" in out
         assert "imb before" in out  # the balance-events telemetry table
 
+    FAULTS_JSON = ('{"events": [{"kind": "fail", "time": 1.5e-5, '
+                   '"node": 2}], "recovery_penalty": 0.5}')
+
+    def test_run_with_inline_faults(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "fig11_strong_distributed",
+                   "--steps", "2", "--faults", self.FAULTS_JSON,
+                   "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovery events" in out       # the new telemetry table
+        assert "SDs evacuated" in out
+        (rec,) = read_records(str(path))
+        faults = rec.spec["cluster"]["faults"]
+        assert faults["recovery_penalty"] == 0.5
+        assert faults["events"][0]["node"] == 2
+        assert rec.recovery_events and rec.recovery_events[0]["kind"] == "fail"
+        assert 2 not in rec.final_parts
+
+    def test_run_with_faults_file(self, capsys, tmp_path):
+        fpath = tmp_path / "faults.json"
+        fpath.write_text(self.FAULTS_JSON)
+        rc = main(["run", "--scenario", "fig11_strong_distributed",
+                   "--steps", "2", "--faults", str(fpath)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovery events" in out
+
+    def test_run_rejects_bad_faults(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["run", "--scenario", "fig11_strong_distributed",
+                  "--faults", "{broken"])
+        with pytest.raises(SystemExit, match="cannot read faults file"):
+            main(["run", "--scenario", "fig11_strong_distributed",
+                  "--faults", str(tmp_path / "missing.json")])
+        # schedule that empties the scenario's 4-node cluster
+        bad = ('{"events": [' + ",".join(
+            f'{{"kind": "fail", "time": {t}.0, "node": {n}}}'
+            for t, n in ((1, 0), (2, 1), (3, 2), (4, 3))) + "]}")
+        with pytest.raises(SystemExit, match="bad fault schedule"):
+            main(["run", "--scenario", "fig11_strong_distributed",
+                  "--faults", bad])
+
+    def test_run_churn_scenario_prints_recovery_table(self, capsys):
+        rc = main(["run", "--scenario", "hetero_churn", "--steps", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovery events" in out
+        assert "recovery bytes" in out
+        assert "join" in out
+
     def test_run_rejects_unknown_balancer(self, capsys):
         with pytest.raises(SystemExit):
             main(["run", "--scenario", "fig14_load_balance",
