@@ -1,0 +1,120 @@
+"""Ablation H: rack-aware placement under a hierarchical network topology.
+
+The ``oversubscribed_uplink`` workload runs eight nodes in two racks of
+four behind heavily oversubscribed uplinks (each uplink carries
+``rack_size / oversubscription = 1/4`` of a NIC's bandwidth), on a
+communication-dominated network.  The partition is identical across
+rows — only the **part → node placement** changes:
+
+* ``rack`` — adjacent parts packed into the same rack
+  (:func:`repro.partition.rack_aware_mapping`), so the heavy part
+  boundaries exchange ghosts over intra-rack NIC links;
+* ``none`` — the partitioner's own labels (METIS-style recursive
+  bisection happens to be rack-coherent here, which is exactly what
+  the identity-fallback in the rack mapping preserves);
+* ``scatter`` — parts dealt round-robin across racks, the
+  placement-oblivious baseline: most part boundaries cross the
+  oversubscribed uplinks and queue on them.
+
+Everything measured is virtual time (deterministic, machine-
+independent, DESIGN.md substitutions 1 and 5), so the makespans and
+per-route-class byte splits are exact schedule properties.
+
+Acceptance criterion (ISSUE 5): rack-aware placement must beat
+scattered placement on simulated makespan by >= 10% (floor tunable via
+``REPRO_BENCH_MIN_RACK_GAIN``).  A second check pins the mechanism: the
+rack placement must put strictly fewer bytes on the inter-rack uplinks
+than the scattered one.
+
+Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
+writes it to a file (``BENCH_topology.json`` at the repo root is the
+committed record).
+"""
+
+import json
+import os
+from functools import lru_cache
+
+from repro.experiments import SCHEMA, build, run_scenario, write_json
+from repro.reporting.tables import format_table
+
+STEPS = 5
+SEED = 0
+
+#: rack-vs-scatter acceptance floor (1.10 = the 10% bar)
+_MIN_GAIN = float(os.environ.get("REPRO_BENCH_MIN_RACK_GAIN", "1.10"))
+
+_SPEC = build("oversubscribed_uplink", steps=STEPS, seed=SEED)
+MESH = _SPEC.mesh.nx
+NODES = _SPEC.cluster.num_nodes
+OVERSUB = _SPEC.cluster.topology.oversubscription
+
+
+def _row(rec):
+    return {
+        "placement": rec.spec["partition"]["placement"],
+        "makespan_seconds": rec.makespan,
+        "ghost_bytes": rec.ghost_bytes,
+        "bytes_by_class": rec.bytes_by_class,
+        "inter_rack_bytes": rec.bytes_by_class.get("inter_rack", 0),
+        "intra_rack_bytes": rec.bytes_by_class.get("intra_rack", 0),
+    }
+
+
+@lru_cache(maxsize=1)
+def placement_rows():
+    return [_row(run_scenario(build("oversubscribed_uplink", steps=STEPS,
+                                    seed=SEED, placement=placement)))
+            for placement in ("rack", "none", "scatter")]
+
+
+def test_abl_topology(benchmark):
+    rows = placement_rows()
+    by_name = {r["placement"]: r for r in rows}
+    rack, scatter = by_name["rack"], by_name["scatter"]
+    gain = scatter["makespan_seconds"] / rack["makespan_seconds"]
+
+    print("\n" + format_table(
+        ["placement", "makespan (ms)", "inter-rack B", "intra-rack B",
+         "vs rack"],
+        [[r["placement"], r["makespan_seconds"] * 1e3,
+          f"{r['inter_rack_bytes']:,}", f"{r['intra_rack_bytes']:,}",
+          f"{r['makespan_seconds'] / rack['makespan_seconds']:.2f}x"]
+         for r in rows],
+        title=f"Ablation H — placement on oversubscribed uplinks "
+              f"(mesh {MESH}x{MESH}, {NODES} nodes in 2 racks, "
+              f"{OVERSUB:g}:{_SPEC.cluster.topology.rack_size} "
+              f"oversubscription, {STEPS} steps)"))
+
+    # acceptance: rack-aware placement beats scattered placement
+    assert gain >= _MIN_GAIN, (
+        f"rack placement gained only {gain:.2f}x over scattered "
+        f"(floor {_MIN_GAIN:g}x)")
+    # the mechanism, not just the outcome: fewer bytes on the uplinks
+    assert rack["inter_rack_bytes"] < scatter["inter_rack_bytes"]
+    # placement permutes labels only — total traffic is conserved
+    totals = {sum(r["bytes_by_class"].values()) for r in rows}
+    assert len(totals) == 1
+    # rack placement never loses to the partitioner's own labels
+    assert (rack["makespan_seconds"]
+            <= by_name["none"]["makespan_seconds"] * (1 + 1e-12))
+
+    payload = {
+        "benchmark": "abl_topology",
+        "scenario": "oversubscribed_uplink",
+        "mesh": [MESH, MESH],
+        "nodes": NODES,
+        "steps": STEPS,
+        "seed": SEED,
+        "topology": _SPEC.cluster.topology.to_dict(),
+        "min_gain": _MIN_GAIN,
+        "rack_over_scatter_gain": gain,
+        "placements": rows,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy

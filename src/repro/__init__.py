@@ -18,9 +18,10 @@ True
 Sub-packages:
 
 * :mod:`repro.amt` — HPX-like runtime (futures, executor, simulated
-  cluster, AGAS, performance counters);
+  cluster, AGAS, performance counters, fault schedules, network
+  topologies);
 * :mod:`repro.partition` — from-scratch multilevel graph partitioner
-  (METIS substitute) + geometric baselines;
+  (METIS substitute) + geometric baselines + topology-aware placement;
 * :mod:`repro.mesh` — grids, sub-domains, stencils, decomposition;
 * :mod:`repro.solver` — serial / shared-memory-async / distributed
   solvers for the nonlocal heat equation, with pluggable kernel
@@ -37,8 +38,9 @@ Sub-packages:
 from .amt import (ConstantSpeed, Network, PiecewiseSpeed, SimCluster,
                   TaskExecutor)
 from .experiments import (ClusterSpec, MeshSpec, PartitionSpec, PolicySpec,
-                          RunRecord, ScenarioSpec, build_scenario,
-                          run_scenario, run_sweep, scenario_names)
+                          RunRecord, ScenarioSpec, TopologySpec,
+                          build_scenario, run_scenario, run_sweep,
+                          scenario_names)
 from .core import (BalanceStrategy, IntervalPolicy, LoadBalancer,
                    NeverBalance, ThresholdPolicy, strategy_names)
 from .mesh import Decomposition, SubdomainGrid, UniformGrid, build_stencil
@@ -63,7 +65,7 @@ __all__ = [
     "NonlocalHeatModel", "SerialSolver", "backend_names",
     "solve_manufactured",
     "MeshSpec", "ClusterSpec", "PartitionSpec", "PolicySpec",
-    "ScenarioSpec", "RunRecord", "build_scenario", "run_scenario",
-    "run_sweep", "scenario_names",
+    "ScenarioSpec", "TopologySpec", "RunRecord", "build_scenario",
+    "run_scenario", "run_sweep", "scenario_names",
     "__version__",
 ]

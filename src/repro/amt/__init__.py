@@ -25,6 +25,8 @@ from .cluster import (ConstantSpeed, Network, PiecewiseSpeed, RampSpeed,
                       SimNode, SimTask, SpeedTrace, StraggleSpeed)
 from .faults import (DEFAULT_RECOVERY_PENALTY, ChurnEvent, FaultSchedule,
                      RecoveryEvent)
+from .topology import (FlatTopology, HierarchicalTopology, LinkHop,
+                       SwitchedTopology, Topology, topology_names)
 
 __all__ = [
     "AddressSpace", "AgasError",
@@ -38,4 +40,6 @@ __all__ = [
     "SimNode", "SimTask", "SpeedTrace", "StraggleSpeed",
     "ChurnEvent", "FaultSchedule", "RecoveryEvent",
     "DEFAULT_RECOVERY_PENALTY",
+    "Topology", "FlatTopology", "SwitchedTopology", "HierarchicalTopology",
+    "LinkHop", "topology_names",
 ]

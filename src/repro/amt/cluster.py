@@ -335,6 +335,14 @@ class Network:
 
     Intra-node messages are free and instantaneous: the paper's SDs on the
     same node share memory.
+
+    This is the legacy single-tier model; the pluggable replacement is
+    :mod:`repro.amt.topology` (DESIGN.md substitution 5), whose
+    :class:`repro.amt.topology.FlatTopology` is bit-for-bit equivalent.
+    ``Network`` keeps the same duck-typed surface the cluster relies on
+    (``plan_send`` / ``reset`` / ``release_node`` / ``rack_of`` /
+    ``bytes_by_class``), so either may be passed as
+    ``SimCluster(network=...)``.
     """
 
     def __init__(self, latency: float = 5e-6, bandwidth: float = 1.25e9,
@@ -347,6 +355,7 @@ class Network:
         self._egress_free: Dict[int, float] = {}
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.bytes_by_class: Dict[str, int] = {}
 
     def wire_time(self, nbytes: int) -> float:
         """Pure serialization time of ``nbytes`` on the wire."""
@@ -360,16 +369,42 @@ class Network:
             return now
         self.bytes_sent += nbytes
         self.messages_sent += 1
+        self.bytes_by_class["remote"] = (
+            self.bytes_by_class.get("remote", 0) + nbytes)
         start = now
         if self.serialize_egress:
             start = max(now, self._egress_free.get(src, 0.0))
             self._egress_free[src] = start + self.wire_time(nbytes)
         return start + self.latency + self.wire_time(nbytes)
 
+    def reset(self) -> None:
+        """Clear all per-run state: egress backlog and byte counters.
+
+        The distributed solver calls this at run start, so a network
+        instance reused across successive solvers cannot delay the
+        second run's first sends with the previous run's egress
+        backlog.
+        """
+        self._egress_free.clear()
+        self.reset_stats()
+
     def reset_stats(self) -> None:
         """Zero the byte/message counters (egress state is kept)."""
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.bytes_by_class = {}
+
+    def release_node(self, node: int) -> None:
+        """Drop ``node``'s egress reservation (the node failed).
+
+        Without this a same-id bookkeeping reuse would inherit the dead
+        node's ghost backlog and delay its first sends.
+        """
+        self._egress_free.pop(node, None)
+
+    def rack_of(self, node: int) -> int:
+        """Everything shares one rack in the flat model."""
+        return 0
 
 
 # ---------------------------------------------------------------------------
@@ -607,6 +642,9 @@ class SimCluster:
         orphans.extend(node.ready)
         node.ready.clear()
         node.free_cores = 0
+        # the dead node's NIC is gone: drop its egress reservation so a
+        # same-id bookkeeping reuse can never inherit a ghost backlog
+        self.network.release_node(node_id)
         return orphans
 
     def active_node_ids(self) -> List[int]:

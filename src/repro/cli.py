@@ -59,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "paper's tree algorithm; env REPRO_BALANCER "
                              "overrides 'auto')")
 
+    def add_topology(sp):
+        from .amt.topology import topology_names
+        sp.add_argument("--topology", choices=topology_names(),
+                        default=None,
+                        help="network topology for the simulated cluster "
+                             "(default: the scenario's choice, normally "
+                             "the legacy flat network; 'switched' and "
+                             "'hierarchical' use default rack parameters "
+                             "— pin TopologySpec in a scenario for more)")
+
     v = sub.add_parser("validate", help="Fig. 8 convergence sweep")
     v.add_argument("--max-exponent", type=int, default=6,
                    help="finest mesh is 2^N (default 6)")
@@ -87,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-parallel sweep workers (default serial)")
     add_backend(c)
     add_balancer(c)
+    add_topology(c)
     add_json(c)
 
     b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
@@ -123,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "times, plus recovery_penalty)")
     add_backend(r)
     add_balancer(r)
+    add_topology(r)
     add_json(r)
     return p
 
@@ -149,11 +161,14 @@ def _parse_faults(arg: str):
 
 
 def _apply_overrides(spec, args):
-    """The spec with the CLI's --backend/--balancer/--faults overrides."""
+    """The spec with the CLI's --backend/--balancer/--topology/--faults
+    overrides."""
     if getattr(args, "backend", None):
         spec = spec.replace(kernel_backend=args.backend)
     if getattr(args, "balancer", None):
         spec = spec.with_balancer(args.balancer)
+    if getattr(args, "topology", None):
+        spec = spec.with_topology(args.topology)
     if getattr(args, "faults", None):
         from dataclasses import replace as _replace
         try:
@@ -304,6 +319,7 @@ def _run_balancer_ablation(args, overrides) -> int:
 def _cmd_run(args) -> int:
     from .experiments import build, get_factory, run_scenario, scenario_names
     from .reporting.balance import (format_balance_events,
+                                    format_bytes_by_class,
                                     format_recovery_events)
     if args.list_scenarios:
         for name in scenario_names():
@@ -337,6 +353,10 @@ def _cmd_run(args) -> int:
         print(f"ghost bytes: {rec.ghost_bytes:,}   "
               f"migration bytes: {rec.migration_bytes:,}   "
               f"SDs moved: {rec.sds_moved}")
+        if len(rec.bytes_by_class) > 1:
+            # multiple route classes: a topology is differentiating
+            # the traffic — show where the bytes went
+            print(format_bytes_by_class(rec.bytes_by_class))
         if rec.imbalance_history:
             print(f"imbalance max/mean: first {rec.imbalance_history[0]:.3f}"
                   f" -> last {rec.imbalance_history[-1]:.3f}")

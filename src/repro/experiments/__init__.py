@@ -17,13 +17,13 @@ from .registry import (CORE_SPEED, EPS_FACTOR, NUM_STEPS, SPAWN_OVERHEAD,
                        scenario_names)
 from .results import (SCHEMA, RunRecord, read_records, write_json,
                       write_records)
-from .runner import (build_problem, build_solver, build_work_factors,
-                     cached_operator, clear_operator_cache,
-                     operator_cache_info, ownership_timeline, run_scenario,
-                     run_sweep)
+from .runner import (build_parts, build_problem, build_solver,
+                     build_work_factors, cached_operator,
+                     clear_operator_cache, operator_cache_info,
+                     ownership_timeline, run_scenario, run_sweep)
 from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
                    InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
-                   ScenarioSpec)
+                   ScenarioSpec, TopologySpec)
 
 #: Alias for re-export at the package root, where bare ``build`` would
 #: be ambiguous.
@@ -32,11 +32,12 @@ build_scenario = build
 __all__ = [
     "MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec", "ChurnEvent",
     "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
+    "TopologySpec",
     "register", "build", "build_scenario", "get_factory", "scenario_names",
     "balancer_sweep",
     "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",
     "RunRecord", "SCHEMA", "write_json", "write_records", "read_records",
     "cached_operator", "operator_cache_info", "clear_operator_cache",
-    "build_problem", "build_work_factors", "build_solver",
+    "build_problem", "build_work_factors", "build_parts", "build_solver",
     "ownership_timeline", "run_scenario", "run_sweep",
 ]

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List
 
 from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
                    InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
-                   ScenarioSpec)
+                   ScenarioSpec, TopologySpec)
 
 __all__ = ["register", "build", "scenario_names", "get_factory",
            "balancer_sweep",
@@ -468,6 +468,102 @@ def straggler_tail(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
         partition=PartitionSpec(method="metis", seed=seed),
         policy=(PolicySpec(kind="threshold", ratio=1.15) if balanced
                 else PolicySpec()),
+        num_steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# topology scenarios (DESIGN.md substitution 5)
+# ---------------------------------------------------------------------------
+
+@register("rack_locality")
+def rack_locality(mesh: int = 256, sd_axis: int = 8, nodes: int = 8,
+                  steps: int = 5, seed: int = 0,
+                  placement: str = "rack") -> ScenarioSpec:
+    """Rack locality on a switched two-rack cluster.
+
+    Eight nodes in two racks of four behind moderately oversubscribed
+    uplinks, on a communication-dominated network (the Abl. A tier).
+    ``placement`` selects how the METIS-style parts land on nodes:
+    ``rack`` packs adjacent parts into the same rack so ghost traffic
+    stays off the uplinks, ``scatter`` deals them round-robin across
+    racks (the placement-oblivious baseline), ``none`` keeps the
+    partitioner's labels.
+    """
+    return ScenarioSpec(
+        name="rack_locality",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(
+            num_nodes=nodes, latency=2e-5, bandwidth=1e6,
+            topology=TopologySpec(kind="switched", rack_size=4,
+                                  oversubscription=8.0)),
+        partition=PartitionSpec(method="metis", seed=seed,
+                                placement=placement),
+        num_steps=steps)
+
+
+@register("oversubscribed_uplink")
+def oversubscribed_uplink(mesh: int = 256, sd_axis: int = 8, nodes: int = 8,
+                          steps: int = 5, seed: int = 0,
+                          placement: str = "rack",
+                          oversubscription: float = 16.0) -> ScenarioSpec:
+    """Heavily oversubscribed uplinks: the placement ablation workload.
+
+    Same two-rack layout as ``rack_locality`` but the uplinks carry
+    only ``rack_size / oversubscription`` NICs' worth of bandwidth, so
+    every inter-rack ghost byte queues behind the whole rack's egress
+    traffic.  Rack-aware placement keeps the heavy part boundaries
+    intra-rack and beats scattered placement on makespan — the
+    acceptance criterion ``benchmarks/bench_abl_topology.py`` records
+    in ``BENCH_topology.json``.
+    """
+    return ScenarioSpec(
+        name="oversubscribed_uplink",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(
+            num_nodes=nodes, latency=2e-5, bandwidth=1e6,
+            topology=TopologySpec(kind="switched", rack_size=4,
+                                  oversubscription=oversubscription)),
+        partition=PartitionSpec(method="metis", seed=seed,
+                                placement=placement),
+        num_steps=steps)
+
+
+@register("wan_joiner")
+def wan_joiner(mesh: int = 128, sd_axis: int = 8, nodes: int = 4,
+               steps: int = 16, seed: int = 0, balancer: str = "auto",
+               balanced: bool = True) -> ScenarioSpec:
+    """An elastic joiner provisioned across a WAN (churn x topology).
+
+    The PR-4 churn machinery composed with the hierarchical topology:
+    a two-rack cluster loses node 3 mid-run, and the replacement joins
+    from a *WAN rack* — every byte it exchanges (absorption migrations,
+    ghosts on its part boundaries) pays WAN latency and bandwidth.
+    Adaptive balancing must weigh the joiner's compute against its
+    placement; ``balanced=False`` leaves the joiner idle entirely.
+    """
+    if nodes < 2:
+        raise ValueError("wan_joiner needs >= 2 nodes (one fails mid-run)")
+    sg = _step_guess(mesh, sd_axis, nodes)
+    faults = FaultSpec(events=(
+        ChurnEvent("fail", 5.5 * sg, node=nodes - 1),
+        ChurnEvent("join", 7.5 * sg, node=nodes, cores=1,
+                   rate=1.5 * CORE_SPEED),
+    ))
+    # pairs of nodes per rack; the joiner lands in a fresh WAN rack
+    racks = tuple(i // 2 for i in range(nodes))
+    wan_rack = racks[-1] + 1
+    return ScenarioSpec(
+        name="wan_joiner",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(
+            num_nodes=nodes, faults=faults,
+            topology=TopologySpec(
+                kind="hierarchical", rack_size=2, racks=racks,
+                join_rack=wan_rack, wan_racks=(wan_rack,),
+                wan_latency=2e-4, wan_bandwidth=1.25e7)),
+        partition=PartitionSpec(method="metis", seed=seed),
+        policy=(PolicySpec(kind="interval", interval=1, balancer=balancer)
+                if balanced else PolicySpec(balancer=balancer)),
         num_steps=steps)
 
 

@@ -32,7 +32,12 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
 #: v3: elastic-cluster churn — ``recovery_events`` (one dict per node
 #: failure/join the run handled), a ``recovery`` flag on every balance
 #: event, and ``ClusterSpec.faults`` in the embedded spec.
-SCHEMA = "repro.experiments/v3"
+#: v4: network topology — per-route-class byte telemetry
+#: (``bytes_by_class``: ``remote`` on the flat model, ``intra_rack`` /
+#: ``inter_rack`` / ``wan`` on the rack hierarchies), plus
+#: ``ClusterSpec.topology`` and ``PartitionSpec.placement`` in the
+#: embedded spec.
+SCHEMA = "repro.experiments/v4"
 
 
 @dataclass
@@ -61,6 +66,11 @@ class RunRecord:
     imbalance_history: List[float] = field(default_factory=list)
     #: ghost bytes sent over the run
     ghost_bytes: int = 0
+    #: bytes per network route class (``remote`` on the flat model;
+    #: ``intra_rack``/``inter_rack``/``wan`` on topology models — see
+    #: :mod:`repro.amt.topology`); classes partition the traffic, so
+    #: the values sum to the run's total network bytes
+    bytes_by_class: Dict[str, int] = field(default_factory=dict)
     #: one dict per balancer invocation (including no-op decisions):
     #: ``{step, strategy, sds_moved, migration_bytes, imbalance_before,
     #: imbalance_after}`` — see :class:`repro.core.strategies

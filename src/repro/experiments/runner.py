@@ -32,8 +32,8 @@ from .results import RunRecord
 from .spec import ScenarioSpec
 
 __all__ = ["cached_operator", "operator_cache_info", "clear_operator_cache",
-           "build_problem", "build_work_factors", "build_solver",
-           "ownership_timeline", "run_scenario", "run_sweep"]
+           "build_problem", "build_work_factors", "build_parts",
+           "build_solver", "ownership_timeline", "run_scenario", "run_sweep"]
 
 
 @lru_cache(maxsize=64)
@@ -103,20 +103,42 @@ def build_work_factors(spec: ScenarioSpec) -> Optional[np.ndarray]:
         floor=spec.crack_floor)
 
 
+def build_parts(spec: ScenarioSpec, network=None) -> np.ndarray:
+    """The initial SD → node assignment, placement applied.
+
+    Builds the partition, then — when the partition spec asks for a
+    non-trivial ``placement`` — permutes part labels onto nodes using
+    the network topology's rack assignment (see
+    :mod:`repro.partition.placement`).  ``network`` avoids rebuilding
+    the topology when the caller already has one.
+    """
+    parts = spec.partition.build(spec.mesh.sd_nx, spec.mesh.sd_ny,
+                                 spec.cluster.num_nodes)
+    if spec.partition.placement != "none":
+        from ..partition.placement import apply_placement
+        if network is None:
+            network = spec.cluster.build_network()
+        node_racks = [network.rack_of(n)
+                      for n in range(spec.cluster.num_nodes)]
+        parts = apply_placement(spec.mesh.build_sd_grid(), parts,
+                                node_racks, spec.partition.placement)
+    return parts
+
+
 def build_solver(spec: ScenarioSpec, source=None):
     """The fully wired :class:`DistributedSolver` for ``spec``."""
     if spec.solver != "distributed":
         raise ValueError(f"spec {spec.name!r} is not a distributed scenario")
     from ..solver.distributed import DistributedSolver
     op, model, grid, sd_grid = build_problem(spec)
-    parts = spec.partition.build(spec.mesh.sd_nx, spec.mesh.sd_ny,
-                                 spec.cluster.num_nodes)
+    network = spec.cluster.build_network()
+    parts = build_parts(spec, network=network)
     return DistributedSolver(
         model, grid, sd_grid, parts,
         num_nodes=spec.cluster.num_nodes,
         cores_per_node=spec.cluster.cores_per_node,
         speeds=spec.cluster.build_speeds(),
-        network=spec.cluster.build_network(),
+        network=network,
         source=source,
         dt=spec.dt,
         work_factors=build_work_factors(spec),
@@ -138,8 +160,7 @@ def ownership_timeline(spec: ScenarioSpec,
     ownership forward through steps with no movement), which is what
     the Fig. 14 demo and ``repro balance`` render.
     """
-    parts = spec.partition.build(spec.mesh.sd_nx, spec.mesh.sd_ny,
-                                 spec.cluster.num_nodes)
+    parts = build_parts(spec)
     events = {step: np.asarray(p, dtype=np.int64)
               for step, p in record.parts_events}
     frames = [parts.copy()]
@@ -186,6 +207,8 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
         step_durations=[float(d) for d in res.step_durations],
         imbalance_history=[float(r) for r in res.imbalance_history],
         ghost_bytes=int(res.ghost_bytes),
+        bytes_by_class={str(k): int(v)
+                        for k, v in sorted(res.bytes_by_class.items())},
         balance_events=[e.to_dict() for e in res.balance_events],
         recovery_events=[e.to_dict() for e in res.recovery_events],
         parts_events=[[int(step), [int(p) for p in parts]]

@@ -23,7 +23,7 @@ Design rules:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from ..amt.faults import DEFAULT_RECOVERY_PENALTY, ChurnEvent, FaultSchedule
 
 __all__ = ["MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec",
            "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
-           "ChurnEvent"]
+           "TopologySpec", "ChurnEvent"]
 
 
 def _require(cond: bool, msg: str) -> None:
@@ -210,6 +210,184 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Declarative network topology (DESIGN.md substitution 5).
+
+    ``kind`` selects the model from :mod:`repro.amt.topology`:
+
+    ``flat``
+        The legacy single-tier model: one egress link per node,
+        bit-for-bit equivalent to :class:`repro.amt.cluster.Network`.
+    ``switched``
+        Two-level racks (``rack = node // rack_size``) with
+        oversubscribed uplinks: inter-rack messages additionally
+        traverse the source rack's uplink and the destination rack's
+        downlink, FIFO links of bandwidth ``bandwidth * rack_size /
+        oversubscription``.
+    ``hierarchical``
+        Intra-node / intra-rack / inter-rack tiers with per-tier
+        latency and bandwidth, explicit ``racks`` assignment,
+        ``join_rack`` for elastic joiners, and ``wan_racks`` reached
+        over a far-slower WAN tier.
+
+    ``latency``/``bandwidth`` of ``None`` inherit the enclosing
+    :class:`ClusterSpec`'s values (falling back to the flat network's
+    defaults), so ``ClusterSpec(latency=..., bandwidth=...,
+    topology=TopologySpec(kind="switched"))`` keeps one source of truth
+    for the NIC tier.
+    """
+
+    KINDS = ("flat", "switched", "hierarchical")
+
+    kind: str = "flat"
+    rack_size: int = 4
+    latency: Optional[float] = None
+    bandwidth: Optional[float] = None
+    oversubscription: Optional[float] = None
+    uplink_latency: Optional[float] = None
+    uplink_bandwidth: Optional[float] = None
+    rack_latency: Optional[float] = None
+    rack_bandwidth: Optional[float] = None
+    wan_latency: Optional[float] = None
+    wan_bandwidth: Optional[float] = None
+    wan_racks: Tuple[int, ...] = ()
+    racks: Optional[Tuple[int, ...]] = None
+    join_rack: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(self.kind in self.KINDS,
+                 f"unknown topology kind {self.kind!r}; "
+                 f"expected one of {self.KINDS}")
+        _set(self, "rack_size", int(self.rack_size))
+        _require(self.rack_size >= 1,
+                 f"rack_size must be >= 1, got {self.rack_size}")
+        for name in ("latency", "uplink_latency", "rack_latency",
+                     "wan_latency"):
+            if getattr(self, name) is not None:
+                _set(self, name, float(getattr(self, name)))
+                value = getattr(self, name)
+                _require(value >= 0, f"{name} must be >= 0, got {value}")
+        for name in ("bandwidth", "uplink_bandwidth", "rack_bandwidth",
+                     "wan_bandwidth"):
+            if getattr(self, name) is not None:
+                _set(self, name, float(getattr(self, name)))
+                value = getattr(self, name)
+                _require(value > 0, f"{name} must be > 0, got {value}")
+        if self.oversubscription is not None:
+            _set(self, "oversubscription", float(self.oversubscription))
+            _require(self.oversubscription > 0,
+                     f"oversubscription must be > 0, "
+                     f"got {self.oversubscription}")
+        _set(self, "wan_racks", tuple(int(r) for r in self.wan_racks))
+        _require(all(r >= 0 for r in self.wan_racks),
+                 "wan_racks entries must be >= 0")
+        if self.racks is not None:
+            _set(self, "racks", tuple(int(r) for r in self.racks))
+            _require(all(r >= 0 for r in self.racks),
+                     "racks entries must be >= 0")
+        if self.join_rack is not None:
+            _set(self, "join_rack", int(self.join_rack))
+            _require(self.join_rack >= 0,
+                     f"join_rack must be >= 0, got {self.join_rack}")
+            _require(self.racks is not None,
+                     "join_rack requires an explicit racks assignment "
+                     "for the initial nodes (otherwise every node would "
+                     "land in the join rack)")
+        if self.kind != "hierarchical":
+            for name in ("rack_latency", "rack_bandwidth", "wan_latency",
+                         "wan_bandwidth"):
+                _require(getattr(self, name) is None,
+                         f"{name} is only valid for kind 'hierarchical'")
+            _require(not self.wan_racks and self.racks is None
+                     and self.join_rack is None,
+                     "wan_racks/racks/join_rack are only valid for "
+                     "kind 'hierarchical'")
+        _require(self.oversubscription is None or self.kind == "switched",
+                 "oversubscription is only valid for kind 'switched' "
+                 "(hierarchical pins uplink/rack bandwidths directly)")
+        _require(self.oversubscription is None
+                 or self.uplink_bandwidth is None,
+                 "oversubscription and uplink_bandwidth both size the "
+                 "uplink — set one or the other")
+        if self.kind == "flat":
+            for name in ("uplink_latency", "uplink_bandwidth"):
+                _require(getattr(self, name) is None,
+                         f"{name} is not valid for kind 'flat'")
+
+    def build(self, num_nodes: int, default_latency: Optional[float] = None,
+              default_bandwidth: Optional[float] = None):
+        """The runtime :class:`repro.amt.topology.Topology`.
+
+        ``default_latency``/``default_bandwidth`` are the enclosing
+        cluster spec's NIC-tier values, used when this spec leaves its
+        own unset.
+        """
+        from ..amt.topology import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY,
+                                    FlatTopology, HierarchicalTopology,
+                                    SwitchedTopology)
+        latency = next(v for v in (self.latency, default_latency,
+                                   DEFAULT_LATENCY) if v is not None)
+        bandwidth = next(v for v in (self.bandwidth, default_bandwidth,
+                                     DEFAULT_BANDWIDTH) if v is not None)
+        if self.racks is not None and len(self.racks) != num_nodes:
+            # exact length: a longer tuple would silently override
+            # join_rack for elastic joiners (sequential ids land inside
+            # the list), a shorter one leaves initial nodes unplaced
+            raise ValueError(
+                f"topology pins {len(self.racks)} rack ids for "
+                f"{num_nodes} initial nodes")
+        if self.kind == "flat":
+            return FlatTopology(latency=latency, bandwidth=bandwidth)
+        if self.kind == "switched":
+            kwargs = {}
+            if self.oversubscription is not None:
+                kwargs["oversubscription"] = self.oversubscription
+            return SwitchedTopology(
+                rack_size=self.rack_size, latency=latency,
+                bandwidth=bandwidth,
+                uplink_latency=self.uplink_latency,
+                uplink_bandwidth=self.uplink_bandwidth, **kwargs)
+        kwargs = {}
+        if self.wan_latency is not None:
+            kwargs["wan_latency"] = self.wan_latency
+        if self.wan_bandwidth is not None:
+            kwargs["wan_bandwidth"] = self.wan_bandwidth
+        return HierarchicalTopology(
+            rack_size=self.rack_size, racks=self.racks,
+            join_rack=self.join_rack, latency=latency, bandwidth=bandwidth,
+            rack_latency=(self.uplink_latency if self.rack_latency is None
+                          else self.rack_latency),
+            rack_bandwidth=(self.uplink_bandwidth
+                            if self.rack_bandwidth is None
+                            else self.rack_bandwidth),
+            wan_racks=self.wan_racks, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind, "rack_size": self.rack_size,
+            "latency": self.latency, "bandwidth": self.bandwidth,
+            "oversubscription": self.oversubscription,
+            "uplink_latency": self.uplink_latency,
+            "uplink_bandwidth": self.uplink_bandwidth,
+            "rack_latency": self.rack_latency,
+            "rack_bandwidth": self.rack_bandwidth,
+            "wan_latency": self.wan_latency,
+            "wan_bandwidth": self.wan_bandwidth,
+            "wan_racks": list(self.wan_racks),
+            "racks": None if self.racks is None else list(self.racks),
+            "join_rack": self.join_rack,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TopologySpec":
+        d = dict(d)
+        d["wan_racks"] = tuple(d.get("wan_racks", ()))
+        if d.get("racks") is not None:
+            d["racks"] = tuple(d["racks"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Simulated cluster shape: nodes, cores, speeds, network, overheads.
 
@@ -223,7 +401,10 @@ class ClusterSpec:
     churn schedule (failures/joins/straggles — see :class:`FaultSpec`);
     straggle windows compose onto whatever speed trace the other fields
     produce, so faults combine freely with static heterogeneity, drift,
-    and interference.
+    and interference.  ``topology`` replaces the flat network with a
+    rack-aware model (see :class:`TopologySpec`); ``None`` keeps the
+    legacy flat network, and ``latency``/``bandwidth`` then feed the
+    topology's NIC tier when it leaves its own unset.
     """
 
     num_nodes: int = 1
@@ -235,6 +416,7 @@ class ClusterSpec:
     bandwidth: Optional[float] = None
     spawn_overhead: float = 0.0
     faults: Optional[FaultSpec] = None
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         _set(self, "num_nodes", int(self.num_nodes))
@@ -284,6 +466,13 @@ class ClusterSpec:
         if self.faults is not None:
             # eager membership validation: a bad schedule fails here
             self.faults.build(self.num_nodes)
+        if isinstance(self.topology, dict):
+            _set(self, "topology", TopologySpec.from_dict(self.topology))
+        if self.topology is not None:
+            # eager validation: a rack list shorter than the cluster
+            # (or any bad link parameter) fails here, not mid-sweep
+            self.topology.build(self.num_nodes, self.latency,
+                                self.bandwidth)
 
     # -- builders (data -> runtime objects) -------------------------------
     def build_faults(self):
@@ -311,7 +500,16 @@ class ClusterSpec:
         return traces
 
     def build_network(self):
-        """A fresh :class:`Network` (egress state must not leak)."""
+        """A fresh network model (egress/link state must not leak).
+
+        The legacy flat :class:`Network` when no topology is declared;
+        otherwise the :class:`repro.amt.topology.Topology` this spec's
+        :class:`TopologySpec` describes, with the cluster's
+        ``latency``/``bandwidth`` as the NIC-tier defaults.
+        """
+        if self.topology is not None:
+            return self.topology.build(self.num_nodes, self.latency,
+                                       self.bandwidth)
         from ..amt.cluster import Network
         kwargs = {}
         if self.latency is not None:
@@ -332,6 +530,8 @@ class ClusterSpec:
             "bandwidth": self.bandwidth,
             "spawn_overhead": self.spawn_overhead,
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "topology": (None if self.topology is None
+                         else self.topology.to_dict()),
         }
 
     @classmethod
@@ -346,6 +546,8 @@ class ClusterSpec:
             d["drift"] = DriftSpec.from_dict(d["drift"])
         if d.get("faults") is not None:
             d["faults"] = FaultSpec.from_dict(d["faults"])
+        if d.get("topology") is not None:
+            d["topology"] = TopologySpec.from_dict(d["topology"])
         return cls(**d)
 
 
@@ -368,20 +570,34 @@ class PartitionSpec:
         paper's Fig. 14 starting distribution.
     ``explicit``
         The literal ``parts`` tuple.
+
+    ``placement`` post-processes the part → node assignment against the
+    cluster's network topology (see :mod:`repro.partition.placement`):
+    ``"none"`` keeps the partitioner's own labels, ``"rack"`` permutes
+    part labels so strongly-adjacent parts land on nodes in the same
+    rack (ghost traffic stays off the oversubscribed uplinks), and
+    ``"scatter"`` deals parts round-robin across racks — the
+    adversarial baseline the topology ablation measures against.  On a
+    single-rack (flat) topology every placement is the identity.
     """
 
     METHODS = ("metis", "blocks", "strips", "rcb", "spectral", "single",
                "corner_imbalanced", "explicit")
+    PLACEMENTS = ("none", "rack", "scatter")
 
     method: str = "metis"
     seed: int = 0
     axis: int = 0
     parts: Optional[Tuple[int, ...]] = None
+    placement: str = "none"
 
     def __post_init__(self) -> None:
         _require(self.method in self.METHODS,
                  f"unknown partition method {self.method!r}; "
                  f"expected one of {self.METHODS}")
+        _require(self.placement in self.PLACEMENTS,
+                 f"unknown placement {self.placement!r}; "
+                 f"expected one of {self.PLACEMENTS}")
         _set(self, "seed", int(self.seed))
         _set(self, "axis", int(self.axis))
         _require(self.axis in (0, 1), f"axis must be 0 or 1, got {self.axis}")
@@ -446,7 +662,8 @@ class PartitionSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         return {"method": self.method, "seed": self.seed, "axis": self.axis,
-                "parts": None if self.parts is None else list(self.parts)}
+                "parts": None if self.parts is None else list(self.parts),
+                "placement": self.placement}
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "PartitionSpec":
@@ -615,6 +832,20 @@ class ScenarioSpec:
     def with_balancer(self, balancer: str) -> "ScenarioSpec":
         """A copy whose policy pins the named balancing strategy."""
         return self.replace(policy=replace(self.policy, balancer=balancer))
+
+    def with_topology(self, topology: Union[str, TopologySpec,
+                                            None]) -> "ScenarioSpec":
+        """A copy whose cluster uses the given network topology.
+
+        ``topology`` may be a :class:`TopologySpec`, a kind name
+        (``"flat"``, ``"switched"``, ``"hierarchical"`` — built with
+        default rack parameters), or ``None`` to restore the legacy
+        flat network.
+        """
+        if isinstance(topology, str):
+            topology = TopologySpec(kind=topology)
+        return self.replace(cluster=replace(self.cluster,
+                                            topology=topology))
 
     def to_dict(self) -> Dict[str, Any]:
         return {

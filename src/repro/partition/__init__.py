@@ -19,6 +19,8 @@ from .kway import multilevel_bisection, partition_graph, partition_sd_grid
 from .metrics import (PartitionReport, boundary_vertices, edge_cut,
                       evaluate_partition, imbalance, num_parts_used,
                       part_weights, parts_are_contiguous)
+from .placement import (apply_placement, part_affinity, rack_aware_mapping,
+                        scattered_mapping)
 from .refine import compute_gains, fm_refine_bisection
 from .spectral import fiedler_vector, spectral_bisection, spectral_partition
 
@@ -32,6 +34,8 @@ __all__ = [
     "PartitionReport", "boundary_vertices", "edge_cut",
     "evaluate_partition", "imbalance", "num_parts_used",
     "part_weights", "parts_are_contiguous",
+    "apply_placement", "part_affinity", "rack_aware_mapping",
+    "scattered_mapping",
     "compute_gains", "fm_refine_bisection",
     "fiedler_vector", "spectral_bisection", "spectral_partition",
 ]

@@ -1,14 +1,16 @@
 """Text rendering of benchmark outputs: series tables, ownership grids,
 and balancing telemetry."""
 
-from .balance import format_balance_events, format_recovery_events
+from .balance import (format_balance_events, format_bytes_by_class,
+                      format_recovery_events)
 from .ownership import (ownership_counts, render_ownership,
                         render_ownership_sequence)
 from .tables import format_series, format_table, print_series, print_table
 from .trace import TaskInterval, TraceRecorder, render_gantt
 
 __all__ = [
-    "format_balance_events", "format_recovery_events",
+    "format_balance_events", "format_bytes_by_class",
+    "format_recovery_events",
     "ownership_counts", "render_ownership", "render_ownership_sequence",
     "format_series", "format_table", "print_series", "print_table",
     "TaskInterval", "TraceRecorder", "render_gantt",

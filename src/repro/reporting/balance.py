@@ -14,7 +14,8 @@ from typing import Any, Iterable, Union
 
 from .tables import format_table
 
-__all__ = ["format_balance_events", "format_recovery_events"]
+__all__ = ["format_balance_events", "format_bytes_by_class",
+           "format_recovery_events"]
 
 _MISSING = object()
 
@@ -53,6 +54,22 @@ def format_balance_events(events: Iterable[Union[dict, Any]],
         ["step", "strategy", "SDs moved", "migration B",
          "imb before", "imb after", "recovery"],
         rows, title=title)
+
+
+def format_bytes_by_class(bytes_by_class: dict) -> str:
+    """One line of per-route-class byte telemetry.
+
+    ``bytes_by_class`` is the :class:`repro.experiments.RunRecord`
+    field of the same name (route classes partition the traffic, so the
+    shares sum to 100%); classes are rendered heaviest-first.
+    """
+    total = sum(bytes_by_class.values())
+    if total <= 0:
+        return "bytes by class: (no network traffic)"
+    parts = [f"{cls} {nbytes:,} ({100.0 * nbytes / total:.0f}%)"
+             for cls, nbytes in sorted(bytes_by_class.items(),
+                                       key=lambda kv: (-kv[1], kv[0]))]
+    return "bytes by class: " + "   ".join(parts)
 
 
 def format_recovery_events(events: Iterable[Union[dict, Any]],

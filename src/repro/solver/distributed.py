@@ -76,6 +76,11 @@ class DistributedResult:
         self.recovery_events: List[RecoveryEvent] = []
         #: ghost bytes sent over the run
         self.ghost_bytes: int = 0
+        #: bytes per network route class (``remote`` on the flat model;
+        #: ``intra_rack`` / ``inter_rack`` / ``wan`` on the topology
+        #: models — see :mod:`repro.amt.topology`); classes partition
+        #: the traffic, so the values sum to the network's total
+        self.bytes_by_class: Dict[str, int] = {}
         #: per-node busy time accumulated over the whole run
         self.busy_total: Optional[np.ndarray] = None
 
@@ -110,6 +115,11 @@ class DistributedSolver:
     cores_per_node, speeds, network:
         Simulated-cluster configuration (see :class:`repro.amt.cluster
         .SimCluster`); ``speeds`` in DP-update-flops per virtual second.
+        ``network`` may be the legacy flat :class:`repro.amt.cluster
+        .Network` or any :class:`repro.amt.topology.Topology` (rack
+        hierarchies, oversubscribed uplinks, WAN joiners); ghost,
+        migration, and recovery transfers are all routed through it.
+        Its link state is reset at the start of every :meth:`run`.
     source, dt:
         As in the serial solver.
     work_factors:
@@ -285,6 +295,11 @@ class DistributedSolver:
         else:
             self._u_old = self._u_new = None
 
+        # per-run network state: a reused network (or topology) object
+        # must not carry the previous run's egress/link backlog or byte
+        # counters into this run's schedule
+        self.cluster.network.reset()
+
         result = DistributedResult()
         if exact is not None:
             if not self.compute_numerics:
@@ -336,10 +351,21 @@ class DistributedSolver:
         self._done = True
 
         result.makespan = self.cluster.now
-        result.ghost_bytes = (self.cluster.network.bytes_sent
-                              - result.migration_bytes
-                              - sum(e.recovery_bytes
-                                    for e in result.recovery_events))
+        ghost_bytes = (self.cluster.network.bytes_sent
+                       - result.migration_bytes
+                       - sum(e.recovery_bytes
+                             for e in result.recovery_events))
+        if ghost_bytes < 0:
+            # mis-attributed migration/recovery bytes must fail loudly
+            # instead of producing negative telemetry downstream
+            raise RuntimeError(
+                f"ghost byte accounting went negative ({ghost_bytes}): "
+                f"network sent {self.cluster.network.bytes_sent} but "
+                f"{result.migration_bytes} migration + "
+                f"{sum(e.recovery_bytes for e in result.recovery_events)} "
+                f"recovery bytes were attributed")
+        result.ghost_bytes = ghost_bytes
+        result.bytes_by_class = dict(self.cluster.network.bytes_by_class)
         result.busy_total = np.array(
             [node.counter.total() for node in self.cluster.nodes])
         if self.compute_numerics:

@@ -70,3 +70,12 @@ class TestExamples:
         # the gap between never and adaptive is the example's point
         gain = float(out.split("churn gain: ")[1].split("x")[0])
         assert gain > 1.15
+
+    def test_rack_placement(self, capsys):
+        out = run_example("rack_placement.py", capsys)
+        assert "Placement ablation" in out
+        assert "bytes by class" in out
+        assert "OK: same traffic, different links" in out
+        gain = float(out.split("beats scattered placement ")[1]
+                     .split("x")[0])
+        assert gain >= 1.10  # the topology ablation's acceptance bar

@@ -146,6 +146,47 @@ class TestRunCommand:
         assert "SDs moved" in out
         assert "imb before" in out  # the balance-events telemetry table
 
+    def test_run_with_topology_override(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        # 16 nodes span 4 racks of the default rack_size=4
+        rc = main(["run", "--scenario", "fig13_metis_scaling",
+                   "--steps", "1", "--topology", "switched",
+                   "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bytes by class" in out
+        (rec,) = read_records(str(path))
+        assert rec.spec["cluster"]["topology"]["kind"] == "switched"
+        assert set(rec.bytes_by_class) <= {"intra_rack", "inter_rack"}
+        assert sum(rec.bytes_by_class.values()) == rec.ghost_bytes
+
+    def test_run_topology_scenarios_by_name(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--scenario", "rack_locality", "--steps", "1",
+                   "--json", str(path)])
+        assert rc == 0
+        assert "bytes by class" in capsys.readouterr().out
+        (rec,) = read_records(str(path))
+        assert rec.spec["partition"]["placement"] == "rack"
+
+    def test_run_rejects_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "quickstart", "--topology", "torus"])
+
+    def test_flat_topology_keeps_single_class_output_quiet(self, capsys):
+        rc = main(["run", "--scenario", "fig11_strong_distributed",
+                   "--steps", "1", "--topology", "flat"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # one route class: no bytes-by-class line for the flat model
+        assert "bytes by class" not in out
+
+    def test_scale_accepts_topology(self, capsys):
+        rc = main(["scale", "--mesh", "64", "--sds", "4", "--max-nodes", "2",
+                   "--steps", "1", "--topology", "switched"])
+        assert rc == 0
+        assert "Strong scaling" in capsys.readouterr().out
+
     FAULTS_JSON = ('{"events": [{"kind": "fail", "time": 1.5e-5, '
                    '"node": 2}], "recovery_penalty": 0.5}')
 
