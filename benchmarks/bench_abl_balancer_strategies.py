@@ -29,6 +29,8 @@ from repro.experiments import (SCHEMA, PolicySpec, balancer_sweep, build,
                                run_scenario, write_json)
 from repro.reporting.tables import format_table
 
+from harness import peak_rss_bytes
+
 STEPS = 16
 
 #: adaptive-vs-never acceptance floor (1.1 = the ISSUE-3 10% bar)
@@ -49,6 +51,7 @@ def _row(label, rec, never_makespan):
         "balance_events": len(rec.balance_events),
         "final_imbalance": (rec.imbalance_history[-1]
                             if rec.imbalance_history else 1.0),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

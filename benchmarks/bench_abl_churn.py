@@ -30,6 +30,8 @@ from repro.core.strategies import strategy_names
 from repro.experiments import SCHEMA, build, run_scenario, write_json
 from repro.reporting.tables import format_table
 
+from harness import peak_rss_bytes
+
 STEPS = 16
 
 #: adaptive-vs-never acceptance floor under churn (1.15 = the 15% bar)
@@ -52,6 +54,7 @@ def _row(label, rec, never_makespan):
         "balance_events": len(rec.balance_events),
         "final_imbalance": (rec.imbalance_history[-1]
                             if rec.imbalance_history else 1.0),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

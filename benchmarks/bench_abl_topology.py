@@ -38,6 +38,8 @@ from functools import lru_cache
 from repro.experiments import SCHEMA, build, run_scenario, write_json
 from repro.reporting.tables import format_table
 
+from harness import peak_rss_bytes
+
 STEPS = 5
 SEED = 0
 
@@ -58,6 +60,7 @@ def _row(rec):
         "bytes_by_class": rec.bytes_by_class,
         "inter_rack_bytes": rec.bytes_by_class.get("inter_rack", 0),
         "intra_rack_bytes": rec.bytes_by_class.get("intra_rack", 0),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

@@ -33,6 +33,8 @@ from repro.solver.backends import backend_names
 from repro.solver.kernel import NonlocalOperator
 from repro.solver.model import NonlocalHeatModel
 
+from harness import peak_rss_bytes
+
 #: the acceptance configuration: the paper's horizon on a 256^2 mesh
 NX = 256
 EPS_FACTOR = 8.0
@@ -87,6 +89,7 @@ def measure(backend: str):
         "block_apply_seconds": block_s,
         "block_reps": block_reps,
         "block_dp_per_second": BLOCK * BLOCK / block_s,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

@@ -22,6 +22,8 @@ and machine-independent.
 from __future__ import annotations
 
 import os
+import resource
+import sys
 from functools import lru_cache
 from typing import Dict, List, Sequence
 
@@ -30,9 +32,25 @@ from repro.experiments import (EPS_FACTOR, NUM_STEPS, SPAWN_OVERHEAD, build,
 from repro.experiments.registry import CORE_SPEED
 
 __all__ = ["EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",
-           "shared_spec", "distributed_spec", "run_shared_memory",
-           "run_distributed", "sweep", "shared_memory_speedups",
-           "distributed_speedups", "weak_scaling_speedups"]
+           "peak_rss_bytes", "shared_spec", "distributed_spec",
+           "run_shared_memory", "run_distributed", "sweep",
+           "shared_memory_speedups", "distributed_speedups",
+           "weak_scaling_speedups"]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process so far, in bytes.
+
+    The benchmarks record this next to their timing rows so the
+    committed ``BENCH_*.json`` files track memory alongside speed.
+    ``ru_maxrss`` is a process-wide high-water mark (KiB on Linux,
+    bytes on macOS), so per-row values are monotone within one run;
+    isolate configurations in subprocesses for true per-config peaks.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
 
 
 def shared_spec(mesh: int, sd_per_axis: int, cpus: int,

@@ -18,8 +18,9 @@ from .channel import Channel, ChannelError, ChannelTable
 from .counters import BUSY_TIME, BusyTimeCounter, Counter, CounterRegistry
 from .des import Event, SimulationError, Simulator
 from .executor import TaskExecutor
-from .future import (Future, FutureError, Promise, dataflow,
-                     make_exceptional_future, make_ready_future, when_all)
+from .future import (Future, FutureError, LocalFuture, Promise, dataflow,
+                     local_when_all, make_exceptional_future,
+                     make_ready_future, when_all)
 from .cluster import (ConstantSpeed, Network, PiecewiseSpeed, RampSpeed,
                       SimCluster,
                       SimNode, SimTask, SpeedTrace, StraggleSpeed)
@@ -34,8 +35,9 @@ __all__ = [
     "BUSY_TIME", "BusyTimeCounter", "Counter", "CounterRegistry",
     "Event", "SimulationError", "Simulator",
     "TaskExecutor",
-    "Future", "FutureError", "Promise", "dataflow",
-    "make_exceptional_future", "make_ready_future", "when_all",
+    "Future", "FutureError", "LocalFuture", "Promise", "dataflow",
+    "local_when_all", "make_exceptional_future", "make_ready_future",
+    "when_all",
     "ConstantSpeed", "Network", "PiecewiseSpeed", "RampSpeed", "SimCluster",
     "SimNode", "SimTask", "SpeedTrace", "StraggleSpeed",
     "ChurnEvent", "FaultSchedule", "RecoveryEvent",

@@ -20,7 +20,7 @@ error, which catches double-send bugs in exchange code.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from .agas import AddressSpace
 from .future import Future
@@ -38,15 +38,25 @@ class Channel:
     Thread-safe; usable both from the real executor and the DES runtime.
     Generations are independent: out-of-order set/get across generations
     is fine, matching HPX's channel semantics.
+
+    ``future_factory`` chooses the future type handed out by
+    :meth:`get` — single-threaded DES users can pass
+    :class:`repro.amt.future.LocalFuture` to skip per-future lock
+    allocation on the exchange hot path.
     """
 
-    def __init__(self, name: str = "") -> None:
+    __slots__ = ("name", "_lock", "_values", "_futures", "_consumed",
+                 "_set_gens", "_future_factory")
+
+    def __init__(self, name: str = "",
+                 future_factory: Callable[[], Future] = Future) -> None:
         self.name = name
         self._lock = threading.Lock()
         self._values: Dict[int, Any] = {}
         self._futures: Dict[int, Future] = {}
         self._consumed: set = set()
         self._set_gens: set = set()
+        self._future_factory = future_factory
 
     def set(self, generation: int, value: Any = None) -> None:
         """Publish ``value`` for ``generation`` (exactly once)."""
@@ -70,12 +80,11 @@ class Channel:
             self._consumed.add(generation)
             if generation in self._values:
                 value = self._values.pop(generation)
-                ready = True
             else:
-                fut = Future()
+                fut = self._future_factory()
                 self._futures[generation] = fut
                 return fut
-        out = Future()
+        out = self._future_factory()
         out._set_value(value)
         return out
 
@@ -99,12 +108,17 @@ class ChannelTable:
 
     PREFIX = "/channels"
 
+    __slots__ = ("agas", "namespace", "_lock", "_channels",
+                 "_future_factory")
+
     def __init__(self, agas: Optional[AddressSpace] = None,
-                 namespace: str = "ghost") -> None:
+                 namespace: str = "ghost",
+                 future_factory: Callable[[], Future] = Future) -> None:
         self.agas = agas
         self.namespace = namespace
         self._lock = threading.Lock()
         self._channels: Dict[Hashable, Channel] = {}
+        self._future_factory = future_factory
 
     def channel(self, key: Hashable) -> Channel:
         """The channel for ``key``, created (and registered) on demand."""
@@ -112,7 +126,7 @@ class ChannelTable:
             ch = self._channels.get(key)
             if ch is None:
                 name = f"{self.PREFIX}/{self.namespace}/{key!r}"
-                ch = Channel(name)
+                ch = Channel(name, future_factory=self._future_factory)
                 self._channels[key] = ch
                 if self.agas is not None:
                     self.agas.register(name, ch)

@@ -22,13 +22,18 @@ which is exactly what the load balancer polls.
 from __future__ import annotations
 
 import math
+import os
+from bisect import bisect_right
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
 
 from .agas import AddressSpace
 from .counters import BusyTimeCounter, CounterRegistry
-from .des import SimulationError, Simulator
-from .future import Future, when_all
+from .des import Event, SimulationError, Simulator
+from .future import Future, LocalFuture, local_when_all
 
 __all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "RampSpeed",
            "StraggleSpeed", "Network", "SimNode", "SimTask", "SimCluster"]
@@ -118,20 +123,21 @@ class PiecewiseSpeed(SpeedTrace):
         self._rates = [float(r) for r in rates]
 
     def rate(self, t: float) -> float:
-        for i, b in enumerate(self._bp):
-            if t < b:
-                return self._rates[i]
-        return self._rates[-1]
+        # index of the first breakpoint > t; past the last one this is
+        # len(breakpoints), i.e. rates[-1]
+        return self._rates[bisect_right(self._bp, t)]
 
     def time_to_complete(self, work: float, t0: float) -> float:
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
         remaining = float(work)
         t = float(t0)
-        # walk segments, consuming work at each segment's rate
-        for i, b in enumerate(self._bp):
-            if t >= b:
-                continue
+        bp = self._bp
+        # walk segments from the first breakpoint past t0, consuming work
+        # at each segment's rate (bisect replaces the linear skip; the
+        # arithmetic per consumed segment is unchanged)
+        for i in range(bisect_right(bp, t), len(bp)):
+            b = bp[i]
             seg_rate = self._rates[i]
             seg_capacity = (b - t) * seg_rate
             if remaining <= seg_capacity:
@@ -145,9 +151,9 @@ class PiecewiseSpeed(SpeedTrace):
             raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
         done = 0.0
         t = float(t0)
-        for i, b in enumerate(self._bp):
-            if t >= b:
-                continue
+        bp = self._bp
+        for i in range(bisect_right(bp, t), len(bp)):
+            b = bp[i]
             if t1 <= b:
                 return done + (t1 - t) * self._rates[i]
             done += (b - t) * self._rates[i]
@@ -271,24 +277,25 @@ class StraggleSpeed(SpeedTrace):
             if a2 < b1:
                 raise ValueError("straggle windows must not overlap")
         self.windows = wins
+        self._starts = [a for a, _, _ in wins]
+        # non-overlap gives a1 < b1 <= a2 < b2 < ..., so the interleaved
+        # edge list is already sorted (b_i == a_{i+1} duplicates kept)
+        self._edges: List[float] = []
+        for a, b, _ in wins:
+            self._edges.append(a)
+            self._edges.append(b)
 
     def _factor_at(self, t: float) -> float:
-        for a, b, f in self.windows:
-            if a <= t < b:
-                return f
+        i = bisect_right(self._starts, t) - 1
+        if i >= 0 and t < self.windows[i][1]:
+            return self.windows[i][2]
         return 1.0
 
     def rate(self, t: float) -> float:
         return self.base.rate(t) * self._factor_at(t)
 
     def _boundaries_after(self, t: float) -> List[float]:
-        out = []
-        for a, b, _ in self.windows:
-            if a > t:
-                out.append(a)
-            if b > t:
-                out.append(b)
-        return sorted(out)
+        return self._edges[bisect_right(self._edges, t):]
 
     def work_until(self, t0: float, t1: float) -> float:
         if t1 < t0:
@@ -431,9 +438,41 @@ class SimTask:
         self.node_id = node_id
         self.work = float(work)
         self.action = action
-        self.future: Future = Future()
+        # single-threaded DES: the lock-free future variant
+        self.future: Future = LocalFuture()
         self.label = label
         self.tag = tag
+
+
+class _Wave:
+    """A batch of queued tasks completed by one DES event.
+
+    When a single-core node with a :class:`ConstantSpeed` trace holds a
+    run of queued action-free tasks, their completion times are a pure
+    prefix sum ``t_i = t_{i-1} + work_i/rate`` — no event between them
+    can change the node's schedule.  The cluster therefore pops the whole
+    run, computes the times vectorized (``np.add.accumulate`` performs
+    the identical left-to-right float64 additions, so the times are
+    bit-identical to the per-event loop) and schedules *one* event at the
+    wave's end instead of ``k`` events.  Busy time is accounted per task
+    with the same telescoping deltas the per-event path produces.
+
+    Deviations from the per-event path are limited to bookkeeping that is
+    invisible to the solver: intermediate task futures resolve (in task
+    order) at the wave's end rather than at each ``t_i``, and event
+    sequence numbers differ.  A failure or a ``run(until=...)`` boundary
+    unwinds the wave back into exact per-task state (see
+    ``SimCluster._flush_wave`` / ``_materialize_waves``).
+    """
+
+    __slots__ = ("tasks", "times", "start", "event")
+
+    def __init__(self, tasks: List[SimTask], times: List[float],
+                 start: float, event: Event) -> None:
+        self.tasks = tasks
+        self.times = times
+        self.start = start
+        self.event = event
 
 
 class SimNode:
@@ -463,6 +502,9 @@ class SimNode:
         #: Event), so a failure can truncate busy time and cancel the
         #: scheduled completions deterministically
         self.running: Dict[SimTask, tuple] = {}
+        #: in-flight batched task wave (single-core ConstantSpeed fast
+        #: path), or ``None``
+        self.wave: Optional[_Wave] = None
 
     def busy_time(self) -> float:
         """Window busy core-seconds (since last counter reset)."""
@@ -487,10 +529,17 @@ class SimCluster:
     def __init__(self, num_nodes: int, cores_per_node: int = 1,
                  speeds: Optional[Sequence[SpeedTrace]] = None,
                  network: Optional[Network] = None,
-                 agas: Optional[AddressSpace] = None) -> None:
+                 agas: Optional[AddressSpace] = None,
+                 wave_batching: Optional[bool] = None) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.sim = Simulator()
+        if wave_batching is None:
+            wave_batching = os.environ.get("REPRO_DES_WAVE", "1") != "0"
+        #: batch homogeneous task waves into one event (see :class:`_Wave`);
+        #: mutable so callers (e.g. the fault-injecting solver) can turn
+        #: the fast path off and fall back to strict per-event semantics
+        self.wave_batching = bool(wave_batching)
         self.agas = agas if agas is not None else AddressSpace()
         self.counters = CounterRegistry(self.agas)
         self.network = network if network is not None else Network()
@@ -537,7 +586,8 @@ class SimCluster:
         if not deps:
             self._enqueue(node, task)
         else:
-            when_all(list(deps))._add_callback(lambda _f: self._enqueue(node, task))
+            local_when_all(list(deps))._add_callback(
+                lambda _f: self._enqueue(node, task))
         return task.future
 
     def resubmit(self, task: SimTask, node_id: int,
@@ -560,7 +610,7 @@ class SimCluster:
         if not deps:
             self._enqueue(node, task)
         else:
-            when_all(list(deps))._add_callback(
+            local_when_all(list(deps))._add_callback(
                 lambda _f: self._enqueue(node, task))
 
     def timer(self, delay: float, payload: Any = None) -> Future:
@@ -571,12 +621,12 @@ class SimCluster:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        fut = Future()
+        fut = LocalFuture()
         if delay == 0:
             fut._set_value(payload)
         else:
             self.sim.schedule_after(delay, lambda: fut._set_value(payload),
-                                    priority=0)
+                                    priority=0, klass="timer")
         return fut
 
     def send(self, src: int, dst: int, nbytes: int, payload: Any = None) -> Future:
@@ -586,14 +636,52 @@ class SimCluster:
         if src != dst:
             self._net_counters[src][0].add(nbytes)
             self._net_counters[dst][1].add(nbytes)
-        fut = Future()
+        fut = LocalFuture()
         arrival = self.network.plan_send(src, dst, nbytes, self.sim.now)
         if arrival <= self.sim.now:
             fut._set_value(payload)
         else:
             # priority 0: deliveries fire before same-time task completions
-            self.sim.schedule(arrival, lambda: fut._set_value(payload), priority=0)
+            self.sim.schedule(arrival, lambda: fut._set_value(payload),
+                              priority=0, klass="delivery")
         return fut
+
+    def send_many(self, messages: Sequence[Tuple[int, int, int]]) -> List[Future]:
+        """Issue ``(src, dst, nbytes)`` sends back-to-back; one future each.
+
+        Semantically ``[self.send(src, dst, nbytes) for ...]`` — same
+        network planning, same counters, same delivery events in the
+        same order — with the per-message attribute lookups and
+        validation hoisted out of the loop.  This is the replay hot
+        path for compiled step plans: a 512-node ghost exchange issues
+        tens of thousands of messages per step at one virtual instant.
+        """
+        sim = self.sim
+        now = sim.now
+        schedule = sim.schedule
+        plan_send = self.network.plan_send
+        net_counters = self._net_counters
+        num_nodes = len(self.nodes)
+        futures: List[Future] = []
+        append = futures.append
+        for src, dst, nbytes in messages:
+            if src >= num_nodes or dst >= num_nodes or src < 0 or dst < 0:
+                raise SimulationError(f"unknown node in send {src}->{dst}")
+            if src != dst:
+                tx, rx = net_counters[src][0], net_counters[dst][1]
+                tx._window += nbytes
+                tx._lifetime += nbytes
+                rx._window += nbytes
+                rx._lifetime += nbytes
+            fut = LocalFuture()
+            arrival = plan_send(src, dst, nbytes, now)
+            if arrival <= now:
+                fut._set_value(None)
+            else:
+                schedule(arrival, fut._resolve_none, priority=0,
+                         klass="delivery")
+            append(fut)
+        return futures
 
     # -- membership (elastic cluster, DESIGN.md substitution 4) ------------
     def add_node(self, cores: int = 1,
@@ -634,6 +722,8 @@ class SimCluster:
                 f"cannot fail node {node_id}: it is the last alive node")
         node.alive = False
         orphans: List[SimTask] = []
+        if node.wave is not None:
+            orphans.extend(self._flush_wave(node))
         for task, (token, event) in node.running.items():
             event.cancel()
             node.counter.end_work(self.sim.now, token)
@@ -659,7 +749,10 @@ class SimCluster:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         """Drain the event queue; return final virtual time."""
-        return self.sim.run(until=until, max_events=max_events)
+        result = self.sim.run(until=until, max_events=max_events)
+        if until is not None:
+            self._materialize_waves()
+        return result
 
     @property
     def now(self) -> float:
@@ -719,6 +812,17 @@ class SimCluster:
         self._dispatch(node)
 
     def _dispatch(self, node: SimNode) -> None:
+        if (self.wave_batching and node.alive and node.cores == 1
+                and node.free_cores == 1 and len(node.ready) >= 2
+                and type(node.trace) is ConstantSpeed):
+            # wave fast path: batch the leading run of action-free tasks
+            k = 0
+            for task in node.ready:
+                if task.action is not None or task.work < 0.0:
+                    break
+                k += 1
+            if k >= 2:
+                self._start_wave(node, k)
         while node.alive and node.free_cores > 0 and node.ready:
             task = node.ready.popleft()
             node.free_cores -= 1
@@ -729,8 +833,130 @@ class SimCluster:
             event = self.sim.schedule(
                 start + duration,
                 lambda t=task, n=node: self._complete(n, t),
-                priority=1)
+                priority=1, klass="completion")
             node.running[task] = (token, event)
+
+    def _start_wave(self, node: SimNode, k: int) -> None:
+        ready = node.ready
+        tasks = [ready.popleft() for _ in range(k)]
+        start = self.sim.now
+        rate = node.trace._rate
+        if k < 32:
+            # numpy setup costs more than it saves on short waves; the
+            # loop performs the identical fl(t + work/rate) additions
+            times: List[float] = []
+            t = start
+            for task in tasks:
+                t = t + task.work / rate
+                times.append(t)
+        else:
+            acc = np.empty(k + 1, dtype=np.float64)
+            acc[0] = start
+            works = np.fromiter((task.work for task in tasks),
+                                dtype=np.float64, count=k)
+            np.divide(works, rate, out=acc[1:])
+            # ufunc accumulate adds strictly left to right: bit-identical
+            # to the sequential t_i = fl(t_{i-1} + fl(work_i/rate)) chain
+            times = np.add.accumulate(acc)[1:].tolist()
+        node.free_cores -= 1
+        event = self.sim.schedule(
+            times[-1], lambda n=node: self._complete_wave(n),
+            priority=1, klass="wave")
+        node.wave = _Wave(tasks, times, start, event)
+
+    def _complete_wave(self, node: SimNode) -> None:
+        wave = node.wave
+        node.wave = None
+        counter = node.counter
+        prev = wave.start
+        # same telescoping busy deltas the per-event path accumulates
+        for t in wave.times:
+            counter.add(t - prev)
+            prev = t
+        node.tasks_completed += len(wave.tasks)
+        for task in wave.tasks:
+            node.work_completed += task.work
+        node.free_cores += 1
+        for task in wave.tasks:
+            task.future._set_value(None)
+        self._dispatch(node)
+
+    def _flush_wave(self, node: SimNode) -> List[SimTask]:
+        """Unwind an in-flight wave at a failure instant.
+
+        Tasks whose completion time already passed are retroactively
+        completed (their per-event completions would have fired before
+        the failure event: completions carry priority 1, faults -1).
+        The in-flight task's busy interval is truncated at ``now``; it
+        and the not-yet-started tail become orphans, in queue order —
+        exactly the per-event failure semantics.
+        """
+        wave = node.wave
+        node.wave = None
+        wave.event.cancel()
+        now = self.sim.now
+        counter = node.counter
+        prev = wave.start
+        orphans: List[SimTask] = []
+        in_flight = True
+        for task, t in zip(wave.tasks, wave.times):
+            if not orphans and t < now:
+                counter.add(t - prev)
+                prev = t
+                node.tasks_completed += 1
+                node.work_completed += task.work
+                task.future._set_value(None)
+            else:
+                if in_flight:
+                    # the task occupying the core: truncate like end_work
+                    counter.add(now - prev)
+                    in_flight = False
+                orphans.append(task)
+        return orphans
+
+    def _materialize_waves(self) -> None:
+        """Convert interrupted waves back into per-task state.
+
+        Called after ``run(until=...)`` returns mid-wave: completes the
+        tasks whose times are ``<= now`` (their events would have fired),
+        reconstructs the in-flight task as a normal ``running`` entry
+        with its own completion event, and puts the untouched tail back
+        at the front of the ready queue.  The cluster state then matches
+        the per-event path at the same boundary.
+        """
+        now = self.sim.now
+        for node in self.nodes:
+            wave = node.wave
+            if wave is None:
+                continue
+            node.wave = None
+            wave.event.cancel()
+            counter = node.counter
+            prev = wave.start
+            idx = 0
+            for task, t in zip(wave.tasks, wave.times):
+                if t <= now:
+                    counter.add(t - prev)
+                    prev = t
+                    node.tasks_completed += 1
+                    node.work_completed += task.work
+                    task.future._set_value(None)
+                    idx += 1
+                else:
+                    break
+            if idx < len(wave.tasks):
+                task = wave.tasks[idx]
+                token = counter.begin_work(prev)
+                event = self.sim.schedule(
+                    wave.times[idx],
+                    lambda t=task, n=node: self._complete(n, t),
+                    priority=1, klass="completion")
+                node.running[task] = (token, event)
+                for rest in reversed(wave.tasks[idx + 1:]):
+                    node.ready.appendleft(rest)
+            else:  # pragma: no cover - wave event fires at times[-1]
+                node.free_cores += 1
+                self._dispatch(node)
 
     def _complete(self, node: SimNode, task: SimTask) -> None:
         token, _event = node.running.pop(task)

@@ -111,20 +111,30 @@ class CounterRegistry:
 
     def __init__(self, agas: Optional[AddressSpace] = None) -> None:
         self.agas = agas if agas is not None else AddressSpace()
+        # incremental kind index: the balancer resets all counters every
+        # step (Algorithm 1 line 35), and an AGAS prefix scan with a
+        # name split per counter is O(total counters x name length) per
+        # poll — noticeable at 512+ nodes.  Counters created through the
+        # registry are indexed here at creation instead.
+        self._by_kind: Dict[str, List[Counter]] = {}
 
     def _name(self, locality: str, kind: str) -> str:
         return f"{self.PREFIX}/{locality}/{kind}"
 
+    def _register(self, counter: Counter, kind: str) -> None:
+        self.agas.register(counter.name, counter)  # raises on duplicates
+        self._by_kind.setdefault(kind, []).append(counter)
+
     def create_busy_time(self, locality: str) -> BusyTimeCounter:
         """Create and register the busy-time counter for ``locality``."""
         counter = BusyTimeCounter(self._name(locality, BUSY_TIME))
-        self.agas.register(counter.name, counter)
+        self._register(counter, BUSY_TIME)
         return counter
 
     def create(self, locality: str, kind: str) -> Counter:
         """Create and register a generic counter."""
         counter = Counter(self._name(locality, kind))
-        self.agas.register(counter.name, counter)
+        self._register(counter, kind)
         return counter
 
     def get(self, locality: str, kind: str) -> Counter:
@@ -136,20 +146,24 @@ class CounterRegistry:
         return self.get(locality, BUSY_TIME).value()
 
     def all_of_kind(self, kind: str) -> List[Counter]:
-        """All registered counters whose kind matches ``kind``, sorted by name."""
-        return [obj for name, obj in self.agas.query(self.PREFIX)
-                if name.rsplit("/", 1)[-1] == kind]
+        """All registry-created counters of ``kind``, sorted by name."""
+        return sorted(self._by_kind.get(kind, []), key=lambda c: c.name)
 
     def reset_all(self, kind: Optional[str] = None) -> int:
         """Reset every counter (optionally only of ``kind``); return count.
 
         This is Algorithm 1 line 35:
-        ``reset_all(hpx::performance_counters::busy_time)``.
+        ``reset_all(hpx::performance_counters::busy_time)``.  Uses the
+        incremental kind index rather than an AGAS prefix scan, so the
+        per-step reset is O(counters of the kind) with no name parsing.
         """
         count = 0
-        for name, obj in self.agas.query(self.PREFIX):
-            if kind is not None and name.rsplit("/", 1)[-1] != kind:
-                continue
-            obj.reset()
-            count += 1
+        if kind is not None:
+            kinds = (kind,)
+        else:
+            kinds = tuple(self._by_kind)
+        for k in kinds:
+            for counter in self._by_kind.get(k, ()):
+                counter.reset()
+                count += 1
         return count

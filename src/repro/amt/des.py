@@ -10,21 +10,62 @@ The simulator is a classic event-queue design:
 
 * :class:`Event` — (time, priority, seq, action) tuples ordered by time;
   ``seq`` breaks ties deterministically in insertion order.
-* :class:`Simulator` — owns the event heap and the virtual clock.  Actions
+* :class:`Simulator` — owns the event queue and the virtual clock.  Actions
   are plain callables that may schedule further events.
 
 Determinism is a design requirement (tests assert bit-identical virtual
 schedules across runs), hence the explicit tie-breaking and the absence of
 any wall-clock coupling.
+
+Two queue backends sit behind the same API (see DESIGN.md, "DES fast
+path"):
+
+* ``heap`` — a single binary heap of ``(time, priority, seq, event)``
+  tuples.  Tuple keys keep comparisons in C; ``seq`` is unique so the
+  event object itself is never compared.
+* ``bucket`` — a calendar queue: events are hashed by ``floor(time/width)``
+  into per-bucket heaps and buckets are drained in index order.  Bucket
+  indices are monotone in time and equal-time ties share a bucket, so the
+  pop order is *identical* to the heap backend (a hypothesis suite pins
+  this).
+
+Selection: ``Simulator(queue=...)`` or ``REPRO_DES_QUEUE`` (``heap``,
+``bucket``, or the default ``auto`` which starts on the heap and promotes
+to the calendar queue once the queue grows past a few thousand live
+events).  Both backends compact lazily: cancelled events are dropped in
+bulk once they outnumber live ones instead of lingering forever.
+
+Opt-in profiling (``REPRO_DES_PROFILE=1`` or ``Simulator(profile=True)``)
+accumulates per-event-class wall-time counters; schedulers tag events via
+``schedule(..., klass="delivery")``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+import os
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "requested_queue"]
+
+_QUEUE_KINDS = ("heap", "bucket", "auto")
+
+
+def requested_queue() -> str:
+    """The validated ``REPRO_DES_QUEUE`` selection.
+
+    Raises :class:`ValueError` on a typo so the CLI can fail fast with
+    a one-line error instead of a traceback mid-run (mirrors
+    ``requested_backend`` / ``requested_strategy``).
+    """
+    queue = os.environ.get("REPRO_DES_QUEUE", "auto")
+    if queue not in _QUEUE_KINDS:
+        raise ValueError(
+            f"REPRO_DES_QUEUE={queue!r} is not a DES queue backend "
+            f"(choose from {', '.join(_QUEUE_KINDS)})")
+    return queue
 
 
 class SimulationError(RuntimeError):
@@ -44,22 +85,33 @@ class Event:
         *completions* at identical timestamps, which keeps ghost data
         visibly arriving before dependent tasks are reconsidered.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events stay queued but are skipped when popped.
+    klass:
+        Optional profiling label (e.g. ``"delivery"``); only consulted
+        when the simulator runs with profiling enabled.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "cancelled")
+    __slots__ = ("time", "priority", "seq", "action", "cancelled", "klass",
+                 "_queue")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 action: Callable[[], None]) -> None:
+                 action: Callable[[], None],
+                 klass: Optional[str] = None) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.action = action
         self.cancelled = False
+        self.klass = klass
+        self._queue: Optional[Any] = None
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue.note_cancel()
 
     def _key(self) -> Tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
@@ -72,6 +124,234 @@ class Event:
         return f"<Event t={self.time:.6g} prio={self.priority}{flag}>"
 
 
+#: Queue entries are plain tuples so ordering stays in C.  ``seq`` is
+#: unique, so the trailing :class:`Event` is never compared.
+_Entry = Tuple[float, int, int, Event]
+
+#: Lazy compaction threshold: compact once cancelled entries both exceed
+#: this count and outnumber live ones.
+_COMPACT_MIN = 512
+
+#: ``auto`` promotes heap -> bucket once this many events are live.
+_AUTO_PROMOTE = 4096
+
+#: The calendar queue stages events in a plain heap until it has seen this
+#: many, then picks a bucket width from the observed time span.
+_SIZING_COUNT = 64
+
+
+class _HeapQueue:
+    """Seed-style binary heap, with tuple keys and lazy compaction."""
+
+    kind = "heap"
+
+    __slots__ = ("_heap", "live", "_cancelled")
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self.live = 0
+        self._cancelled = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: _Entry) -> None:
+        entry[3]._queue = self
+        heapq.heappush(self._heap, entry)
+        self.live += 1
+
+    def note_cancel(self) -> None:
+        self.live -= 1
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN and self._cancelled > self.live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries in bulk and re-heapify."""
+        self._heap = [e for e in self._heap if not e[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def peek(self) -> Optional[_Entry]:
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            else:
+                return entry
+        return None
+
+    def pop_front(self) -> _Entry:
+        """Pop the entry just returned by :meth:`peek`."""
+        entry = heapq.heappop(self._heap)
+        entry[3]._queue = None
+        self.live -= 1
+        return entry
+
+    def drain_live(self) -> List[_Entry]:
+        """Remove and return all live entries (used for backend migration)."""
+        out = [e for e in self._heap if not e[3].cancelled]
+        self._heap = []
+        self._cancelled = 0
+        self.live = 0
+        return out
+
+
+class _BucketQueue:
+    """Calendar queue: per-bucket heaps drained in bucket-index order.
+
+    Bucket index is ``floor(time / width)``; the index is monotone in
+    time and equal times share a bucket, so draining buckets in order and
+    each bucket by the full ``(time, priority, seq)`` key reproduces the
+    heap's pop order bit for bit.  The width adapts: events stage in a
+    plain heap until ``_SIZING_COUNT`` arrive, then the observed span
+    picks a width; the table is rebuilt (and re-sized) when the
+    population quadruples.
+    """
+
+    kind = "bucket"
+
+    __slots__ = ("_width", "_inv_width", "_buckets", "_idx_heap", "_idx_set",
+                 "_staging", "live", "_cancelled", "_size", "_resize_at")
+
+    def __init__(self) -> None:
+        self._width: Optional[float] = None
+        self._inv_width = 0.0
+        self._buckets: Dict[int, List[_Entry]] = {}
+        self._idx_heap: List[int] = []
+        self._idx_set: set = set()
+        self._staging: List[_Entry] = []
+        self.live = 0
+        self._cancelled = 0
+        self._size = 0
+        self._resize_at = 4 * _SIZING_COUNT
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, entry: _Entry) -> None:
+        entry[3]._queue = self
+        self.live += 1
+        self._size += 1
+        if self._width is None:
+            heapq.heappush(self._staging, entry)
+            if self._size >= _SIZING_COUNT:
+                self._adopt_width()
+            return
+        self._insert(entry)
+        if self._size > self._resize_at:
+            self._rebuild()
+
+    def _insert(self, entry: _Entry) -> None:
+        # Virtual time is never negative, so int() floors.
+        idx = int(entry[0] * self._inv_width)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = bucket = []
+        heapq.heappush(bucket, entry)
+        if idx not in self._idx_set:
+            self._idx_set.add(idx)
+            heapq.heappush(self._idx_heap, idx)
+
+    def _adopt_width(self) -> None:
+        entries = self._staging
+        self._staging = []
+        self._set_width(entries)
+        for entry in entries:
+            if entry[3].cancelled:
+                self._cancelled -= 1
+                self._size -= 1
+            else:
+                self._insert(entry)
+
+    def _set_width(self, entries: List[_Entry]) -> None:
+        live = [e for e in entries if not e[3].cancelled]
+        if live:
+            times = [e[0] for e in live]
+            span = max(times) - min(times)
+            # Aim for ~2 live events per bucket at sizing time.
+            width = span / max(1.0, len(live) / 2.0)
+        else:
+            width = 0.0
+        self._width = width if width > 0.0 else 1.0
+        self._inv_width = 1.0 / self._width
+
+    def _all_entries(self) -> List[_Entry]:
+        out = list(self._staging)
+        for bucket in self._buckets.values():
+            out.extend(bucket)
+        return out
+
+    def _rebuild(self, resize: bool = True) -> None:
+        entries = [e for e in self._all_entries() if not e[3].cancelled]
+        self._buckets = {}
+        self._idx_heap = []
+        self._idx_set = set()
+        self._staging = []
+        self._size = len(entries)
+        self._cancelled = 0
+        if resize:
+            self._set_width(entries)
+        for entry in entries:
+            self._insert(entry)
+        self._resize_at = max(4 * _SIZING_COUNT, 4 * self._size)
+
+    def note_cancel(self) -> None:
+        self.live -= 1
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN and self._cancelled > self.live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries in bulk (keeps the current width)."""
+        self._rebuild(resize=False)
+
+    def peek(self) -> Optional[_Entry]:
+        staging = self._staging
+        while staging:
+            entry = staging[0]
+            if entry[3].cancelled:
+                heapq.heappop(staging)
+                self._cancelled -= 1
+                self._size -= 1
+            else:
+                return entry
+        idx_heap = self._idx_heap
+        while idx_heap:
+            idx = idx_heap[0]
+            bucket = self._buckets.get(idx)
+            while bucket:
+                entry = bucket[0]
+                if entry[3].cancelled:
+                    heapq.heappop(bucket)
+                    self._cancelled -= 1
+                    self._size -= 1
+                else:
+                    return entry
+            heapq.heappop(idx_heap)
+            self._idx_set.discard(idx)
+            if bucket is not None:
+                del self._buckets[idx]
+        return None
+
+    def pop_front(self) -> _Entry:
+        """Pop the entry just returned by :meth:`peek`."""
+        if self._staging:
+            entry = heapq.heappop(self._staging)
+        else:
+            entry = heapq.heappop(self._buckets[self._idx_heap[0]])
+        entry[3]._queue = None
+        self.live -= 1
+        self._size -= 1
+        return entry
+
+
+def _make_queue(kind: str):
+    return _BucketQueue() if kind == "bucket" else _HeapQueue()
+
+
 class Simulator:
     """Deterministic event-driven virtual clock.
 
@@ -81,14 +361,38 @@ class Simulator:
         sim.schedule(1.5, lambda: print("fires at t=1.5"))
         sim.run()
         assert sim.now == 1.5
+
+    Parameters
+    ----------
+    queue:
+        Event-queue backend: ``"heap"``, ``"bucket"``, or ``"auto"``
+        (heap that promotes itself to the calendar queue at scale).
+        Defaults to ``REPRO_DES_QUEUE``, then ``"auto"``.  All backends
+        pop events in the identical ``(time, priority, seq)`` order.
+    profile:
+        Accumulate per-event-class wall-time counters in
+        :attr:`profile`.  Defaults to ``REPRO_DES_PROFILE``.
     """
 
-    def __init__(self) -> None:
-        self._heap: List[Event] = []
+    def __init__(self, queue: Optional[str] = None,
+                 profile: Optional[bool] = None) -> None:
+        if queue is None:
+            queue = os.environ.get("REPRO_DES_QUEUE", "auto")
+        if queue not in _QUEUE_KINDS:
+            raise SimulationError(
+                f"unknown DES queue backend {queue!r} "
+                "(expected 'heap', 'bucket' or 'auto')")
+        self.queue_kind = queue
+        self._auto = queue == "auto"
+        self._queue = _make_queue("heap" if queue == "auto" else queue)
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
+        if profile is None:
+            profile = os.environ.get("REPRO_DES_PROFILE", "") not in ("", "0")
+        #: ``{event class: [count, seconds]}`` when profiling, else ``None``.
+        self.profile: Optional[Dict[str, List[Any]]] = {} if profile else None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -103,40 +407,64 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, time: float, action: Callable[[], None],
-                 priority: int = 0) -> Event:
+                 priority: int = 0, klass: Optional[str] = None) -> Event:
         """Schedule ``action`` at absolute virtual ``time``.
 
         Raises :class:`SimulationError` if ``time`` is in the past: virtual
         time only moves forward, which is what makes busy-time accounting
-        consistent.
+        consistent.  ``klass`` tags the event for the opt-in profiler.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now={self._now}): time moves forward"
             )
-        ev = Event(float(time), priority, next(self._seq), action)
-        heapq.heappush(self._heap, ev)
+        ev = Event(float(time), priority, next(self._seq), action, klass)
+        self._queue.push((ev.time, ev.priority, ev.seq, ev))
+        if (self._auto and self._queue.kind == "heap"
+                and self._queue.live > _AUTO_PROMOTE):
+            self._promote()
         return ev
 
     def schedule_after(self, delay: float, action: Callable[[], None],
-                       priority: int = 0) -> Event:
+                       priority: int = 0, klass: Optional[str] = None) -> Event:
         """Schedule ``action`` ``delay`` virtual seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule(self._now + delay, action, priority)
+        return self.schedule(self._now + delay, action, priority, klass)
+
+    def _promote(self) -> None:
+        """Migrate ``auto`` mode from the heap to the calendar queue."""
+        entries = self._queue.drain_live()
+        self._queue = _BucketQueue()
+        for entry in entries:
+            self._queue.push(entry)
 
     # -- execution -----------------------------------------------------------
+    def _execute(self, ev: Event) -> None:
+        profile = self.profile
+        if profile is None:
+            ev.action()
+            return
+        t0 = perf_counter()
+        ev.action()
+        dt = perf_counter() - t0
+        cell = profile.get(ev.klass or "event")
+        if cell is None:
+            profile[ev.klass or "event"] = cell = [0, 0.0]
+        cell[0] += 1
+        cell[1] += dt
+
     def step(self) -> bool:
         """Execute the next pending event; return ``False`` if none remain."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            self._processed += 1
-            ev.action()
-            return True
-        return False
+        entry = self._queue.peek()
+        if entry is None:
+            return False
+        self._queue.pop_front()
+        ev = entry[3]
+        self._now = ev.time
+        self._processed += 1
+        self._execute(ev)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event queue; return the final virtual time.
@@ -145,35 +473,57 @@ class Simulator:
         ----------
         until:
             Stop once the clock would pass this time (the triggering event
-            is left in the queue).
+            is left in the queue; an event *exactly at* ``until`` still
+            fires).  The clock never moves backwards: ``until`` in the
+            past of ``now`` leaves the clock where it is.
         max_events:
             Safety valve against runaway schedules; raises
-            :class:`SimulationError` when exceeded.
+            :class:`SimulationError` *before* the offending event is
+            popped or counted, so the queue and ``events_processed``
+            stay consistent.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
         try:
-            while self._heap:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and ev.time > until:
-                    self._now = until
+            while True:
+                queue = self._queue  # auto mode may swap backends mid-run
+                entry = queue.peek()
+                if entry is None:
                     break
-                heapq.heappop(self._heap)
+                ev = entry[3]
+                if until is not None and ev.time > until:
+                    if until > self._now:
+                        self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                queue.pop_front()
                 self._now = ev.time
                 self._processed += 1
                 executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                ev.action()
+                self._execute(ev)
         finally:
             self._running = False
         return self._now
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._queue.live
+
+    # -- profiling ---------------------------------------------------------
+    def profile_report(self) -> str:
+        """Human-readable per-event-class timing table (profiling mode)."""
+        if self.profile is None:
+            return "DES profiling disabled (set REPRO_DES_PROFILE=1)"
+        lines = [f"{'class':<14} {'count':>10} {'seconds':>10}"]
+        total_n = 0
+        total_s = 0.0
+        for klass in sorted(self.profile):
+            count, secs = self.profile[klass]
+            total_n += count
+            total_s += secs
+            lines.append(f"{klass:<14} {count:>10} {secs:>10.4f}")
+        lines.append(f"{'total':<14} {total_n:>10} {total_s:>10.4f}")
+        return "\n".join(lines)

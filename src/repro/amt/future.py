@@ -24,10 +24,12 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 __all__ = [
     "Future",
+    "LocalFuture",
     "Promise",
     "make_ready_future",
     "make_exceptional_future",
     "when_all",
+    "local_when_all",
     "dataflow",
     "FutureError",
 ]
@@ -109,7 +111,7 @@ class Future:
         promise (or immediately if already ready), matching HPX's default
         ``launch::sync`` continuation policy for lightweight work.
         """
-        out = Future()
+        out = type(self)()
 
         def runner(done: "Future") -> None:
             try:
@@ -129,6 +131,15 @@ class Future:
                 run_now = True
         if run_now:
             cb(self)
+
+    def _resolve_none(self) -> None:
+        """``_set_value(None)`` as a bound zero-arg callback.
+
+        Simulation hot paths (message deliveries) schedule this method
+        directly as the event action instead of allocating a lambda per
+        message.
+        """
+        self._set_value(None)
 
     # -- fulfilment (used by Promise and runtimes) -------------------------
     def _set_value(self, value: Any) -> None:
@@ -152,6 +163,79 @@ class Future:
             callbacks = self._callbacks
             self._callbacks = []
             self._cond.notify_all()
+        for cb in callbacks:
+            cb(self)
+
+
+class LocalFuture(Future):
+    """Lock-free :class:`Future` for single-threaded runtimes.
+
+    The simulated cluster (:mod:`repro.amt.cluster`) resolves up to
+    millions of futures per run, all from the one thread driving the DES;
+    the per-instance ``threading.Condition`` of :class:`Future` is pure
+    allocation and locking overhead there.  Semantics are identical except
+    that ``get``/``wait`` never block: a pending ``LocalFuture`` raises
+    :class:`FutureError` immediately, because no other thread could ever
+    resolve it — callers drain the simulator first.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._cond = None
+        self._state = _PENDING
+        self._value = None
+        self._exception = None
+        self._callbacks = []
+
+    # -- inspection ----------------------------------------------------
+    def is_ready(self) -> bool:
+        return self._state != _PENDING
+
+    def has_exception(self) -> bool:
+        return self._state == _EXCEPTIONAL
+
+    # -- synchronization ------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Any:
+        if self._state == _PENDING:
+            raise FutureError(
+                "LocalFuture is not ready; single-threaded futures cannot "
+                "block (run the simulator first)")
+        if self._state == _EXCEPTIONAL:
+            assert self._exception is not None
+            raise self._exception
+        return self._value
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        if self._state == _PENDING:
+            raise FutureError(
+                "LocalFuture is not ready; single-threaded futures cannot "
+                "block (run the simulator first)")
+
+    # -- continuations / fulfilment ---------------------------------------
+    def _add_callback(self, cb: Callable[[Future], None]) -> None:
+        if self._state == _PENDING:
+            self._callbacks.append(cb)
+        else:
+            cb(self)
+
+    def _set_value(self, value: Any) -> None:
+        if self._state != _PENDING:
+            raise FutureError("future already resolved")
+        self._value = value
+        self._state = _READY
+        callbacks = self._callbacks
+        self._callbacks = []
+        for cb in callbacks:
+            cb(self)
+
+    def _set_exception(self, exc: BaseException) -> None:
+        if self._state != _PENDING:
+            raise FutureError("future already resolved")
+        self._exception = exc
+        self._state = _EXCEPTIONAL
+        callbacks = self._callbacks
+        self._callbacks = []
         for cb in callbacks:
             cb(self)
 
@@ -212,6 +296,31 @@ def when_all(futures: Iterable[Future]) -> Future:
             remaining[0] -= 1
             fire = remaining[0] == 0
         if fire:
+            out._set_value(list(futs))
+
+    for f in futs:
+        f._add_callback(one_done)
+    return out
+
+
+def local_when_all(futures: Iterable[Future]) -> Future:
+    """Lock-free :func:`when_all` for single-threaded runtimes.
+
+    Same contract as :func:`when_all` but counts completions without a
+    lock and returns a :class:`LocalFuture`.  Only safe when every input
+    future is resolved from one thread (the DES hot path).
+    """
+    futs: Sequence[Future] = list(futures)
+    out = LocalFuture()
+    if not futs:
+        out._set_value([])
+        return out
+
+    state = [len(futs)]
+
+    def one_done(_f: Future) -> None:
+        state[0] -= 1
+        if state[0] == 0:
             out._set_value(list(futs))
 
     for f in futs:

@@ -86,6 +86,24 @@ def _check_link(latency: float, bandwidth: float, what: str) -> None:
             f"got latency={latency}, bandwidth={bandwidth}")
 
 
+class _CompiledRoute:
+    """A route lowered to slot indices and plain floats.
+
+    The per-message hot path must not chase :class:`LinkHop` objects or
+    hash tuple link keys: each hop is reduced to ``(slot, latency,
+    bandwidth)`` where ``slot`` indexes the topology's flat ready-time
+    array (``-1`` for non-FIFO hops), and the route's telemetry class is
+    an interned integer id into the per-class byte array.
+    """
+
+    __slots__ = ("hops", "class_id")
+
+    def __init__(self, hops: Tuple[Tuple[int, float, float], ...],
+                 class_id: int) -> None:
+        self.hops = hops
+        self.class_id = class_id
+
+
 class Topology:
     """Route + charge engine shared by every topology.
 
@@ -110,15 +128,26 @@ class Topology:
     kind = "topology"
 
     def __init__(self) -> None:
-        #: absolute virtual time each FIFO link is next free
-        self._link_free: Dict[Tuple, float] = {}
-        #: memoized static routes (they never depend on link state)
-        self._route_cache: Dict[Tuple[int, int], Tuple[LinkHop, ...]] = {}
+        #: link key -> slot into :attr:`_link_free` (append-only; slots
+        #: survive stat resets so FIFO backlog semantics are unchanged)
+        self._link_slot: Dict[Tuple, int] = {}
+        #: absolute virtual time each FIFO link is next free, by slot
+        self._link_free: List[float] = []
+        #: memoized compiled routes (static: independent of link state)
+        self._route_cache: Dict[Tuple[int, int], _CompiledRoute] = {}
         self.bytes_sent = 0
         self.messages_sent = 0
-        #: bytes per route class; classes partition the traffic, so
-        #: ``sum(bytes_by_class.values()) == bytes_sent`` always holds
-        self.bytes_by_class: Dict[str, int] = {}
+        #: interned route classes and their byte totals, by class id
+        self._class_ids: Dict[str, int] = {}
+        self._class_names: List[str] = []
+        self._class_bytes: List[int] = []
+
+    @property
+    def bytes_by_class(self) -> Dict[str, int]:
+        """Bytes per route class (a class appears once it carried a
+        message; classes partition the traffic, so
+        ``sum(bytes_by_class.values()) == bytes_sent`` always holds)."""
+        return dict(zip(self._class_names, self._class_bytes))
 
     # -- interface ---------------------------------------------------------
     def route(self, src: int, dst: int) -> Sequence[LinkHop]:
@@ -148,34 +177,65 @@ class Topology:
             return now
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        cls = self.route_class(src, dst)
-        self.bytes_by_class[cls] = self.bytes_by_class.get(cls, 0) + nbytes
-        hops = self._route_cache.get((src, dst))
-        if hops is None:
-            hops = tuple(self.route(src, dst))
-            self._route_cache[(src, dst)] = hops
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = self._compile_route(src, dst)
+        self._class_bytes[route.class_id] += nbytes
+        link_free = self._link_free
         t = now
-        for hop in hops:
-            wire = nbytes / hop.bandwidth
-            if hop.fifo:
-                start = max(t, self._link_free.get(hop.key, 0.0))
-                self._link_free[hop.key] = start + wire
+        for slot, latency, bandwidth in route.hops:
+            wire = nbytes / bandwidth
+            if slot >= 0:
+                free = link_free[slot]
+                start = free if free > t else t
+                link_free[slot] = start + wire
+                t = start + latency + wire
             else:
-                start = t
-            t = start + hop.latency + wire
+                t = t + latency + wire
         return t
+
+    def _compile_route(self, src: int, dst: int) -> _CompiledRoute:
+        hops = []
+        for hop in self.route(src, dst):
+            if hop.fifo:
+                slot = self._link_slot.get(hop.key)
+                if slot is None:
+                    slot = len(self._link_free)
+                    self._link_slot[hop.key] = slot
+                    self._link_free.append(0.0)
+            else:
+                slot = -1
+            hops.append((slot, hop.latency, hop.bandwidth))
+        cls = self.route_class(src, dst)
+        cid = self._class_ids.get(cls)
+        if cid is None:
+            cid = len(self._class_names)
+            self._class_ids[cls] = cid
+            self._class_names.append(cls)
+            self._class_bytes.append(0)
+        route = _CompiledRoute(tuple(hops), cid)
+        self._route_cache[(src, dst)] = route
+        return route
 
     # -- state management --------------------------------------------------
     def reset(self) -> None:
         """Clear all per-run state: FIFO backlog and byte counters."""
-        self._link_free.clear()
+        self._link_free = [0.0] * len(self._link_free)
         self.reset_stats()
 
     def reset_stats(self) -> None:
-        """Zero the byte/message counters (link backlog is kept)."""
+        """Zero the byte/message counters (link backlog is kept).
+
+        Routes and class ids are recompiled lazily, so — exactly like
+        the pre-slot dict accounting — a class reappears in
+        :attr:`bytes_by_class` only once it carries a message again.
+        """
         self.bytes_sent = 0
         self.messages_sent = 0
-        self.bytes_by_class = {}
+        self._route_cache = {}
+        self._class_ids = {}
+        self._class_names = []
+        self._class_bytes = []
 
     def release_node(self, node: int) -> None:
         """Drop ``node``'s private-link reservations (node failed).
@@ -185,7 +245,9 @@ class Topology:
         node's NIC no longer exists, so its egress reservation must not
         delay a later send bookkept under the same id.
         """
-        self._link_free.pop(("egress", node), None)
+        slot = self._link_slot.get(("egress", node))
+        if slot is not None:
+            self._link_free[slot] = 0.0
 
 
 class FlatTopology(Topology):

@@ -376,12 +376,14 @@ def _cmd_run(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from .amt.des import requested_queue
     from .core.strategies import requested_strategy
     from .solver.backends import requested_backend
     try:
         requested_backend()    # a bad REPRO_KERNEL_BACKEND (or
-        requested_strategy()   # REPRO_BALANCER) fails every command;
-    except ValueError as exc:  # report it without a traceback
+        requested_strategy()   # REPRO_BALANCER, REPRO_DES_QUEUE)
+        requested_queue()      # fails every command; report it
+    except ValueError as exc:  # without a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
     handlers = {

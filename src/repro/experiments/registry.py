@@ -593,6 +593,26 @@ def solve_serial(nx: int = 64, eps_factor: float = EPS_FACTOR,
         compute_numerics=True, source_mode=source_mode)
 
 
+@register("scale_extreme")
+def scale_extreme(mesh: int = 2048, sd_axis: int = 64, nodes: int = 512,
+                  steps: int = 3) -> ScenarioSpec:
+    """DES-throughput stress tier: the event-rate benchmark workload.
+
+    2048x2048 DPs over 64x64 = 4096 SDs on 512 single-core nodes with
+    block layout, numerics off and no spawn overhead — millions of
+    ghost-delivery and task-completion events per run, all schedule.
+    This is the configuration ``benchmarks/bench_des_core.py`` measures
+    events/sec on (queue backends x wave batching x plan cache); scale
+    it down for smoke tests with ``mesh=512, sd_axis=16, nodes=32``.
+    """
+    return ScenarioSpec(
+        name="scale_extreme",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(num_nodes=nodes, cores_per_node=1),
+        partition=PartitionSpec(method="blocks"),
+        num_steps=steps)
+
+
 @register("scale_strong")
 def scale_strong(mesh: int = 400, sd_axis: int = 8, nodes: int = 8,
                  steps: int = NUM_STEPS, seed: int = 0) -> ScenarioSpec:

@@ -54,6 +54,11 @@ class TraceRecorder:
 
     def __init__(self, cluster: SimCluster) -> None:
         self.cluster = cluster
+        # per-task intervals are the whole point of a trace: pin the
+        # cluster to the per-event path (wave batching collapses a run of
+        # homogeneous tasks into one event; the schedule is identical but
+        # intermediate completions would be invisible here)
+        cluster.wave_batching = False
         self.intervals: List[TaskInterval] = []
         self._starts = {}
         original_dispatch = cluster._dispatch

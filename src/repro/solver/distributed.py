@@ -23,14 +23,15 @@ scaling studies where only the schedule matters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..amt.cluster import (ConstantSpeed, Network, SimCluster, SimTask,
                            SpeedTrace, StraggleSpeed)
 from ..amt.faults import ChurnEvent, FaultSchedule, RecoveryEvent
-from ..amt.future import Future, when_all
+from ..amt.future import Future, local_when_all
 from ..core.balancer import BalanceResult, LoadBalancer
 from ..core.policy import BalancePolicy, NeverBalance
 from ..core.power import imbalance_ratio
@@ -98,6 +99,38 @@ class DistributedResult:
     def total_error(self) -> Optional[float]:
         """Summed eq.-(7) error (None without an exact reference)."""
         return None if self.errors is None else float(np.sum(self.errors))
+
+
+class _StepPlan:
+    """Step-invariant schedule structure, cached between ownership changes.
+
+    Every timestep with the same SD ownership builds the *same* ghost
+    messages and the same per-SD work amounts: ``Decomposition``, the
+    halo sweep behind ``ghost_messages`` and the per-SD ``case_split``
+    depend only on ``(parts, sd_grid, radius)``.  Rebuilding them each
+    step dominates the wall time of schedule-only scaling runs, so the
+    solver compiles them once into plain tuples and replays those until
+    ownership changes (balancing, failure, join) or a new run starts.
+
+    The cached work floats are computed with the exact expression the
+    uncached path uses (``count * flops * work_factor``, left to right),
+    so replayed schedules are bit-identical to rebuilt ones.
+    """
+
+    __slots__ = ("messages", "ghost_sds", "tasks")
+
+    def __init__(self, messages: List[Tuple[int, int, int]],
+                 ghost_sds: List[int], tasks: List[tuple]) -> None:
+        #: ``(src_node, dst_node, nbytes)`` per ghost message, in
+        #: ``Decomposition.ghost_messages`` order, active SDs only
+        #: (the batched-send input, see ``SimCluster.send_many``)
+        self.messages = messages
+        #: destination SD of each message, parallel to ``messages``
+        self.ghost_sds = ghost_sds
+        #: per active SD, in SD order: ``(sd, node, w2, w1)`` with the
+        #: overlap split (``None`` marks an empty case), or
+        #: ``(sd, node, w_total)`` without overlap
+        self.tasks = tasks
 
 
 class DistributedSolver:
@@ -257,6 +290,18 @@ class DistributedSolver:
         self.spawn_overhead = float(spawn_overhead)
         self.cluster = SimCluster(num_nodes, cores_per_node=cores_per_node,
                                   speeds=speeds, network=network)
+        if faults is not None:
+            # fault handlers poll busy_time at arbitrary mid-step times;
+            # wave batching defers per-task busy accounting to the wave
+            # end, which would skew the evacuation balance decision —
+            # keep elastic runs on the per-event path
+            self.cluster.wave_batching = False
+        #: compiled step plan (``None`` until built / after ownership
+        #: changes); ``REPRO_DES_PLANCACHE=0`` rebuilds it every step,
+        #: restoring the uncached cost profile for benchmarking
+        self._plan: Optional[_StepPlan] = None
+        self._plan_cache = os.environ.get(
+            "REPRO_DES_PLANCACHE", "1") != "0"
         self._faults_armed = False
         self._recovery_futs: Dict[int, Future] = {}
         self.domain_mask = domain_mask
@@ -299,6 +344,9 @@ class DistributedSolver:
         # must not carry the previous run's egress/link backlog or byte
         # counters into this run's schedule
         self.cluster.network.reset()
+        # ownership may have changed since the last run (faults mutate
+        # self.parts); never replay a stale plan across runs
+        self._plan = None
 
         result = DistributedResult()
         if exact is not None:
@@ -373,30 +421,65 @@ class DistributedSolver:
         return result
 
     # -- per-step machinery ----------------------------------------------------
-    def _start_step(self, step: int) -> None:
-        self._current_step = step
+    def _build_plan(self) -> _StepPlan:
+        """Compile the current ownership into a :class:`_StepPlan`."""
         num_nodes = len(self.cluster.nodes)
         decomp = Decomposition(self.sd_grid, self.parts, num_nodes)
         R = self.operator.radius
+
+        # ghost messages; with a domain mask, inactive SDs are
+        # known-zero (the Dc condition) so no message involving them
+        # is needed
+        messages: List[Tuple[int, int, int]] = []
+        ghost_sds: List[int] = []
+        for msg in decomp.ghost_messages(R):
+            if self._active is not None and not (
+                    self._active[msg.src_sd] and self._active[msg.dst_sd]):
+                continue
+            messages.append((msg.src_node, msg.dst_node, msg.nbytes))
+            ghost_sds.append(msg.dst_sd)
+
+        # per-SD work amounts (inactive SDs run nothing)
+        tasks: List[tuple] = []
+        for sd in range(self.sd_grid.num_subdomains):
+            if self._active is not None and not self._active[sd]:
+                continue
+            node = decomp.owner(sd)
+            split = decomp.case_split(sd, R)
+            wf = float(self.work_factors[sd])
+            if not self.overlap:
+                tasks.append((sd, node, split.total * self._flops * wf))
+            else:
+                w2 = (split.case2_count * self._flops * wf
+                      if split.case2_count > 0 else None)
+                w1 = (split.case1_count * self._flops * wf
+                      if split.case1_count > 0 else None)
+                tasks.append((sd, node, w2, w1))
+        return _StepPlan(messages, ghost_sds, tasks)
+
+    def _start_step(self, step: int) -> None:
+        self._current_step = step
+        num_nodes = len(self.cluster.nodes)
+        plan = self._plan
+        if plan is None:
+            plan = self._build_plan()
+            if self._plan_cache:
+                self._plan = plan
         t = step * self.dt
         b = None
         if self.compute_numerics and self.source is not None:
             b = self.source(t)
 
-        # 1. ghost messages, grouped by destination SD.  With a domain
-        # mask, inactive SDs are known-zero (the Dc condition) so no
-        # message involving them is needed.
+        # 1. ghost messages, batched through the network, grouped by
+        # destination SD
         deps_of_sd: Dict[int, List[Future]] = {}
-        for msg in decomp.ghost_messages(R):
-            if self._active is not None and not (
-                    self._active[msg.src_sd] and self._active[msg.dst_sd]):
-                continue
-            fut = self.cluster.send(msg.src_node, msg.dst_node, msg.nbytes)
-            deps_of_sd.setdefault(msg.dst_sd, []).append(fut)
+        for dst_sd, fut in zip(plan.ghost_sds,
+                               self.cluster.send_many(plan.messages)):
+            deps_of_sd.setdefault(dst_sd, []).append(fut)
 
-        # 2./3. per-SD tasks (inactive SDs run nothing).  With spawn
-        # overhead, a node's i-th task of the step only becomes runnable
-        # after i * overhead — the serial scheduler component.
+        # 2./3. per-SD tasks.  With spawn overhead, a node's i-th task
+        # of the step only becomes runnable after i * overhead — the
+        # serial scheduler component.
         spawn_count = [0] * num_nodes
 
         def spawn_deps(node: int) -> List[Future]:
@@ -406,31 +489,28 @@ class DistributedSolver:
             return [self.cluster.timer(spawn_count[node] * self.spawn_overhead)]
 
         sd_futures: List[Future] = []
-        for sd in range(self.sd_grid.num_subdomains):
-            if self._active is not None and not self._active[sd]:
-                continue
-            node = decomp.owner(sd)
-            split = decomp.case_split(sd, R)
-            wf = float(self.work_factors[sd])
-            deps = deps_of_sd.get(sd, [])
-            action = self._make_action(sd, b) if self.compute_numerics else None
-            if not self.overlap:
+        if not self.overlap:
+            for sd, node, w in plan.tasks:
+                action = (self._make_action(sd, b)
+                          if self.compute_numerics else None)
                 sd_futures.append(self.cluster.submit(
-                    node, work=split.total * self._flops * wf,
-                    action=action, deps=deps + spawn_deps(node),
+                    node, work=w, action=action,
+                    deps=deps_of_sd.get(sd, []) + spawn_deps(node),
                     label=f"sd{sd}", tag=sd))
-                continue
-            if split.case2_count > 0:
-                case2_action = action if split.case1_count == 0 else None
-                sd_futures.append(self.cluster.submit(
-                    node, work=split.case2_count * self._flops * wf,
-                    action=case2_action, deps=spawn_deps(node),
-                    label=f"sd{sd}-c2", tag=sd))
-            if split.case1_count > 0:
-                sd_futures.append(self.cluster.submit(
-                    node, work=split.case1_count * self._flops * wf,
-                    action=action, deps=deps + spawn_deps(node),
-                    label=f"sd{sd}-c1", tag=sd))
+        else:
+            for sd, node, w2, w1 in plan.tasks:
+                action = (self._make_action(sd, b)
+                          if self.compute_numerics else None)
+                if w2 is not None:
+                    case2_action = action if w1 is None else None
+                    sd_futures.append(self.cluster.submit(
+                        node, work=w2, action=case2_action,
+                        deps=spawn_deps(node), label=f"sd{sd}-c2", tag=sd))
+                if w1 is not None:
+                    sd_futures.append(self.cluster.submit(
+                        node, work=w1, action=action,
+                        deps=deps_of_sd.get(sd, []) + spawn_deps(node),
+                        label=f"sd{sd}-c1", tag=sd))
 
         def barrier(done: Future, s: int = step) -> None:
             # surface kernel exceptions instead of silently continuing
@@ -445,7 +525,7 @@ class DistributedSolver:
                     return  # abandon the run; run() re-raises
             self._end_step(s)
 
-        when_all(sd_futures)._add_callback(barrier)
+        local_when_all(sd_futures)._add_callback(barrier)
 
     def _make_action(self, sd: int, b: Optional[np.ndarray]):
         """The real numeric update for SD ``sd`` (reads u_old, writes u_new)."""
@@ -516,6 +596,7 @@ class DistributedSolver:
                         self.cluster.send(src, dst, nbytes))
                     event_bytes += nbytes
                 self.parts = bal.parts_after.copy()
+                self._plan = None  # ownership changed: recompile
                 result.parts_history.append((step, self.parts.copy()))
             result.balance_events.append(BalanceEvent(
                 step=step, strategy=bal.strategy,
@@ -528,7 +609,7 @@ class DistributedSolver:
 
         if step + 1 < self._num_steps:
             if migration_futs:
-                when_all(migration_futs)._add_callback(
+                local_when_all(migration_futs)._add_callback(
                     lambda _f, s=step + 1: self._start_step(s))
             else:
                 self._start_step(step + 1)
@@ -600,6 +681,7 @@ class DistributedSolver:
             self._pending_recovery_futs.append(fut)
         sds_evacuated = int(np.count_nonzero(old_parts == node_id))
         self.parts = new_parts
+        self._plan = None  # ownership changed: recompile
         result.parts_history.append((step, self.parts.copy()))
         result.balance_events.append(BalanceEvent(
             step=step, strategy=strategy, sds_moved=int(len(moved)),
@@ -629,6 +711,7 @@ class DistributedSolver:
             trace = StraggleSpeed(trace, windows)
         node_id = self.cluster.add_node(event.cores, trace)
         self._topology_dirty = True
+        self._plan = None  # cluster grew: recompile against it
         self._result.recovery_events.append(RecoveryEvent(
             time=self.cluster.now, kind="join", node=node_id,
             step=self._current_step))

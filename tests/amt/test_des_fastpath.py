@@ -1,0 +1,224 @@
+"""DES fast-path contracts: queue backends, run controls, profiling.
+
+The bucketed calendar queue must pop events in *exactly* the order of
+the seed's binary heap — ``(time, priority, seq)`` tie-breaking is the
+determinism contract everything downstream (goldens, benches, the
+paper figures) rests on.  The hypothesis suites here drive both
+backends (and ``auto`` promotion) with adversarial schedules, including
+cancellations and events scheduled from inside actions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amt.des import SimulationError, Simulator
+
+BACKENDS = ("heap", "bucket", "auto")
+
+#: (time, priority) pairs with heavy collisions so tie-breaking matters
+_specs = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+              st.integers(min_value=-2, max_value=2)),
+    max_size=120)
+
+
+def _pop_order(queue, specs, cancel_every=0):
+    """Fire a schedule on one backend; return the observed event order."""
+    sim = Simulator(queue=queue)
+    order = []
+    events = []
+    for idx, (t, prio) in enumerate(specs):
+        events.append(
+            sim.schedule(t, lambda i=idx: order.append(i), priority=prio))
+    if cancel_every:
+        for ev in events[::cancel_every]:
+            ev.cancel()
+    sim.run()
+    return order, sim.now, sim.events_processed
+
+
+class TestQueueEquivalence:
+    @given(_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_bucket_pops_in_heap_order(self, specs):
+        heap = _pop_order("heap", specs)
+        assert _pop_order("bucket", specs) == heap
+        assert _pop_order("auto", specs) == heap
+
+    @given(_specs, st.integers(min_value=2, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_equivalent_under_cancellation(self, specs, cancel_every):
+        heap = _pop_order("heap", specs, cancel_every)
+        assert _pop_order("bucket", specs, cancel_every) == heap
+        assert _pop_order("auto", specs, cancel_every) == heap
+
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                    max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalent_with_nested_scheduling(self, times):
+        """Actions scheduling more events exercise mid-run inserts —
+        the calendar queue must file them into already-drained regions
+        correctly (they land at or after ``now`` by construction)."""
+        def run(queue):
+            sim = Simulator(queue=queue)
+            order = []
+
+            def fire(i, t):
+                order.append(i)
+                sim.schedule_after(t % 3.0, lambda: order.append(-i - 1))
+
+            for idx, t in enumerate(times):
+                sim.schedule(t, lambda i=idx, tt=t: fire(i, tt))
+            sim.run()
+            return order
+
+        assert run("bucket") == run("heap")
+
+    def test_identical_time_storm_shares_a_bucket(self):
+        """Thousands of same-time events: bucket width degenerates but
+        order must still follow (priority, seq)."""
+        def run(queue):
+            sim = Simulator(queue=queue)
+            order = []
+            for i in range(3000):
+                sim.schedule(1.0, lambda i=i: order.append(i),
+                             priority=i % 3 - 1)
+            sim.run()
+            return order
+
+        assert run("bucket") == run("heap")
+
+    def test_auto_promotes_to_bucket_at_scale(self):
+        sim = Simulator(queue="auto")
+        assert sim._queue.kind == "heap"
+        fired = []
+        for i in range(5000):
+            sim.schedule(float(i % 97), lambda i=i: fired.append(i))
+        assert sim._queue.kind == "bucket"
+        sim.run()
+        assert len(fired) == 5000
+        ref = Simulator(queue="heap")
+        expect = []
+        for i in range(5000):
+            ref.schedule(float(i % 97), lambda i=i: expect.append(i))
+        ref.run()
+        assert fired == expect
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="queue backend"):
+            Simulator(queue="splay")
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DES_QUEUE", "bucket")
+        assert Simulator().queue_kind == "bucket"
+        monkeypatch.setenv("REPRO_DES_QUEUE", "heap")
+        assert Simulator().queue_kind == "heap"
+        monkeypatch.delenv("REPRO_DES_QUEUE")
+        assert Simulator().queue_kind == "auto"
+
+
+@pytest.mark.parametrize("queue", BACKENDS)
+class TestRunControlEdges:
+    def test_max_events_raises_before_popping(self, queue):
+        """The guard fires *before* the offending event is popped or
+        counted, so the schedule can resume exactly where it stopped
+        (regression: the seed popped and counted event N+1 first)."""
+        sim = Simulator(queue=queue)
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=2)
+        assert fired == [1.0, 2.0]
+        assert sim.events_processed == 2
+        assert sim.pending() == 1
+        # the untouched tail drains on the next run
+        assert sim.run() == 3.0
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_exact_budget_completes(self, queue):
+        sim = Simulator(queue=queue)
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run(max_events=2) == 2.0
+
+    def test_event_exactly_at_until_fires(self, queue):
+        sim = Simulator(queue=queue)
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("at"))
+        sim.schedule(5.0 + 1e-12, lambda: fired.append("after"))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == ["at"]
+
+    def test_cancelled_head_at_until_boundary(self, queue):
+        """A cancelled event at the boundary is skipped, not fired, and
+        must not stop the clock short of ``until``."""
+        sim = Simulator(queue=queue)
+        fired = []
+        ev = sim.schedule(5.0, lambda: fired.append("dead"))
+        sim.schedule(9.0, lambda: fired.append("late"))
+        ev.cancel()
+        assert sim.run(until=7.0) == 7.0
+        assert fired == []
+        assert sim.pending() == 1
+
+    def test_until_in_past_leaves_clock(self, queue):
+        sim = Simulator(queue=queue)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert sim.run(until=1.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_until_with_empty_queue_advances_clock(self, queue):
+        sim = Simulator(queue=queue)
+        assert sim.run(until=3.0) == 0.0  # nothing scheduled: clock idle
+
+    def test_pending_is_live_count(self, queue):
+        sim = Simulator(queue=queue)
+        events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        assert sim.pending() == 10
+        for ev in events[::2]:
+            ev.cancel()
+        assert sim.pending() == 5
+        events[1].cancel()
+        assert sim.pending() == 4
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_mass_cancellation_compacts(self, queue):
+        """Cancelling nearly everything triggers lazy compaction; the
+        survivors still fire in order."""
+        sim = Simulator(queue=queue)
+        fired = []
+        events = [sim.schedule(float(i), lambda i=i: fired.append(i))
+                  for i in range(4000)]
+        for ev in events:
+            if ev.time % 100 != 0.0:
+                ev.cancel()
+        sim.run()
+        assert fired == list(range(0, 4000, 100))
+
+
+class TestProfiling:
+    def test_counters_accumulate_by_class(self):
+        sim = Simulator(profile=True)
+        sim.schedule(1.0, lambda: None, klass="delivery")
+        sim.schedule(2.0, lambda: None, klass="delivery")
+        sim.schedule(3.0, lambda: None)  # untagged -> "event"
+        sim.run()
+        assert sim.profile["delivery"][0] == 2
+        assert sim.profile["event"][0] == 1
+        assert sim.profile["delivery"][1] >= 0.0
+        report = sim.profile_report()
+        assert "delivery" in report and "total" in report
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DES_PROFILE", raising=False)
+        sim = Simulator()
+        assert sim.profile is None
+        assert "disabled" in sim.profile_report()
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DES_PROFILE", "1")
+        assert Simulator().profile == {}

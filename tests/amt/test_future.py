@@ -4,7 +4,8 @@ import threading
 
 import pytest
 
-from repro.amt.future import (Future, FutureError, Promise, dataflow,
+from repro.amt.future import (Future, FutureError, LocalFuture, Promise,
+                              dataflow, local_when_all,
                               make_exceptional_future, make_ready_future,
                               when_all)
 
@@ -176,3 +177,74 @@ class TestDataflow:
     def test_no_inputs_runs_immediately(self):
         out = dataflow(lambda: "ok")
         assert out.get() == "ok"
+
+
+class TestLocalFuture:
+    """Lock-free single-threaded variant used on the DES hot path."""
+
+    def test_same_protocol_as_future(self):
+        fut = LocalFuture()
+        assert not fut.is_ready()
+        got = []
+        fut._add_callback(lambda f: got.append(f.get()))
+        fut._set_value(41)
+        assert fut.is_ready() and fut.get() == 41
+        assert got == [41]
+        # late callbacks run immediately
+        fut._add_callback(lambda f: got.append(f.get() + 1))
+        assert got == [41, 42]
+
+    def test_double_resolve_rejected(self):
+        fut = LocalFuture()
+        fut._set_value(1)
+        with pytest.raises(FutureError):
+            fut._set_value(2)
+
+    def test_pending_get_raises_instead_of_blocking(self):
+        fut = LocalFuture()
+        with pytest.raises(FutureError, match="not ready"):
+            fut.get()
+        with pytest.raises(FutureError, match="not ready"):
+            fut.wait()
+
+    def test_exception_path(self):
+        fut = LocalFuture()
+        fut._set_exception(ValueError("boom"))
+        assert fut.has_exception()
+        with pytest.raises(ValueError, match="boom"):
+            fut.get()
+
+    def test_then_stays_local(self):
+        fut = LocalFuture()
+        out = fut.then(lambda f: f.get() * 2)
+        assert isinstance(out, LocalFuture)
+        fut._set_value(21)
+        assert out.get() == 42
+
+    def test_resolve_none_is_a_bound_event_action(self):
+        fut = LocalFuture()
+        fut._resolve_none()
+        assert fut.get() is None
+
+
+class TestLocalWhenAll:
+    def test_fires_after_all_inputs(self):
+        futs = [LocalFuture() for _ in range(3)]
+        out = local_when_all(futs)
+        assert isinstance(out, LocalFuture)
+        for f in futs[:-1]:
+            f._set_value(None)
+            assert not out.is_ready()
+        futs[-1]._set_value(None)
+        assert out.get() == futs
+
+    def test_empty_is_immediately_ready(self):
+        assert local_when_all([]).get() == []
+
+    def test_mixed_with_already_ready(self):
+        ready = make_ready_future("x")
+        pending = LocalFuture()
+        out = local_when_all([ready, pending])
+        assert not out.is_ready()
+        pending._set_value("y")
+        assert out.is_ready()

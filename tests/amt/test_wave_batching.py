@@ -1,0 +1,228 @@
+"""Wave batching and batched sends: exact equivalence to the seed path.
+
+Wave batching (``SimCluster.wave_batching`` / ``REPRO_DES_WAVE``)
+retires a run of homogeneous queued tasks with one DES event instead of
+one per task.  Everything the solver can observe — makespans, per-node
+busy time, task/work counters, failure orphans, ``run(until=...)``
+boundary state — must be bit-identical to the per-event path; only the
+physical event count may differ.  These tests run each scenario under
+both modes and compare.
+"""
+
+import pytest
+
+from repro.amt.cluster import (ConstantSpeed, PiecewiseSpeed, SimCluster,
+                               StraggleSpeed)
+
+WORKS = [1e-4 * (1 + (k % 7)) for k in range(64)]
+
+
+def _observe(cluster):
+    """Everything solver-visible about a drained cluster."""
+    return {
+        "now": cluster.now,
+        "busy": [n.busy_time() for n in cluster.nodes],
+        "tasks": [n.tasks_completed for n in cluster.nodes],
+        "work": [n.work_completed for n in cluster.nodes],
+    }
+
+
+def _paired(build_and_run):
+    """Run a scenario with waves off and on; return both observations."""
+    out = []
+    for wave in (False, True):
+        cluster = SimCluster(4, cores_per_node=1, wave_batching=wave)
+        build_and_run(cluster)
+        out.append((_observe(cluster), cluster.sim.events_processed))
+    (off, n_off), (on, n_on) = out
+    return off, on, n_off, n_on
+
+
+class TestWaveEquivalence:
+    def test_homogeneous_backlog_fewer_events_same_schedule(self):
+        def scenario(cluster):
+            for n in range(4):
+                for w in WORKS:
+                    cluster.submit(n, work=w)
+            cluster.run()
+
+        off, on, n_off, n_on = _paired(scenario)
+        assert on == off
+        assert n_on < n_off  # the whole point: one event per wave
+
+    def test_barrier_time_is_bitwise_identical(self):
+        """The solver's observation point is the step barrier — the
+        when_all over every task future of the step.  (Individual
+        wave-member futures resolve at the wave's *end*, a documented
+        deviation that is invisible through the barrier.)  The barrier
+        must fire at the identical virtual instant in both modes."""
+        from repro.amt.future import local_when_all
+
+        def run(wave):
+            cluster = SimCluster(2, wave_batching=wave)
+            futs = [cluster.submit(k % 2, work=w)
+                    for k, w in enumerate(WORKS)]
+            stamp = []
+            local_when_all(futs)._add_callback(
+                lambda _f: stamp.append(cluster.now))
+            cluster.run()
+            return stamp, cluster.now
+
+        assert run(True) == run(False)
+
+    def test_actions_break_the_wave_prefix(self):
+        """Tasks with actions can reshape the schedule mid-run, so they
+        never batch — and results still match the per-event path."""
+        def scenario(cluster):
+            seen = []
+            for k, w in enumerate(WORKS):
+                if k % 5 == 0:
+                    cluster.submit(0, work=w,
+                                   action=lambda k=k: seen.append(k))
+                else:
+                    cluster.submit(0, work=w)
+            cluster.run()
+
+        off, on, _, _ = _paired(scenario)
+        assert on == off
+
+    def test_long_wave_uses_vectorized_prefix_sum(self):
+        """>= 32 tasks goes through np.add.accumulate; must still match
+        the sequential per-event float chain bit for bit."""
+        works = [1e-5 * (1 + ((k * 13) % 11)) for k in range(500)]
+
+        def scenario(cluster):
+            for w in works:
+                cluster.submit(0, work=w)
+            cluster.run()
+
+        off, on, n_off, n_on = _paired(scenario)
+        assert on == off
+        assert n_on < n_off
+
+    def test_multicore_nodes_never_batch(self):
+        for wave in (False, True):
+            cluster = SimCluster(1, cores_per_node=4, wave_batching=wave)
+            for w in WORKS:
+                cluster.submit(0, work=w)
+            cluster.run()
+            if wave:
+                assert _observe(cluster) == off
+            else:
+                off = _observe(cluster)
+
+    def test_nonconstant_speed_never_batches(self):
+        trace = PiecewiseSpeed([0.002, 0.004], [1.0, 0.25, 2.0])
+        out = []
+        for wave in (False, True):
+            cluster = SimCluster(1, speeds=[trace], wave_batching=wave)
+            for w in WORKS:
+                cluster.submit(0, work=w)
+            cluster.run()
+            out.append(_observe(cluster))
+        assert out[0] == out[1]
+
+    def test_straggle_wrapped_constant_never_batches(self):
+        # StraggleSpeed wraps ConstantSpeed but is NOT ConstantSpeed:
+        # the type check must keep it off the fast path
+        trace = StraggleSpeed(ConstantSpeed(1.0), [(0.001, 0.003, 0.5)])
+        out = []
+        for wave in (False, True):
+            cluster = SimCluster(1, speeds=[trace], wave_batching=wave)
+            for w in WORKS:
+                cluster.submit(0, work=w)
+            cluster.run()
+            out.append(_observe(cluster))
+        assert out[0] == out[1]
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DES_WAVE", "0")
+        assert not SimCluster(1).wave_batching
+        monkeypatch.delenv("REPRO_DES_WAVE")
+        assert SimCluster(1).wave_batching
+
+
+class TestWaveInterruption:
+    def _loaded(self, wave):
+        cluster = SimCluster(2, wave_batching=wave)
+        for w in WORKS:
+            cluster.submit(0, work=w)
+        cluster.submit(1, work=1.0)  # keeps node 1 alive as survivor
+        return cluster
+
+    @pytest.mark.parametrize("until", [1.5e-4, 12.3e-4, 0.5])
+    def test_run_until_materializes_mid_wave(self, until):
+        """Stopping inside a wave must leave per-task state identical to
+        the per-event path: same completed prefix, same busy time, and
+        the same continuation when the run resumes."""
+        states = []
+        for wave in (False, True):
+            cluster = self._loaded(wave)
+            cluster.run(until=until)
+            mid = _observe(cluster)
+            cluster.run()
+            states.append((mid, _observe(cluster)))
+        assert states[0] == states[1]
+
+    @pytest.mark.parametrize("until", [1.5e-4, 12.3e-4])
+    def test_fail_node_mid_wave(self, until):
+        """Failure inside a wave: completed prefix keeps its results,
+        the in-flight task's busy time is truncated at the failure, and
+        the orphan list matches the per-event path."""
+        outcomes = []
+        for wave in (False, True):
+            cluster = self._loaded(wave)
+            cluster.run(until=until)
+            orphans = cluster.fail_node(0)
+            outcomes.append(
+                ([t.work for t in orphans],
+                 [t.future.is_ready() for t in orphans],
+                 _observe(cluster)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_orphans_resubmit_after_mid_wave_failure(self):
+        cluster = self._loaded(True)
+        cluster.run(until=5e-4)
+        orphans = cluster.fail_node(0)
+        for task in orphans:
+            cluster.resubmit(task, 1)
+        cluster.run()
+        assert all(t.future.is_ready() for t in orphans)
+        done = sum(n.tasks_completed for n in cluster.nodes)
+        assert done == len(WORKS) + 1
+
+
+class TestSendMany:
+    def test_matches_individual_sends(self):
+        msgs = [((i * 7) % 4, (i * 13) % 4, 1024 + 64 * i)
+                for i in range(40)]
+
+        def run(batched):
+            cluster = SimCluster(4)
+            stamps = []
+            if batched:
+                futs = cluster.send_many([m for m in msgs])
+            else:
+                futs = [cluster.send(s, d, b) for s, d, b in msgs]
+            for fut in futs:
+                fut._add_callback(lambda _f: stamps.append(cluster.now))
+            cluster.run()
+            return (stamps, cluster.now,
+                    [cluster.bytes_sent(n) for n in range(4)],
+                    [cluster.bytes_received(n) for n in range(4)])
+
+        assert run(True) == run(False)
+
+    def test_self_sends_resolve_immediately(self):
+        cluster = SimCluster(2)
+        futs = cluster.send_many([(0, 0, 4096), (1, 1, 4096)])
+        assert all(f.is_ready() for f in futs)
+        assert cluster.bytes_sent(0) == 0  # loopback is not NIC traffic
+
+    def test_unknown_node_rejected(self):
+        from repro.amt.des import SimulationError
+        cluster = SimCluster(2)
+        with pytest.raises(SimulationError, match="unknown node"):
+            cluster.send_many([(0, 5, 100)])
+        with pytest.raises(SimulationError, match="unknown node"):
+            cluster.send_many([(-1, 0, 100)])

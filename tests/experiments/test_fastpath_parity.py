@@ -1,0 +1,90 @@
+"""End-to-end parity of the DES fast path across whole scenarios.
+
+The fast path has three independently-gated pieces — queue backend
+(``REPRO_DES_QUEUE``), wave batching (``REPRO_DES_WAVE``), and the
+solver's step-plan cache (``REPRO_DES_PLANCACHE``).  Each must leave
+every :class:`RunRecord` field bit-identical on full scenario runs,
+including makespans, step durations, imbalance history, and byte
+accounting.  (The committed goldens pin the same property against the
+repository history; these tests pin it pairwise within one checkout,
+over scenarios with balancing, faults, and hierarchical topologies.)
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import build, run_scenario
+
+#: small but feature-covering: balancing + drift, fault + recovery,
+#: rack topology with per-link contention
+SCENARIOS = [
+    ("hetero_drift", {"steps": 6}),
+    ("fault_recovery", {"steps": 4}),
+    ("rack_locality", {"steps": 4}),
+]
+
+
+def _record(name, overrides):
+    rec = run_scenario(build(name, **overrides))
+    return json.dumps(rec.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("name,overrides", SCENARIOS)
+def test_queue_backends_produce_identical_records(name, overrides,
+                                                  monkeypatch):
+    results = {}
+    for queue in ("heap", "bucket", "auto"):
+        monkeypatch.setenv("REPRO_DES_QUEUE", queue)
+        results[queue] = _record(name, overrides)
+    assert results["bucket"] == results["heap"]
+    assert results["auto"] == results["heap"]
+
+
+@pytest.mark.parametrize("name,overrides", SCENARIOS)
+def test_wave_batching_produces_identical_records(name, overrides,
+                                                  monkeypatch):
+    monkeypatch.setenv("REPRO_DES_WAVE", "0")
+    off = _record(name, overrides)
+    monkeypatch.setenv("REPRO_DES_WAVE", "1")
+    assert _record(name, overrides) == off
+
+
+@pytest.mark.parametrize("name,overrides", SCENARIOS)
+def test_plan_cache_produces_identical_records(name, overrides, monkeypatch):
+    monkeypatch.setenv("REPRO_DES_PLANCACHE", "0")
+    uncached = _record(name, overrides)
+    monkeypatch.setenv("REPRO_DES_PLANCACHE", "1")
+    assert _record(name, overrides) == uncached
+
+
+def test_everything_on_matches_everything_off(monkeypatch):
+    """The full fast path vs the full seed path on one drifting,
+    balanced scenario — the combined gate."""
+    for var in ("REPRO_DES_QUEUE", "REPRO_DES_WAVE", "REPRO_DES_PLANCACHE"):
+        monkeypatch.setenv(var, {"REPRO_DES_QUEUE": "heap"}.get(var, "0"))
+    seed = _record("hetero_drift", {"steps": 6})
+    monkeypatch.setenv("REPRO_DES_QUEUE", "bucket")
+    monkeypatch.setenv("REPRO_DES_WAVE", "1")
+    monkeypatch.setenv("REPRO_DES_PLANCACHE", "1")
+    assert _record("hetero_drift", {"steps": 6}) == seed
+
+
+class TestScaleExtreme:
+    def test_tiny_run_is_schedule_only(self):
+        spec = build("scale_extreme", mesh=128, sd_axis=4, nodes=4, steps=2)
+        assert spec.cluster.num_nodes == 4
+        rec = run_scenario(spec)
+        assert rec.scenario == "scale_extreme"
+        assert rec.makespan > 0
+        assert len(rec.step_durations) == 2
+
+    def test_default_shape(self):
+        spec = build("scale_extreme")
+        assert spec.mesh.nx == 2048
+        assert spec.mesh.sd_nx == 64  # 4096 SDs
+        assert spec.cluster.num_nodes == 512
+        assert spec.cluster.cores_per_node == 1
+        assert spec.partition.method == "blocks"
+        assert not spec.compute_numerics  # pure schedule measurement
+        assert spec.cluster.spawn_overhead == 0.0

@@ -12,7 +12,7 @@ EXPECTED = {
     "abl_overlap", "abl_partitioners", "abl_balancing_gain",
     "abl_backends", "abl_balancers",
     "crack_hetero", "hetero_interference", "hetero_drift", "quickstart",
-    "solve_serial", "scale_strong",
+    "solve_serial", "scale_strong", "scale_extreme",
     "hetero_churn", "fault_recovery", "straggler_tail",
 }
 
