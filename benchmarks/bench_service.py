@@ -1,0 +1,169 @@
+"""Multi-tenant solve-service benchmark: goodput under offered load.
+
+The three registry service scenarios run end to end, each in a fresh
+subprocess (clean operator cache, true per-scenario ``ru_maxrss``):
+
+* ``service_poisson`` — steady load below fleet capacity: nothing is
+  shed and weighted fairness stays near 1.
+* ``service_bursty`` — the same average rate compressed into on/off
+  bursts: queue waits spike inside bursts but drain between them.
+* ``service_overload`` — ~2x fleet capacity offered into depth-8
+  queues: admission control sheds the excess, goodput saturates well
+  below the offered rate, and the p99 queue wait of *admitted* jobs
+  stays bounded by the finite queues instead of growing with the
+  backlog.
+
+Each worker runs its scenario twice and asserts the two records are
+bit-identical (the seeded open-loop determinism contract), then
+reports the telemetry summary plus wall-clock throughput.
+
+Floors (env-tunable for noisy CI runners; virtual-time quantities are
+exact and keep hard asserts):
+
+* ``REPRO_BENCH_MIN_GOODPUT`` (default 25000) — completed jobs/s of
+  virtual time the overload scenario must sustain while shedding.
+* ``REPRO_BENCH_MAX_WAIT_FRAC`` (default 0.5) — p99 queue wait of
+  admitted overload jobs as a fraction of the horizon.
+
+Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
+writes it to a file (``BENCH_service.json`` at the repo root is the
+committed record).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from functools import lru_cache
+
+from repro.experiments import SCHEMA, write_json
+from repro.reporting.tables import format_table
+
+#: horizon multiplier — CI smoke shrinks the scenarios via this
+HORIZON_SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_HORIZON", "1.0"))
+
+#: overload goodput floor, in completed jobs per virtual second
+_MIN_GOODPUT = float(os.environ.get("REPRO_BENCH_MIN_GOODPUT", "25000"))
+#: overload p99 queue wait ceiling, as a fraction of the horizon
+_MAX_WAIT_FRAC = float(os.environ.get("REPRO_BENCH_MAX_WAIT_FRAC", "0.5"))
+
+SCENARIOS = ("service_poisson", "service_bursty", "service_overload")
+
+
+def _worker(name: str) -> None:
+    """Subprocess entry: run one scenario twice, summarize, report."""
+    from harness import peak_rss_bytes
+
+    from repro.experiments import build, run_scenario
+    from repro.service import summarize_record
+
+    spec = build(name)
+    spec = spec.replace(horizon=spec.horizon * HORIZON_SCALE)
+    t0 = time.perf_counter()
+    record = run_scenario(spec)
+    wall = time.perf_counter() - t0
+    repeat = run_scenario(spec)
+    assert record.to_dict() == repeat.to_dict(), \
+        f"{name}: seeded rerun diverged"
+
+    summary = summarize_record(record)
+    horizon = spec.horizon
+    utilization = sum(record.busy_total) / (len(record.busy_total) * horizon)
+    row = {
+        "scenario": name,
+        "horizon": horizon,
+        "process": spec.arrival.process,
+        "offered_rate": summary["offered_rate"],
+        "offered": summary["offered"],
+        "shed": summary["shed"],
+        "completed": summary["completed"],
+        "goodput": summary["goodput"],
+        "p50_wait": summary["p50_wait"],
+        "p99_wait": summary["p99_wait"],
+        "p99_makespan": summary["p99_makespan"],
+        "fairness": summary["fairness"],
+        "utilization": utilization,
+        "events": len(record.service_events),
+        "wall_seconds": wall,
+        "events_per_second": len(record.service_events) / wall,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    print("RESULT " + json.dumps(row, sort_keys=True))
+
+
+def _run_scenario(name):
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--worker", name],
+        env=dict(os.environ), capture_output=True, text=True,
+        cwd=os.path.dirname(os.path.abspath(__file__)))
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"service bench worker {name!r} failed:\n{proc.stderr}")
+    for line in proc.stdout.splitlines():
+        if line.startswith("RESULT "):
+            return json.loads(line[len("RESULT "):])
+    raise RuntimeError(
+        f"service bench worker {name!r} produced no result:\n{proc.stdout}")
+
+
+@lru_cache(maxsize=1)
+def scenario_rows():
+    return [_run_scenario(name) for name in SCENARIOS]
+
+
+def test_service(benchmark):
+    rows = scenario_rows()
+    by_name = {r["scenario"]: r for r in rows}
+    poisson = by_name["service_poisson"]
+    overload = by_name["service_overload"]
+
+    print("\n" + format_table(
+        ["scenario", "offered/s", "goodput/s", "shed", "p99 wait (us)",
+         "fairness", "util", "sim ev/s (wall)"],
+        [[r["scenario"], f"{r['offered_rate']:,.0f}",
+          f"{r['goodput']:,.0f}", r["shed"],
+          f"{r['p99_wait'] * 1e6:.1f}", f"{r['fairness']:.3f}",
+          f"{r['utilization']:.3f}", f"{r['events_per_second']:,.0f}"]
+         for r in rows],
+        title="multi-tenant solve service — goodput vs offered load"))
+
+    # below capacity nothing is shed and the weighted shares stay even
+    assert poisson["shed"] == 0
+    assert poisson["fairness"] > 0.9
+    assert poisson["goodput"] == poisson["completed"] / poisson["horizon"]
+
+    # overload: admission control sheds, goodput saturates well below
+    # the offered rate, and the admitted tail wait stays queue-bounded
+    assert overload["shed"] > 0
+    assert overload["goodput"] < 0.5 * overload["offered_rate"], (
+        f"overload goodput {overload['goodput']:,.0f}/s did not saturate "
+        f"below the offered {overload['offered_rate']:,.0f}/s")
+    assert overload["goodput"] >= _MIN_GOODPUT, (
+        f"overload goodput {overload['goodput']:,.0f}/s below the "
+        f"{_MIN_GOODPUT:,.0f}/s floor")
+    assert overload["p99_wait"] <= _MAX_WAIT_FRAC * overload["horizon"], (
+        f"p99 queue wait {overload['p99_wait']:.2e}s exceeds "
+        f"{_MAX_WAIT_FRAC:g} x horizon — queues are not bounding it")
+    # the saturated fleet is actually busy, not idle-while-shedding
+    assert overload["utilization"] > 0.9
+
+    payload = {
+        "benchmark": "service",
+        "horizon_scale": HORIZON_SCALE,
+        "min_goodput": _MIN_GOODPUT,
+        "max_wait_frac": _MAX_WAIT_FRAC,
+        "scenarios": rows,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy
+
+
+if __name__ == "__main__" and len(sys.argv) >= 3 and sys.argv[1] == "--worker":
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    _worker(sys.argv[2])

@@ -789,8 +789,14 @@ class SimCluster:
         return self._net_counters[node_id][1].value()
 
     def reset_counters(self) -> None:
-        """Reset all counters (busy + networking); restart the window clock."""
-        self.counters.reset_all()
+        """Reset all counters (busy + networking); restart the window clock.
+
+        Passes the current virtual time so busy intervals that are open
+        at the reset (in-flight tasks at a balance poll) are clipped at
+        the window boundary instead of leaking their pre-reset span into
+        the new window.
+        """
+        self.counters.reset_all(now=self.sim.now)
         self._window_start = self.sim.now
 
     # -- internals ---------------------------------------------------------

@@ -55,8 +55,14 @@ class Counter:
         """Lifetime accumulation (never reset)."""
         return self._lifetime
 
-    def reset(self) -> None:
-        """Zero the observation window (lifetime total is preserved)."""
+    def reset(self, now: Optional[float] = None) -> None:
+        """Zero the observation window (lifetime total is preserved).
+
+        ``now`` is the virtual time the new window starts at.  The base
+        counter has no notion of in-flight work, so it ignores it;
+        :class:`BusyTimeCounter` uses it to clip open work intervals at
+        the window boundary.
+        """
         self._window = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -98,6 +104,37 @@ class BusyTimeCounter(Counter):
     def open_intervals(self) -> int:
         """Number of currently open work intervals (busy cores)."""
         return len(self._open)
+
+    def reset(self, now: Optional[float] = None) -> None:
+        """Zero the window, clipping open intervals at ``now``.
+
+        A core that is mid-task when the balancer resets counters
+        (Algorithm 1 line 35) has an open interval straddling the window
+        boundary.  The span *before* the reset belongs to the old
+        window, so each open interval is credited up to ``now`` into the
+        closing window (keeping the lifetime total exact) and its start
+        is re-based to ``now`` — the new window measures only work done
+        inside it.  Without the clip, ``end_work`` after the reset
+        charged the entire pre-reset span to the new window, inflating
+        the eq.-8 node power of any node busy at the poll.
+
+        ``now`` is required whenever intervals are open; a plain
+        ``reset()`` stays valid for quiescent counters.
+        """
+        if self._open:
+            if now is None:
+                raise ValueError(
+                    f"{self.name}: reset with {len(self._open)} open work "
+                    f"interval(s) needs the current time to clip them")
+            for token, start in self._open.items():
+                if now < start:
+                    raise ValueError(
+                        f"{self.name}: reset at t={now} before open "
+                        f"interval start t={start}")
+                # flows through add() so the lifetime total stays exact
+                self.add(now - start)
+                self._open[token] = now
+        super().reset(now)
 
 
 class CounterRegistry:
@@ -146,16 +183,28 @@ class CounterRegistry:
         return self.get(locality, BUSY_TIME).value()
 
     def all_of_kind(self, kind: str) -> List[Counter]:
-        """All registry-created counters of ``kind``, sorted by name."""
-        return sorted(self._by_kind.get(kind, []), key=lambda c: c.name)
+        """All registry-created counters of ``kind``, in creation order.
 
-    def reset_all(self, kind: Optional[str] = None) -> int:
+        Creation order is node-id order everywhere counters are made
+        (``node0``, ``node1``, …, ``node10``, …).  A name sort would put
+        ``node10`` before ``node2`` once a cluster reaches ten nodes,
+        silently misaligning any per-node listing built from it.
+        """
+        return list(self._by_kind.get(kind, ()))
+
+    def reset_all(self, kind: Optional[str] = None,
+                  now: Optional[float] = None) -> int:
         """Reset every counter (optionally only of ``kind``); return count.
 
         This is Algorithm 1 line 35:
         ``reset_all(hpx::performance_counters::busy_time)``.  Uses the
         incremental kind index rather than an AGAS prefix scan, so the
         per-step reset is O(counters of the kind) with no name parsing.
+
+        ``now`` is the virtual time the new measurement window starts
+        at; busy-time counters use it to clip work intervals that are
+        open at the reset (see :meth:`BusyTimeCounter.reset`) and it is
+        required when any interval is open.
         """
         count = 0
         if kind is not None:
@@ -164,6 +213,6 @@ class CounterRegistry:
             kinds = tuple(self._by_kind)
         for k in kinds:
             for counter in self._by_kind.get(k, ()):
-                counter.reset()
+                counter.reset(now)
                 count += 1
         return count

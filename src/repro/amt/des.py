@@ -474,8 +474,12 @@ class Simulator:
         until:
             Stop once the clock would pass this time (the triggering event
             is left in the queue; an event *exactly at* ``until`` still
-            fires).  The clock never moves backwards: ``until`` in the
-            past of ``now`` leaves the clock where it is.
+            fires).  The clock always lands exactly on ``until`` when it
+            lies ahead of ``now`` — including when the queue drains
+            early, so back-to-back ``run(until=...)`` windows tile
+            virtual time without gaps.  The clock never moves backwards:
+            ``until`` in the past of ``now`` leaves the clock where it
+            is.
         max_events:
             Safety valve against runaway schedules; raises
             :class:`SimulationError` *before* the offending event is
@@ -491,6 +495,14 @@ class Simulator:
                 queue = self._queue  # auto mode may swap backends mid-run
                 entry = queue.peek()
                 if entry is None:
+                    # drained before reaching ``until``: the clock still
+                    # advances to the requested time, exactly as it does
+                    # when a later event exists beyond the boundary —
+                    # otherwise back-to-back ``run(until=...)`` windows
+                    # (the service layer's polling loop) would measure
+                    # short windows against a stale ``now``
+                    if until is not None and until > self._now:
+                        self._now = until
                     break
                 ev = entry[3]
                 if until is not None and ev.time > until:

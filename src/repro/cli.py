@@ -8,7 +8,9 @@ experiments can be rerun without writing a script:
 * ``scale``     — a strong-scaling sweep on the simulated cluster;
 * ``balance``   — the Fig. 14 iterated balancing demo;
 * ``partition`` — partition an SD grid and print quality metrics;
-* ``run``       — any registered scenario by name (``run --list``).
+* ``run``       — any registered scenario by name (``run --list``);
+* ``serve``     — a multi-tenant solve-service scenario (open-loop
+  arrival streams, admission control, latency/goodput telemetry).
 
 Every command constructs its runs through the declarative experiment
 engine (:mod:`repro.experiments`): a named registry scenario is built,
@@ -136,6 +138,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_balancer(r)
     add_topology(r)
     add_json(r)
+
+    e = sub.add_parser("serve",
+                       help="multi-tenant solve service on the "
+                            "simulated cluster")
+    e.add_argument("--scenario", metavar="NAME", default="service_poisson",
+                   help="a service_* registry scenario "
+                        "(default service_poisson; see --list)")
+    e.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list service scenario names and exit")
+    e.add_argument("--rate", type=float, default=None,
+                   help="override the aggregate offered load (jobs per "
+                        "virtual second)")
+    e.add_argument("--horizon", type=float, default=None,
+                   help="override the service window (virtual seconds)")
+    e.add_argument("--seed", type=int, default=None,
+                   help="override the arrival-trace seed")
+    e.add_argument("--nodes", type=int, default=None,
+                   help="override the cluster size")
+    add_json(e)
     return p
 
 
@@ -373,6 +394,48 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .experiments import build, get_factory, run_scenario, scenario_names
+    from .reporting.service import (format_service_summary,
+                                    format_tenant_table)
+    from .service import summarize_record
+    if args.list_scenarios:
+        for name in scenario_names():
+            if name.startswith("service_"):
+                print(name)
+        return 0
+    try:
+        factory = get_factory(args.scenario)
+    except KeyError as exc:
+        print(f"serve: {exc.args[0]}", file=sys.stderr)
+        return 2
+    accepted = inspect.signature(factory).parameters
+    overrides = {}
+    for flag in ("rate", "horizon", "seed", "nodes"):
+        value = getattr(args, flag)
+        if value is not None:
+            if flag not in accepted:
+                print(f"serve: scenario {args.scenario!r} does not "
+                      f"accept --{flag}", file=sys.stderr)
+                return 2
+            overrides[flag] = value
+    spec = build(args.scenario, **overrides)
+    if getattr(spec, "solver", None) != "service":
+        print(f"serve: {args.scenario!r} is not a service scenario "
+              f"(use 'repro run')", file=sys.stderr)
+        return 2
+    rec = run_scenario(spec)
+    summary = summarize_record(rec)
+    print(f"scenario: {spec.name} ({len(spec.tenants)} tenants, "
+          f"{spec.cluster.num_nodes} nodes, "
+          f"{spec.arrival.process} arrivals)")
+    print(format_service_summary(summary))
+    print()
+    print(format_tenant_table(summary))
+    _write_records(args.json, [rec])
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -393,6 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "balance": _cmd_balance,
         "partition": _cmd_partition,
         "run": _cmd_run,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

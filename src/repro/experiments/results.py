@@ -37,7 +37,11 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
 #: ``inter_rack`` / ``wan`` on the rack hierarchies), plus
 #: ``ClusterSpec.topology`` and ``PartitionSpec.placement`` in the
 #: embedded spec.
-SCHEMA = "repro.experiments/v4"
+#: v5: the multi-tenant solve service — ``service_events`` (the raw
+#: arrival/shed/start/finish stream of a ``solver == "service"`` run;
+#: empty on solver records) and ``"service"`` as a third ``solver``
+#: value with a :class:`repro.service.ServiceSpec` dict in ``spec``.
+SCHEMA = "repro.experiments/v5"
 
 
 @dataclass
@@ -50,7 +54,7 @@ class RunRecord:
 
     #: registry name (or ad-hoc label) of the scenario that ran
     scenario: str = ""
-    #: "serial" or "distributed"
+    #: "serial", "distributed", or "service"
     solver: str = "distributed"
     #: the spec that produced this run, as ``ScenarioSpec.to_dict()``
     spec: Dict[str, Any] = field(default_factory=dict)
@@ -81,6 +85,11 @@ class RunRecord:
     #: ``{time, kind, node, sds_evacuated, tasks_requeued,
     #: recovery_bytes}`` — see :class:`repro.amt.faults.RecoveryEvent`
     recovery_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: raw event stream of a multi-tenant service run, in virtual-time
+    #: order: ``{kind: arrival|shed|start|finish, t, tenant, job, ...}``
+    #: dicts (see :mod:`repro.service.manager`); empty for solver runs.
+    #: Reduce with :func:`repro.service.summarize_service`
+    service_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``[step, parts_after]`` per balancing event that moved SDs
     parts_events: List[List[Any]] = field(default_factory=list)
     #: SD ownership at the end of the run

@@ -220,8 +220,16 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
         balancer_resolved=solver.balancer.name)
 
 
-def run_scenario(spec: ScenarioSpec) -> RunRecord:
-    """Execute one scenario point and collect its :class:`RunRecord`."""
+def run_scenario(spec) -> RunRecord:
+    """Execute one scenario point and collect its :class:`RunRecord`.
+
+    Accepts :class:`ScenarioSpec` *or* :class:`repro.service
+    .ServiceSpec` — the ``solver`` attribute routes, so sweeps may mix
+    solver and service points freely.
+    """
+    if spec.solver == "service":
+        from ..service.runner import run_service
+        return run_service(spec)
     if spec.solver == "serial":
         return _run_serial(spec)
     return _run_distributed(spec)
@@ -229,6 +237,9 @@ def run_scenario(spec: ScenarioSpec) -> RunRecord:
 
 def _sweep_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Child-process entry point: dict in, dict out (both picklable)."""
+    if payload.get("solver") == "service":
+        from ..service.spec import ServiceSpec
+        return run_scenario(ServiceSpec.from_dict(payload)).to_dict()
     return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()
 
 

@@ -1,0 +1,55 @@
+"""Rendering of multi-tenant service telemetry.
+
+``repro serve`` (and ``benchmarks/bench_service.py``) print the
+summary :func:`repro.service.summarize_service` reduces from a run's
+``service_events``: one headline block for the whole service, and one
+aligned table with a row per tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .tables import format_table
+
+__all__ = ["format_service_summary", "format_tenant_table"]
+
+
+def format_service_summary(summary: Dict[str, Any]) -> str:
+    """The whole-service headline: load accounting and latency tails.
+
+    ``summary`` is the dict :func:`repro.service.summarize_service`
+    returns (directly, or recomputed from a loaded record's
+    ``service_events``).
+    """
+    lines = [
+        f"offered {summary['offered']} jobs "
+        f"({summary['offered_rate']:.4g}/s) over "
+        f"{summary['horizon']:.4g}s: "
+        f"{summary['completed']} completed, {summary['shed']} shed, "
+        f"{summary['in_flight']} in flight",
+        f"goodput {summary['goodput']:.4g} jobs/s"
+        f"   fairness {summary['fairness']:.3f}",
+        f"queue wait p50 {summary['p50_wait']:.4g}s "
+        f"p99 {summary['p99_wait']:.4g}s"
+        f"   makespan p50 {summary['p50_makespan']:.4g}s "
+        f"p99 {summary['p99_makespan']:.4g}s",
+    ]
+    return "\n".join(lines)
+
+
+def format_tenant_table(summary: Dict[str, Any],
+                        title: str = "per-tenant service") -> str:
+    """One row per tenant: load split, goodput, and latency tails."""
+    rows = []
+    for name, t in summary["tenants"].items():
+        rows.append([
+            name, t["offered"], t["shed"], t["completed"],
+            f"{t['goodput']:.4g}",
+            f"{t['p50_wait']:.4g}", f"{t['p99_wait']:.4g}",
+            f"{t['p50_makespan']:.4g}", f"{t['p99_makespan']:.4g}",
+        ])
+    return format_table(
+        ["tenant", "offered", "shed", "done", "goodput/s",
+         "wait p50", "wait p99", "mkspan p50", "mkspan p99"],
+        rows, title=title)

@@ -1,0 +1,29 @@
+"""Multi-tenant solve service over the simulated cluster.
+
+Open-loop serving experiments on top of the DES: seeded arrival traces
+(:mod:`arrivals`) replay solve-job submissions from many virtual
+tenants into one shared :class:`repro.amt.cluster.SimCluster`, a
+:class:`JobManager` (:mod:`manager`) admits them against bounded
+per-tenant queues and co-schedules their step-DAGs, and the raw event
+stream reduces to latency/goodput/fairness telemetry (:mod:`telemetry`).
+
+>>> from repro.experiments import build
+>>> from repro.service import run_service, summarize_service
+>>> rec = build("service_poisson", horizon=2e-3)  # doctest: +SKIP
+>>> summarize_service(run_service(rec).service_events, 2e-3)  # doctest: +SKIP
+{'offered': ..., 'goodput': ...}
+"""
+
+from .arrivals import Arrival, generate_arrivals
+from .manager import JobManager
+from .runner import run_service, summarize_record
+from .spec import ArrivalSpec, ServiceSpec, TenantSpec
+from .telemetry import jain_fairness, percentile, summarize_service
+
+__all__ = [
+    "ArrivalSpec", "TenantSpec", "ServiceSpec",
+    "Arrival", "generate_arrivals",
+    "JobManager",
+    "run_service", "summarize_record",
+    "summarize_service", "percentile", "jain_fairness",
+]

@@ -1,0 +1,193 @@
+"""Job admission, queueing, and co-scheduling for the solve service.
+
+The :class:`JobManager` is the service's control plane (the
+QueryManager role in serving simulators like Helix): arrivals land in
+bounded per-tenant FIFO queues, overflow is shed immediately (the
+stream is open-loop — nothing ever blocks the arrival process), and a
+round-robin dispatcher starts up to ``max_concurrent`` admitted jobs on
+the one shared :class:`SimCluster`.
+
+An admitted job runs as a mini step-DAG: each relaxation sweep is one
+task per node (the tenant's mesh rows block-split across the whole
+cluster), sweeps are chained through a ``local_when_all`` barrier, and
+between sweeps neighbouring nodes exchange one ghost-row message each
+way.  Concurrent jobs' tasks interleave in the nodes' FIFO ready
+queues, so multi-tenant interference emerges from the DES itself rather
+than from an analytic sharing model.
+
+Everything the run observes is appended to ``manager.events`` as plain
+dicts (``arrival`` / ``shed`` / ``start`` / ``finish``), the raw
+telemetry stream :func:`repro.service.telemetry.summarize_service`
+reduces and ``RunRecord.service_events`` persists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+from ..amt.cluster import SimCluster
+from ..amt.future import local_when_all
+from .arrivals import Arrival
+from .spec import ServiceSpec
+
+__all__ = ["JobManager", "ARRIVAL_PRIORITY"]
+
+#: DES priority for arrival events: after same-instant deliveries (0)
+#: and task completions (1), so a job finishing exactly when the next
+#: arrival lands frees its concurrency slot first — the dispatch order
+#: is then independent of how the arrival trace interleaves with the
+#: cluster's own events.
+ARRIVAL_PRIORITY = 2
+
+
+class _Job:
+    """One admitted (or queued) solve job and its DAG bookkeeping."""
+
+    __slots__ = ("tenant", "index", "arrival_time", "start_time", "step")
+
+    def __init__(self, tenant: int, index: int, arrival_time: float) -> None:
+        self.tenant = tenant
+        self.index = index
+        self.arrival_time = arrival_time
+        self.start_time = -1.0
+        self.step = 0
+
+
+class _Template:
+    """Per-tenant job shape, resolved once against the cluster.
+
+    ``works[n]`` is the flops of tenant's per-sweep task on node ``n``
+    (mesh rows block-split over all nodes, cost from the shared cached
+    operator's ``flops_per_dp``); ``ghosts`` the ``(src, dst, nbytes)``
+    ring-exchange messages issued between sweeps.
+    """
+
+    __slots__ = ("steps", "works", "ghosts")
+
+    def __init__(self, steps: int, works: List[float],
+                 ghosts: List[tuple]) -> None:
+        self.steps = steps
+        self.works = works
+        self.ghosts = ghosts
+
+
+def _build_template(tenant, flops_per_dp: float,
+                    num_nodes: int) -> _Template:
+    rows = [tenant.nx // num_nodes
+            + (1 if n < tenant.nx % num_nodes else 0)
+            for n in range(num_nodes)]
+    works = [r * tenant.nx * flops_per_dp for r in rows]
+    # one ghost row (8 bytes per DP) each way across every block seam
+    ghosts = []
+    for n in range(num_nodes - 1):
+        ghosts.append((n, n + 1, 8 * tenant.nx))
+        ghosts.append((n + 1, n, 8 * tenant.nx))
+    return _Template(tenant.steps, works, ghosts)
+
+
+class JobManager:
+    """Admission control and dispatch over one shared cluster.
+
+    ``flops_per_dp`` maps tenant index → per-DP work of that tenant's
+    (shared, cached) operator; the manager never builds operators
+    itself, so operator sharing stays the runner's concern.
+    """
+
+    def __init__(self, cluster: SimCluster, spec: ServiceSpec,
+                 flops_per_dp: Dict[int, float]) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.templates = [
+            _build_template(t, flops_per_dp[i], spec.cluster.num_nodes)
+            for i, t in enumerate(spec.tenants)]
+        self.queues: List[Deque[_Job]] = [deque() for _ in spec.tenants]
+        self.events: List[Dict[str, Any]] = []
+        self.running = 0
+        self.jobs_in_flight = 0
+        self._rr = 0  # next tenant the round-robin scan starts from
+
+    # -- arrival / admission ----------------------------------------------
+    def feed(self, arrivals: List[Arrival]) -> None:
+        """Schedule the whole trace as absolute-time DES events."""
+        for arr in arrivals:
+            self.cluster.sim.schedule(
+                arr.time, lambda a=arr: self.on_arrival(a),
+                priority=ARRIVAL_PRIORITY, klass="arrival")
+
+    def on_arrival(self, arr: Arrival) -> None:
+        now = self.cluster.now
+        name = self.spec.tenants[arr.tenant].name
+        self.events.append({"kind": "arrival", "t": now, "tenant": name,
+                            "job": arr.index})
+        queue = self.queues[arr.tenant]
+        if len(queue) >= self.spec.max_queue_depth:
+            self.events.append({"kind": "shed", "t": now, "tenant": name,
+                                "job": arr.index,
+                                "depth": len(queue)})
+            return
+        queue.append(_Job(arr.tenant, arr.index, now))
+        self._dispatch()
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        num_tenants = len(self.queues)
+        while self.running < self.spec.max_concurrent:
+            job = None
+            for k in range(num_tenants):
+                tenant = (self._rr + k) % num_tenants
+                if self.queues[tenant]:
+                    job = self.queues[tenant].popleft()
+                    self._rr = (tenant + 1) % num_tenants
+                    break
+            if job is None:
+                return
+            self.running += 1
+            self.jobs_in_flight += 1
+            self._start(job)
+
+    def _start(self, job: _Job) -> None:
+        now = self.cluster.now
+        job.start_time = now
+        self.events.append({
+            "kind": "start", "t": now,
+            "tenant": self.spec.tenants[job.tenant].name,
+            "job": job.index, "wait": now - job.arrival_time})
+        self._run_step(job)
+
+    # -- the per-job step DAG ---------------------------------------------
+    def _run_step(self, job: _Job) -> None:
+        template = self.templates[job.tenant]
+        if job.step >= template.steps:
+            self._finish(job)
+            return
+        label = (f"{self.spec.tenants[job.tenant].name}"
+                 f"/{job.index}/s{job.step}")
+        futs = [self.cluster.submit(n, work, label=label)
+                for n, work in enumerate(template.works)]
+        local_when_all(futs)._add_callback(
+            lambda _f: self._exchange_ghosts(job))
+
+    def _exchange_ghosts(self, job: _Job) -> None:
+        job.step += 1
+        template = self.templates[job.tenant]
+        if job.step >= template.steps or not template.ghosts:
+            # last sweep needs no exchange; single-node jobs never do
+            self._run_step(job)
+            return
+        ghost_futs = self.cluster.send_many(template.ghosts)
+        local_when_all(ghost_futs)._add_callback(
+            lambda _f: self._run_step(job))
+
+    def _finish(self, job: _Job) -> None:
+        now = self.cluster.now
+        self.events.append({
+            "kind": "finish", "t": now,
+            "tenant": self.spec.tenants[job.tenant].name,
+            "job": job.index,
+            "wait": job.start_time - job.arrival_time,
+            "makespan": now - job.arrival_time,
+            "service": now - job.start_time})
+        self.running -= 1
+        self.jobs_in_flight -= 1
+        self._dispatch()

@@ -1,0 +1,86 @@
+"""Spec → running service: the execution path for service scenarios.
+
+:func:`run_service` mirrors :func:`repro.experiments.runner
+.run_scenario` for the multi-tenant service: build the shared cluster
+from the embedded :class:`ClusterSpec`, resolve one cached operator per
+distinct tenant discretization (jobs with the same ``(nx, eps_factor,
+backend)`` share the assembly — the cross-job reuse the service
+measures), replay the seeded arrival trace through a
+:class:`JobManager`, and reduce the event stream into a
+:class:`RunRecord` whose ``service_events`` field carries the raw
+trace.
+
+Wave batching is forced **off** on the service cluster: the wave fast
+path resolves intermediate task futures at the end of a batched run,
+which is invisible through a single solver's step barrier but *not*
+through many independent jobs' interleaved barriers — a job's sweep
+barrier must fire the instant its own tasks finish, not when an
+unrelated tenant's backlog drains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..amt.cluster import ConstantSpeed, SimCluster
+from ..experiments.results import RunRecord
+from ..experiments.runner import cached_operator
+from .arrivals import generate_arrivals
+from .manager import JobManager
+from .spec import ServiceSpec
+from .telemetry import summarize_service
+
+__all__ = ["run_service"]
+
+
+def run_service(spec: ServiceSpec) -> RunRecord:
+    """Execute one service point and collect its :class:`RunRecord`.
+
+    The cluster runs ``until=spec.horizon``: jobs still queued or
+    mid-DAG at the horizon stay unfinished (they are the ``in_flight``
+    count in the summary), and — via the drained-queue clock contract —
+    an underloaded run still ends with ``now == horizon``, so busy
+    fractions and goodput are always measured against the full window.
+    """
+    flops: Dict[int, float] = {}
+    backends = set()
+    for i, tenant in enumerate(spec.tenants):
+        op = cached_operator(tenant.nx, tenant.nx, tenant.eps_factor,
+                             spec.kernel_backend)
+        flops[i] = op.flops_per_dp()
+        backends.add(op.backend_name)
+
+    # same default rate as the distributed solver: 1e9 DP-update-flops
+    # per virtual second per node (SimCluster's own default is a bare
+    # 1.0 for unit tests)
+    speeds = spec.cluster.build_speeds(default_rate=1e9)
+    if speeds is None:
+        speeds = [ConstantSpeed(1e9)] * spec.cluster.num_nodes
+    cluster = SimCluster(
+        spec.cluster.num_nodes,
+        cores_per_node=spec.cluster.cores_per_node,
+        speeds=speeds,
+        network=spec.cluster.build_network(),
+        wave_batching=False)
+
+    manager = JobManager(cluster, spec, flops)
+    manager.feed(generate_arrivals(spec.arrival, spec.tenants,
+                                   spec.horizon))
+    cluster.run(until=spec.horizon)
+
+    return RunRecord(
+        scenario=spec.name, solver="service", spec=spec.to_dict(),
+        num_steps=0,
+        makespan=float(cluster.now),
+        busy_total=[float(cluster.busy_time(n))
+                    for n in range(spec.cluster.num_nodes)],
+        service_events=list(manager.events),
+        backend_resolved="+".join(sorted(backends)))
+
+
+def summarize_record(record: RunRecord) -> Dict:
+    """The service summary of a (possibly JSON-round-tripped) record,
+    with fairness normalized by the spec's tenant weights."""
+    weights = {t["name"]: t["weight"] for t in record.spec["tenants"]}
+    return summarize_service(record.service_events,
+                             record.spec["horizon"], weights=weights)

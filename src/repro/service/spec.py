@@ -1,0 +1,243 @@
+"""Declarative specifications for the multi-tenant solve service.
+
+A :class:`ServiceSpec` describes an *open-loop* service experiment: many
+virtual tenants submit solve jobs to one shared simulated cluster
+according to a seeded arrival process, a :class:`repro.service.manager
+.JobManager` admits or sheds them against bounded per-tenant queues, and
+admitted jobs run as step-DAGs on the cluster.  Like every spec in
+:mod:`repro.experiments.spec`, these are frozen, eagerly validated,
+JSON-round-trippable value objects — the contract the parallel sweep
+runner and the ``--json`` files rely on.
+
+``ServiceSpec.to_dict`` carries a ``"solver": "service"`` marker so the
+sweep worker (which only sees a payload dict across the process
+boundary) can route service points to :func:`repro.service.runner
+.run_service` instead of the scenario runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..experiments.spec import ClusterSpec, _require, _set
+
+__all__ = ["ArrivalSpec", "TenantSpec", "ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The open-loop arrival process feeding the service.
+
+    ``rate`` is the *aggregate* offered load in jobs per virtual second,
+    split across tenants by their weights.  All three processes are
+    seeded and deterministic — the same spec always replays the same
+    trace (the bit-identical-repeats test pins this).
+
+    Processes
+    ---------
+    ``poisson``
+        Independent exponential inter-arrival gaps per tenant.
+    ``bursty``
+        An on/off modulated Poisson process: arrivals only during "on"
+        windows of length ``burst_on`` (separated by ``burst_off`` of
+        silence), at a rate inflated so the long-run average still
+        matches ``rate``.
+    ``diurnal``
+        A sinusoidally modulated Poisson process (thinning construction):
+        intensity ``rate * (1 + amplitude * sin(2*pi*t / period))``.
+    """
+
+    PROCESSES = ("poisson", "bursty", "diurnal")
+
+    process: str = "poisson"
+    rate: float = 1000.0
+    seed: int = 0
+    burst_on: float = 1e-3
+    burst_off: float = 3e-3
+    period: float = 1e-2
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        _require(self.process in self.PROCESSES,
+                 f"unknown arrival process {self.process!r}; "
+                 f"expected one of {self.PROCESSES}")
+        _set(self, "rate", float(self.rate))
+        _set(self, "seed", int(self.seed))
+        _set(self, "burst_on", float(self.burst_on))
+        _set(self, "burst_off", float(self.burst_off))
+        _set(self, "period", float(self.period))
+        _set(self, "amplitude", float(self.amplitude))
+        _require(self.rate >= 0, f"rate must be >= 0, got {self.rate}")
+        _require(self.burst_on > 0,
+                 f"burst_on must be > 0, got {self.burst_on}")
+        _require(self.burst_off >= 0,
+                 f"burst_off must be >= 0, got {self.burst_off}")
+        _require(self.period > 0, f"period must be > 0, got {self.period}")
+        _require(0 <= self.amplitude < 1,
+                 f"amplitude must be in [0, 1), got {self.amplitude}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"process": self.process, "rate": self.rate,
+                "seed": self.seed, "burst_on": self.burst_on,
+                "burst_off": self.burst_off, "period": self.period,
+                "amplitude": self.amplitude}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ArrivalSpec":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One virtual tenant: its share of the load and its job shape.
+
+    Every job a tenant submits is the same mini solve: ``steps``
+    relaxation sweeps of an ``nx`` x ``nx`` mesh with horizon
+    ``eps_factor * h``, block-split across the whole cluster with a
+    ring ghost exchange between sweeps.  Tenants with the same
+    ``(nx, eps_factor)`` share one cached operator (the
+    :func:`repro.experiments.cached_operator` key), which is the
+    cross-job operator reuse the service exists to exercise.
+    """
+
+    name: str
+    weight: float = 1.0
+    nx: int = 32
+    steps: int = 2
+    eps_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "tenant name must be a non-empty string")
+        _set(self, "weight", float(self.weight))
+        _set(self, "nx", int(self.nx))
+        _set(self, "steps", int(self.steps))
+        _set(self, "eps_factor", float(self.eps_factor))
+        _require(self.weight > 0,
+                 f"tenant {self.name!r}: weight must be > 0, "
+                 f"got {self.weight}")
+        _require(self.nx >= 1,
+                 f"tenant {self.name!r}: nx must be >= 1, got {self.nx}")
+        _require(self.steps >= 1,
+                 f"tenant {self.name!r}: steps must be >= 1, "
+                 f"got {self.steps}")
+        _require(self.eps_factor > 0,
+                 f"tenant {self.name!r}: eps_factor must be positive, "
+                 f"got {self.eps_factor}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "weight": self.weight, "nx": self.nx,
+                "steps": self.steps, "eps_factor": self.eps_factor}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TenantSpec":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One complete, runnable multi-tenant service experiment.
+
+    The service replays ``arrival`` over ``[0, horizon)`` virtual
+    seconds into a shared cluster built from ``cluster``.  Admission
+    control bounds each tenant's FIFO queue at ``max_queue_depth``
+    (overflow is shed, not blocked — the stream is open-loop), and at
+    most ``max_concurrent`` admitted jobs run on the cluster at once.
+
+    The service requires a fault-free cluster: recovery of in-flight
+    *jobs* (as opposed to tasks) is a scheduling policy question the
+    service layer does not answer yet, and silently dropping jobs on a
+    node failure would corrupt the goodput accounting.
+    """
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    cluster: ClusterSpec = ClusterSpec()
+    arrival: ArrivalSpec = ArrivalSpec()
+    horizon: float = 1e-2
+    max_queue_depth: int = 16
+    max_concurrent: int = 8
+    kernel_backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "service name must be a non-empty string")
+        tenants = []
+        for entry in self.tenants:
+            if isinstance(entry, dict):
+                entry = TenantSpec.from_dict(entry)
+            tenants.append(entry)
+        _set(self, "tenants", tuple(tenants))
+        _require(len(self.tenants) >= 1, "need at least one tenant")
+        names = [t.name for t in self.tenants]
+        _require(len(set(names)) == len(names),
+                 f"tenant names must be unique, got {names}")
+        if isinstance(self.cluster, dict):
+            _set(self, "cluster", ClusterSpec.from_dict(self.cluster))
+        if isinstance(self.arrival, dict):
+            _set(self, "arrival", ArrivalSpec.from_dict(self.arrival))
+        _set(self, "horizon", float(self.horizon))
+        _set(self, "max_queue_depth", int(self.max_queue_depth))
+        _set(self, "max_concurrent", int(self.max_concurrent))
+        _require(self.horizon > 0,
+                 f"horizon must be > 0, got {self.horizon}")
+        _require(self.max_queue_depth >= 1,
+                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        _require(self.max_concurrent >= 1,
+                 f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        _require(self.cluster.faults is None,
+                 "the service layer requires a fault-free cluster "
+                 "(job-level recovery is not defined)")
+        for t in self.tenants:
+            _require(t.nx >= self.cluster.num_nodes,
+                     f"tenant {t.name!r}: nx={t.nx} rows cannot be "
+                     f"block-split over {self.cluster.num_nodes} nodes")
+        from ..solver.backends import backend_names
+        _require(self.kernel_backend == "auto"
+                 or self.kernel_backend in backend_names(),
+                 f"unknown kernel backend {self.kernel_backend!r}; "
+                 f"expected 'auto' or one of {tuple(backend_names())}")
+
+    @property
+    def solver(self) -> str:
+        """Dispatch marker: ``run_scenario`` routes on this, exactly
+        like ``ScenarioSpec.solver`` selects serial vs distributed."""
+        return "service"
+
+    @property
+    def total_weight(self) -> float:
+        return sum(t.weight for t in self.tenants)
+
+    def tenant_rate(self, index: int) -> float:
+        """Tenant ``index``'s share of the aggregate arrival rate."""
+        return self.arrival.rate * (self.tenants[index].weight
+                                    / self.total_weight)
+
+    def replace(self, **changes: Any) -> "ServiceSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "solver": "service",  # sweep-worker dispatch marker
+            "tenants": [t.to_dict() for t in self.tenants],
+            "cluster": self.cluster.to_dict(),
+            "arrival": self.arrival.to_dict(),
+            "horizon": self.horizon,
+            "max_queue_depth": self.max_queue_depth,
+            "max_concurrent": self.max_concurrent,
+            "kernel_backend": self.kernel_backend,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ServiceSpec":
+        d = dict(d)
+        marker = d.pop("solver", "service")
+        _require(marker == "service",
+                 f"not a service spec (solver={marker!r})")
+        d["tenants"] = tuple(TenantSpec.from_dict(t) for t in d["tenants"])
+        d["cluster"] = ClusterSpec.from_dict(d.get("cluster", {}))
+        d["arrival"] = ArrivalSpec.from_dict(d.get("arrival", {}))
+        return cls(**d)

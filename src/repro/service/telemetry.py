@@ -1,0 +1,123 @@
+"""Reduction of the raw service event stream into headline metrics.
+
+:func:`summarize_service` is a pure function of the event list (plus
+the horizon), so it works identically on a live run's
+``JobManager.events`` and on the ``service_events`` field of a record
+loaded back from JSON — the reporting layer and the benches both call
+it on whichever they have.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["percentile", "jain_fairness", "summarize_service"]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The q-th percentile by the nearest-rank method.
+
+    Deterministic and interpolation-free (``ceil(q/100 * n)``-th order
+    statistic), so summaries round-trip exactly through JSON and never
+    depend on numpy version differences.  Returns 0.0 for an empty
+    sample (a run with no finished jobs has no latency, not NaN).
+    """
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(data))
+    return data[rank - 1]
+
+
+def jain_fairness(shares: List[float]) -> float:
+    """Jain's fairness index of per-tenant shares: 1.0 when equal,
+    ``1/n`` when one tenant monopolizes.  Empty/zero input → 1.0
+    (nothing was served, nobody was treated unfairly)."""
+    if not shares or all(s == 0 for s in shares):
+        return 1.0
+    num = sum(shares) ** 2
+    den = len(shares) * sum(s * s for s in shares)
+    return num / den
+
+
+def summarize_service(events: List[Dict[str, Any]], horizon: float,
+                      weights: Optional[Dict[str, float]] = None
+                      ) -> Dict[str, Any]:
+    """Headline service metrics from the raw event stream.
+
+    Counting rules: ``offered`` arrivals split exactly into ``shed``
+    plus admitted; admitted jobs are ``completed`` or still
+    ``in_flight`` (queued or running) at the horizon.  ``goodput`` is
+    completed jobs per virtual second; latency percentiles are over
+    completed jobs only (an in-flight job has no makespan yet), while
+    queue-wait percentiles are over *started* jobs, so overload shows
+    up as both shed load and growing waits.
+
+    ``weights`` (tenant name → entitlement) normalizes the fairness
+    index: each tenant's share is ``completed / weight``, so 1.0 means
+    everyone got throughput proportional to entitlement.  Without
+    weights the index is over raw completion counts.
+    """
+    offered = shed = started = completed = 0
+    waits: List[float] = []
+    makespans: List[float] = []
+    tenants: Dict[str, Dict[str, Any]] = {}
+
+    def bucket(name: str) -> Dict[str, Any]:
+        if name not in tenants:
+            tenants[name] = {"offered": 0, "shed": 0, "completed": 0,
+                             "waits": [], "makespans": []}
+        return tenants[name]
+
+    for e in events:
+        kind = e["kind"]
+        b = bucket(e["tenant"])
+        if kind == "arrival":
+            offered += 1
+            b["offered"] += 1
+        elif kind == "shed":
+            shed += 1
+            b["shed"] += 1
+        elif kind == "start":
+            started += 1
+            waits.append(e["wait"])
+            b["waits"].append(e["wait"])
+        elif kind == "finish":
+            completed += 1
+            makespans.append(e["makespan"])
+            b["completed"] += 1
+            b["makespans"].append(e["makespan"])
+
+    per_tenant = {}
+    for name, b in sorted(tenants.items()):
+        per_tenant[name] = {
+            "offered": b["offered"], "shed": b["shed"],
+            "completed": b["completed"],
+            "goodput": b["completed"] / horizon,
+            "p50_wait": percentile(b["waits"], 50),
+            "p99_wait": percentile(b["waits"], 99),
+            "p50_makespan": percentile(b["makespans"], 50),
+            "p99_makespan": percentile(b["makespans"], 99),
+        }
+    return {
+        "horizon": horizon,
+        "offered": offered,
+        "shed": shed,
+        "admitted": offered - shed,
+        "started": started,
+        "completed": completed,
+        "in_flight": (offered - shed) - completed,
+        "offered_rate": offered / horizon,
+        "goodput": completed / horizon,
+        "p50_wait": percentile(waits, 50),
+        "p99_wait": percentile(waits, 99),
+        "p50_makespan": percentile(makespans, 50),
+        "p99_makespan": percentile(makespans, 99),
+        "fairness": jain_fairness(
+            [t["completed"] / (weights or {}).get(name, 1.0)
+             for name, t in per_tenant.items()]),
+        "tenants": per_tenant,
+    }

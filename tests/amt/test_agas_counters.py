@@ -130,6 +130,50 @@ class TestBusyTimeCounter:
         with pytest.raises(ValueError, match="before begin"):
             c.end_work(4.0, tok)
 
+    def test_reset_clips_open_interval_at_reset_time(self):
+        """The confirmed busy-window bug: begin_work(0); reset at t=5;
+        end_work(12) must put 7.0 in the new window — not the full 12.0
+        pre-reset-straddling span."""
+        c = BusyTimeCounter("/b")
+        tok = c.begin_work(0.0)
+        c.reset(5.0)
+        assert c.value() == 0.0       # new window starts empty
+        assert c.total() == 5.0       # clipped span kept in the lifetime
+        c.end_work(12.0, tok)
+        assert c.value() == 7.0       # only the in-window portion
+        assert c.total() == 12.0
+
+    def test_reset_clips_every_open_interval(self):
+        c = BusyTimeCounter("/b")
+        t1 = c.begin_work(0.0)
+        t2 = c.begin_work(2.0)
+        c.reset(4.0)
+        assert c.total() == 4.0 + 2.0
+        c.end_work(5.0, t1)
+        c.end_work(6.0, t2)
+        assert c.value() == 1.0 + 2.0
+        assert c.open_intervals() == 0
+
+    def test_reset_with_open_intervals_requires_now(self):
+        c = BusyTimeCounter("/b")
+        c.begin_work(1.0)
+        with pytest.raises(ValueError, match="open work interval"):
+            c.reset()
+
+    def test_reset_before_open_start_raises(self):
+        c = BusyTimeCounter("/b")
+        c.begin_work(3.0)
+        with pytest.raises(ValueError, match="before open"):
+            c.reset(2.0)
+
+    def test_quiescent_reset_needs_no_time(self):
+        c = BusyTimeCounter("/b")
+        tok = c.begin_work(0.0)
+        c.end_work(2.0, tok)
+        c.reset()
+        assert c.value() == 0.0
+        assert c.total() == 2.0
+
 
 class TestCounterRegistry:
     def test_create_and_get_busy_time(self):
@@ -143,14 +187,16 @@ class TestCounterRegistry:
         c.add(7.0)
         assert reg.busy_time("node0") == 7.0
 
-    def test_all_of_kind_sorted(self):
+    def test_all_of_kind_creation_order(self):
+        """Creation order, not name order: lexicographic sorting put
+        ``node10`` before ``node2`` once a cluster reached ten nodes."""
         reg = CounterRegistry()
-        reg.create_busy_time("node1")
-        reg.create_busy_time("node0")
+        for i in range(12):
+            reg.create_busy_time(f"node{i}")
         reg.create("node0", "messages")
         busy = reg.all_of_kind(BUSY_TIME)
         assert [c.name for c in busy] == [
-            "/counters/node0/busy_time", "/counters/node1/busy_time"]
+            f"/counters/node{i}/busy_time" for i in range(12)]
 
     def test_reset_all_matches_algorithm1_line35(self):
         reg = CounterRegistry()
@@ -177,3 +223,18 @@ class TestCounterRegistry:
         reg.create_busy_time("node0")
         with pytest.raises(Exception):
             reg.create_busy_time("node0")
+
+    def test_reset_all_clips_open_intervals_at_now(self):
+        """Algorithm 1 line 35 with work in flight: the bulk reset
+        threads the poll time through to every busy counter."""
+        reg = CounterRegistry()
+        a = reg.create_busy_time("node0")
+        b = reg.create_busy_time("node1")
+        tok = a.begin_work(0.0)
+        b.add(3.0)
+        n = reg.reset_all(BUSY_TIME, now=10.0)
+        assert n == 2
+        assert a.value() == 0.0 and b.value() == 0.0
+        a.end_work(14.0, tok)
+        assert a.value() == 4.0  # only the post-reset span
+        assert a.total() == 14.0

@@ -269,6 +269,27 @@ class TestSimCluster:
         assert cluster.busy_time(0) == pytest.approx(2.0)
         assert cluster.busy_fraction(0) == pytest.approx(1.0)
 
+    def test_reset_counters_with_in_flight_work_clips_the_window(self):
+        """A balance-poll-style reset while a task is mid-execution:
+        the new window must measure only post-reset busy time, not the
+        task's whole span (the busy-window bug inflated eq-8 node power
+        for exactly this case)."""
+        cluster = SimCluster(num_nodes=2)
+        cluster.submit(0, work=10.0)   # in flight across the poll
+        cluster.submit(1, work=2.0)    # quiescent by the poll
+        cluster.run(until=4.0)
+        assert cluster.now == 4.0
+        assert cluster.nodes[0].running  # genuinely mid-task
+        cluster.reset_counters()
+        assert cluster.busy_time(0) == 0.0
+        cluster.run()
+        # window: only the 6 busy seconds after the poll
+        assert cluster.busy_time(0) == pytest.approx(6.0)
+        assert cluster.busy_fraction(0) == pytest.approx(1.0)
+        # lifetime keeps the full span
+        assert cluster.nodes[0].counter.total() == pytest.approx(10.0)
+        assert cluster.busy_time(1) == 0.0
+
     def test_unknown_node_raises(self):
         cluster = SimCluster(num_nodes=1)
         with pytest.raises(SimulationError, match="unknown node"):

@@ -94,6 +94,36 @@ class TestRunControls:
         sim.run()
         assert fired == [1, 10]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        """The drained-queue path lands on ``until`` exactly like the
+        later-event path: ``schedule(1.0); run(until=5.0)`` must leave
+        the clock at 5.0, not parked on the last event time."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        # successive windows tile virtual time without gaps
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_run_until_in_the_past_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.now == 3.0
+        sim.run(until=1.0)  # empty queue, until behind now: no move
+        assert sim.now == 3.0
+
+    def test_run_until_exact_event_time_fires_then_holds(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+        assert sim.now == 2.0
+
     def test_max_events_guard(self):
         sim = Simulator()
 

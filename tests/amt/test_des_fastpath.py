@@ -171,8 +171,11 @@ class TestRunControlEdges:
         assert sim.now == 4.0
 
     def test_until_with_empty_queue_advances_clock(self, queue):
+        # the drained-queue path lands on `until` just like the
+        # later-event path does — empty windows still tile virtual time
         sim = Simulator(queue=queue)
-        assert sim.run(until=3.0) == 0.0  # nothing scheduled: clock idle
+        assert sim.run(until=3.0) == 3.0
+        assert sim.run(until=2.0) == 3.0  # never backwards
 
     def test_pending_is_live_count(self, queue):
         sim = Simulator(queue=queue)

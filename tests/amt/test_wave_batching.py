@@ -180,6 +180,20 @@ class TestWaveInterruption:
                  _observe(cluster)))
         assert outcomes[0] == outcomes[1]
 
+    @pytest.mark.parametrize("wave", [False, True])
+    def test_run_until_past_drained_queue_lands_on_until(self, wave):
+        """``run(until=...)`` beyond the last event advances the clock
+        to ``until`` — with and without an in-flight wave to
+        materialize — so busy-fraction windows measured against ``now``
+        span the full requested window."""
+        cluster = self._loaded(wave)
+        cluster.run(until=2.0)  # all work (incl. node 1's 1s task) done
+        assert cluster.now == 2.0
+        assert all(n.wave is None for n in cluster.nodes)
+        assert sum(n.tasks_completed for n in cluster.nodes) == len(WORKS) + 1
+        # the window denominator now covers the idle tail too
+        assert cluster.busy_fraction(0) < 1.0
+
     def test_orphans_resubmit_after_mid_wave_failure(self):
         cluster = self._loaded(True)
         cluster.run(until=5e-4)

@@ -345,3 +345,65 @@ class TestDesQueueEnv:
         rc = main(["run", "--scenario", "quickstart", "--steps", "1"])
         assert rc == 0
         assert "makespan" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_list_service_scenarios(self, capsys):
+        rc = main(["serve", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        names = out.split()
+        assert names == sorted(names)
+        assert {"service_poisson", "service_bursty",
+                "service_overload"} <= set(names)
+        assert all(n.startswith("service_") for n in names)
+
+    def test_serve_default_scenario_with_json(self, capsys, tmp_path):
+        path = tmp_path / "svc.json"
+        rc = main(["serve", "--horizon", "1e-3", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "goodput" in out
+        assert "per-tenant service" in out
+        records = read_records(str(path))
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.scenario == "service_poisson"
+        assert rec.solver == "service"
+        assert rec.service_events
+        assert rec.spec["horizon"] == 1e-3
+
+    def test_serve_overload_reports_shedding(self, capsys):
+        rc = main(["serve", "--scenario", "service_overload"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # the overload scenario must actually shed on its default knobs
+        import re
+        m = re.search(r"(\d+) shed", out)
+        assert m and int(m.group(1)) > 0
+
+    def test_serve_overrides_feed_the_spec(self, capsys, tmp_path):
+        path = tmp_path / "svc.json"
+        rc = main(["serve", "--scenario", "service_poisson",
+                   "--rate", "5000", "--seed", "3", "--nodes", "8",
+                   "--horizon", "1e-3", "--json", str(path)])
+        assert rc == 0
+        rec = read_records(str(path))[0]
+        assert rec.spec["arrival"]["rate"] == 5000.0
+        assert rec.spec["arrival"]["seed"] == 3
+        assert rec.spec["cluster"]["num_nodes"] == 8
+
+    def test_serve_unknown_scenario(self, capsys):
+        assert main(["serve", "--scenario", "service_imaginary"]) == 2
+        assert "service_imaginary" in capsys.readouterr().err
+
+    def test_serve_rejects_non_service_scenario(self, capsys):
+        rc = main(["serve", "--scenario", "fig14_load_balance"])
+        assert rc == 2
+        assert "use 'repro run'" in capsys.readouterr().err
+
+    def test_serve_rejects_unsupported_override(self, capsys):
+        rc = main(["serve", "--scenario", "fig14_load_balance",
+                   "--rate", "100"])
+        assert rc == 2
+        assert "--rate" in capsys.readouterr().err
