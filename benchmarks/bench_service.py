@@ -1,4 +1,4 @@
-"""Multi-tenant solve-service benchmark: goodput under offered load.
+"""Multi-tenant solve-service benchmark: goodput and DES throughput.
 
 The three registry service scenarios run end to end, each in a fresh
 subprocess (clean operator cache, true per-scenario ``ru_maxrss``):
@@ -13,9 +13,32 @@ subprocess (clean operator cache, true per-scenario ``ru_maxrss``):
   stays bounded by the finite queues instead of growing with the
   backlog.
 
-Each worker runs its scenario twice and asserts the two records are
-bit-identical (the seeded open-loop determinism contract), then
-reports the telemetry summary plus wall-clock throughput.
+Each worker runs its scenario three times: once cold (warming the
+shared operator cache), once timed on the fast path (wave batching on
+— ``submit_group``/``send_group`` DAGs plus the chunked arrival pump),
+and once timed with ``wave_batching=False`` (the strict
+one-event-per-task/arrival path).  The cold and timed fast records
+must be bit-identical (seeded determinism) and the fast and forced-off
+records must be bit-identical (the barrier-aware batching parity
+contract); the wall-clock ratio is the fast path's speedup.
+
+Two event rates are reported per scenario — they measure different
+things:
+
+* ``events_per_second`` — *logical* DES events (the forced-off run's
+  ``events_processed``, one per task/delivery/arrival) divided by the
+  fast run's wall time.  Same semantics as ``bench_des_core.py``:
+  simulated events retired per wall second, comparable across tiers.
+* ``telemetry_events_per_second`` — rows of the service event stream
+  (arrival/shed/start/finish) per wall second; a service-level rate,
+  *not* comparable to the DES metric (one job is 4 telemetry rows but
+  dozens of DES events).
+
+``service_extreme`` (64 tenants, ~10^6 offered jobs, 64 nodes) is
+benchmarked separately: wall-clock throughput on the fast path at full
+scale, with the forced-off parity + speedup comparison at a reduced
+horizon (the strict path at full scale would need ~10^6 scheduled
+arrival events).
 
 Floors (env-tunable for noisy CI runners; virtual-time quantities are
 exact and keep hard asserts):
@@ -24,6 +47,15 @@ exact and keep hard asserts):
   virtual time the overload scenario must sustain while shedding.
 * ``REPRO_BENCH_MAX_WAIT_FRAC`` (default 0.5) — p99 queue wait of
   admitted overload jobs as a fraction of the horizon.
+* ``REPRO_BENCH_MIN_SERVICE_SPEEDUP`` (default 3.0) — wall-clock
+  speedup of the fast path over forced-off on ``service_overload``.
+
+Knobs: ``REPRO_BENCH_SERVICE_HORIZON`` (default 20.0) scales the three
+registry horizons so the DES dominates wall time — the reported rates
+are horizon-invariant; ``REPRO_BENCH_SERVICE_EXTREME_HORIZON``
+(default 5e-2, the registry value) sets the extreme tier's horizon and
+``REPRO_BENCH_SERVICE_EXTREME_PARITY`` (default 2e-3) the horizon of
+its forced-off parity run.
 
 Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
 writes it to a file (``BENCH_service.json`` at the repo root is the
@@ -40,36 +72,62 @@ from functools import lru_cache
 from repro.experiments import SCHEMA, write_json
 from repro.reporting.tables import format_table
 
-#: horizon multiplier — CI smoke shrinks the scenarios via this
-HORIZON_SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_HORIZON", "1.0"))
+#: horizon multiplier for the three registry scenarios — large enough
+#: that steady-state DES work dominates trace generation and spec
+#: build; CI smoke shrinks it
+HORIZON_SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_HORIZON", "20.0"))
+
+#: the extreme tier's horizon (absolute) and its parity-run horizon
+EXTREME_HORIZON = float(
+    os.environ.get("REPRO_BENCH_SERVICE_EXTREME_HORIZON", "5e-2"))
+EXTREME_PARITY_HORIZON = float(
+    os.environ.get("REPRO_BENCH_SERVICE_EXTREME_PARITY", "2e-3"))
 
 #: overload goodput floor, in completed jobs per virtual second
 _MIN_GOODPUT = float(os.environ.get("REPRO_BENCH_MIN_GOODPUT", "25000"))
 #: overload p99 queue wait ceiling, as a fraction of the horizon
 _MAX_WAIT_FRAC = float(os.environ.get("REPRO_BENCH_MAX_WAIT_FRAC", "0.5"))
+#: fast-path wall-clock speedup floor on service_overload
+_MIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_SERVICE_SPEEDUP", "3.0"))
 
 SCENARIOS = ("service_poisson", "service_bursty", "service_overload")
 
 
 def _worker(name: str) -> None:
-    """Subprocess entry: run one scenario twice, summarize, report."""
+    """Subprocess entry: one scenario, fast + forced-off, report."""
     from harness import peak_rss_bytes
 
-    from repro.experiments import build, run_scenario
-    from repro.service import summarize_record
+    from repro.experiments import build
+    from repro.service import run_service_detailed, summarize_record
 
     spec = build(name)
     spec = spec.replace(horizon=spec.horizon * HORIZON_SCALE)
-    t0 = time.perf_counter()
-    record = run_scenario(spec)
-    wall = time.perf_counter() - t0
-    repeat = run_scenario(spec)
-    assert record.to_dict() == repeat.to_dict(), \
+
+    cold, _ = run_service_detailed(spec, wave_batching=True)
+    # best-of-3 walls for both modes: the speedup ratio is what the
+    # floor guards, so suppress scheduler noise on both sides
+    wall = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        record, cluster = run_service_detailed(spec, wave_batching=True)
+        wall = min(wall, time.perf_counter() - t0)
+    assert record.to_dict() == cold.to_dict(), \
         f"{name}: seeded rerun diverged"
+
+    wall_off = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        record_off, cluster_off = run_service_detailed(
+            spec, wave_batching=False)
+        wall_off = min(wall_off, time.perf_counter() - t0)
+    assert record.to_dict() == record_off.to_dict(), \
+        f"{name}: wave batching changed the record"
 
     summary = summarize_record(record)
     horizon = spec.horizon
     utilization = sum(record.busy_total) / (len(record.busy_total) * horizon)
+    logical = cluster_off.sim.events_processed
     row = {
         "scenario": name,
         "horizon": horizon,
@@ -84,15 +142,76 @@ def _worker(name: str) -> None:
         "p99_makespan": summary["p99_makespan"],
         "fairness": summary["fairness"],
         "utilization": utilization,
-        "events": len(record.service_events),
+        "telemetry_events": len(record.service_events),
+        "telemetry_events_per_second": len(record.service_events) / wall,
+        "logical_events": logical,
+        "physical_events": cluster.sim.events_processed,
+        "events_per_second": logical / wall,
         "wall_seconds": wall,
-        "events_per_second": len(record.service_events) / wall,
+        "wall_seconds_waves_off": wall_off,
+        "speedup": wall_off / wall,
         "peak_rss_bytes": peak_rss_bytes(),
     }
     print("RESULT " + json.dumps(row, sort_keys=True))
 
 
-def _run_scenario(name):
+def _worker_extreme() -> None:
+    """Subprocess entry: the service_extreme throughput tier."""
+    from harness import peak_rss_bytes
+
+    from repro.experiments import build
+    from repro.service import run_service_detailed, summarize_record
+
+    # parity + speedup at the reduced horizon (forced-off is tractable)
+    small = build("service_extreme", horizon=EXTREME_PARITY_HORIZON)
+    run_service_detailed(small, wave_batching=True)  # warm operator cache
+    wall_small = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        rec_small, _ = run_service_detailed(small, wave_batching=True)
+        wall_small = min(wall_small, time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    rec_small_off, cl_small_off = run_service_detailed(
+        small, wave_batching=False)
+    wall_small_off = time.perf_counter() - t0
+    assert rec_small.service_events == rec_small_off.service_events, \
+        "service_extreme: wave batching changed the event stream"
+    assert rec_small.to_dict() == rec_small_off.to_dict(), \
+        "service_extreme: wave batching changed the record"
+
+    # full-scale throughput, fast path only
+    spec = build("service_extreme", horizon=EXTREME_HORIZON)
+    t0 = time.perf_counter()
+    record, cluster = run_service_detailed(spec, wave_batching=True)
+    wall = time.perf_counter() - t0
+    summary = summarize_record(record)
+
+    row = {
+        "scenario": "service_extreme",
+        "horizon": spec.horizon,
+        "parity_horizon": EXTREME_PARITY_HORIZON,
+        "offered": summary["offered"],
+        "shed": summary["shed"],
+        "completed": summary["completed"],
+        "goodput": summary["goodput"],
+        "utilization": (sum(record.busy_total)
+                        / (len(record.busy_total) * spec.horizon)),
+        "telemetry_events": len(record.service_events),
+        "telemetry_events_per_second": len(record.service_events) / wall,
+        "physical_events": cluster.sim.events_processed,
+        "logical_events_parity": cl_small_off.sim.events_processed,
+        "events_per_second_parity":
+            cl_small_off.sim.events_processed / wall_small,
+        "wall_seconds": wall,
+        "wall_seconds_parity": wall_small,
+        "wall_seconds_parity_waves_off": wall_small_off,
+        "speedup_parity": wall_small_off / wall_small,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    print("RESULT " + json.dumps(row, sort_keys=True))
+
+
+def _run_worker(name):
     proc = subprocess.run(
         [sys.executable, os.path.abspath(__file__), "--worker", name],
         env=dict(os.environ), capture_output=True, text=True,
@@ -109,7 +228,12 @@ def _run_scenario(name):
 
 @lru_cache(maxsize=1)
 def scenario_rows():
-    return [_run_scenario(name) for name in SCENARIOS]
+    return [_run_worker(name) for name in SCENARIOS]
+
+
+@lru_cache(maxsize=1)
+def extreme_row():
+    return _run_worker("service_extreme")
 
 
 def test_service(benchmark):
@@ -120,11 +244,12 @@ def test_service(benchmark):
 
     print("\n" + format_table(
         ["scenario", "offered/s", "goodput/s", "shed", "p99 wait (us)",
-         "fairness", "util", "sim ev/s (wall)"],
+         "fairness", "util", "DES ev/s (wall)", "speedup"],
         [[r["scenario"], f"{r['offered_rate']:,.0f}",
           f"{r['goodput']:,.0f}", r["shed"],
           f"{r['p99_wait'] * 1e6:.1f}", f"{r['fairness']:.3f}",
-          f"{r['utilization']:.3f}", f"{r['events_per_second']:,.0f}"]
+          f"{r['utilization']:.3f}", f"{r['events_per_second']:,.0f}",
+          f"{r['speedup']:.2f}x"]
          for r in rows],
         title="multi-tenant solve service — goodput vs offered load"))
 
@@ -148,12 +273,42 @@ def test_service(benchmark):
     # the saturated fleet is actually busy, not idle-while-shedding
     assert overload["utilization"] > 0.9
 
+    # the wave/pump fast path must actually pay for itself
+    assert overload["speedup"] >= _MIN_SPEEDUP, (
+        f"service fast path speedup {overload['speedup']:.2f}x on "
+        f"service_overload below the {_MIN_SPEEDUP:g}x floor")
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy
+
+
+def test_service_extreme(benchmark):
+    rows = scenario_rows()
+    extreme = extreme_row()
+
+    print("\n" + format_table(
+        ["scenario", "offered", "shed", "goodput/s", "telemetry ev/s",
+         "wall (s)", "speedup@parity"],
+        [[extreme["scenario"], f"{extreme['offered']:,}",
+          f"{extreme['shed']:,}", f"{extreme['goodput']:,.0f}",
+          f"{extreme['telemetry_events_per_second']:,.0f}",
+          f"{extreme['wall_seconds']:.2f}",
+          f"{extreme['speedup_parity']:.2f}x"]],
+        title="service_extreme — arrival-pump throughput tier"))
+
+    # deep overload: almost everything sheds, and the fast path still
+    # beats forced-off at the parity horizon
+    assert extreme["shed"] > 0.5 * extreme["offered"]
+    assert extreme["completed"] > 0
+    assert extreme["speedup_parity"] > 1.0
+
     payload = {
         "benchmark": "service",
         "horizon_scale": HORIZON_SCALE,
         "min_goodput": _MIN_GOODPUT,
         "max_wait_frac": _MAX_WAIT_FRAC,
+        "min_speedup": _MIN_SPEEDUP,
         "scenarios": rows,
+        "extreme": extreme,
     }
     out = os.environ.get("REPRO_BENCH_JSON")
     if out:
@@ -161,9 +316,12 @@ def test_service(benchmark):
     else:
         print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
 
-    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy
+    benchmark(lambda: extreme)  # cached; keep pytest-benchmark happy
 
 
 if __name__ == "__main__" and len(sys.argv) >= 3 and sys.argv[1] == "--worker":
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    _worker(sys.argv[2])
+    if sys.argv[2] == "service_extreme":
+        _worker_extreme()
+    else:
+        _worker(sys.argv[2])

@@ -33,7 +33,7 @@ import numpy as np
 from .agas import AddressSpace
 from .counters import BusyTimeCounter, CounterRegistry
 from .des import Event, SimulationError, Simulator
-from .future import Future, LocalFuture, local_when_all
+from .future import _MULTI, Future, LocalFuture, local_when_all
 
 __all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "RampSpeed",
            "StraggleSpeed", "Network", "SimNode", "SimTask", "SimCluster"]
@@ -475,6 +475,29 @@ class _Wave:
         self.event = event
 
 
+class _TaskGroup:
+    """A cross-node batch of action-free tasks completed by one event.
+
+    :meth:`SimCluster.submit_group` places one FIFO *pending entry* per
+    node — ``(start, finish, work, group)`` with ``start`` tail-scheduled
+    after the node's previous entry — and schedules a single DES event at
+    the group's latest ``finish``.  ``remaining`` counts unretired
+    entries; ``fire`` runs inside the group's own event (or, after a
+    ``run(until=...)`` cut materializes the entries back into per-task
+    form, when the last reconstructed task completes) — it is either
+    the barrier future's resolver or the caller's direct completion
+    callback, so barriers fire at exactly the virtual time the
+    per-event path produces.
+    """
+
+    __slots__ = ("fire", "remaining", "event")
+
+    def __init__(self, fire, remaining: int) -> None:
+        self.fire = fire
+        self.remaining = remaining
+        self.event: Optional[Event] = None
+
+
 class SimNode:
     """A simulated compute node: bounded cores + a speed trace.
 
@@ -505,6 +528,21 @@ class SimNode:
         #: in-flight batched task wave (single-core ConstantSpeed fast
         #: path), or ``None``
         self.wave: Optional[_Wave] = None
+        #: FIFO of tail-scheduled group entries
+        #: ``(start, finish, work, group)`` (see
+        #: :meth:`SimCluster.submit_group`); finishes are monotone
+        #: non-decreasing, so the completed prefix is always a prefix
+        self.pending: Deque[tuple] = deque()
+        #: virtual finish time of the last pending entry — the node's
+        #: schedule horizon for tail-scheduling the next group entry
+        self.tail = 0.0
+        #: static half of group-fast-path eligibility, folded with the
+        #: constant rate: ``trace._rate`` when the node is single-core
+        #: with a :class:`ConstantSpeed` trace, else 0.0 (``cores`` and
+        #: ``trace`` are assign-once, so this never goes stale)
+        self.group_rate = (trace._rate
+                           if cores == 1 and type(trace) is ConstantSpeed
+                           else 0.0)
 
     def busy_time(self) -> float:
         """Window busy core-seconds (since last counter reset)."""
@@ -683,6 +721,144 @@ class SimCluster:
             append(fut)
         return futures
 
+    def submit_group(self, works: Sequence[float], label: str = "task",
+                     callback=None) -> Optional[Future]:
+        """Queue ``works[i]`` on node ``i``; one barrier future for all.
+
+        Semantically identical to::
+
+            local_when_all([self.submit(i, w, label=label)
+                            for i, w in enumerate(works)])
+
+        and falls back to exactly that when batching is off or any
+        target node is not on the group fast path (dead, multi-core,
+        non-constant speed, or currently holding classic/wave tasks).
+        On the fast path each task becomes a *pending entry* tail-
+        scheduled behind the node's previous entry — ``start =
+        max(tail, now)``, ``finish = start + work/rate``, the identical
+        float64 arithmetic the per-event dispatch performs — and the
+        whole group completes through a single DES event at its latest
+        finish, where the barrier future resolves.  This is the service
+        hot path: one event per job *step* instead of one per task (see
+        DESIGN.md, "Service fast path").
+
+        With ``callback`` (a zero-arg callable) no barrier future is
+        built at all: the callback runs exactly where the future would
+        have resolved, and the method returns ``None``.  That skips one
+        future plus its subscription per group — the service manager's
+        per-sweep continuation path.
+        """
+        if not self.wave_batching:
+            fut = local_when_all(
+                [self.submit(i, w, label=label)
+                 for i, w in enumerate(works)])
+            if callback is None:
+                return fut
+            fut._add_callback(lambda _f: callback())
+            return None
+        nodes = self.nodes
+        if len(works) > len(nodes):
+            raise SimulationError(
+                f"group of {len(works)} tasks needs {len(works)} nodes, "
+                f"have {len(nodes)}")
+        for i, work in enumerate(works):
+            node = nodes[i]
+            # a node that already holds pending group entries is still
+            # eligible: everything that could break eligibility
+            # (classic submits, failures, run cuts, counter resets)
+            # materializes the entries away first, so a non-empty
+            # ``pending`` proves the full check passed and nothing
+            # changed since
+            if work < 0.0 or (not node.pending and (
+                    node.group_rate == 0.0 or not node.alive
+                    or node.running or node.ready
+                    or node.wave is not None)):
+                fut = local_when_all(
+                    [self.submit(i, w, label=label)
+                     for i, w in enumerate(works)])
+                if callback is None:
+                    return fut
+                fut._add_callback(lambda _f: callback())
+                return None
+        sim = self.sim
+        now = sim.now
+        if callback is None:
+            fut = LocalFuture()
+            group = _TaskGroup(fut._resolve_none, len(works))
+        else:
+            fut = None
+            group = _TaskGroup(callback, len(works))
+        t_max = now
+        for i, work in enumerate(works):
+            node = nodes[i]
+            tail = node.tail
+            start = tail if tail > now else now
+            finish = start + work / node.group_rate
+            node.pending.append((start, finish, work, group))
+            node.tail = finish
+            if finish > t_max:
+                t_max = finish
+        group.event = sim.schedule(
+            t_max, lambda g=group: self._complete_group(g),
+            priority=1, klass="wave")
+        return fut
+
+    def send_group(self, messages: Sequence[Tuple[int, int, int]],
+                   callback=None) -> Optional[Future]:
+        """Issue sends back-to-back; one barrier future for the batch.
+
+        Semantically ``local_when_all(self.send_many(messages))`` — the
+        network planning, egress serialization and byte counters are
+        identical and happen eagerly in message order — but on the fast
+        path only *one* delivery event is scheduled, at the latest
+        arrival time, which is exactly when the barrier over the
+        individual deliveries would fire.  Falls back to the per-message
+        form when wave batching is off.
+
+        With ``callback`` (zero-arg) the barrier future is skipped: the
+        callback runs where it would have resolved — synchronously when
+        every arrival is instantaneous, else in the one delivery event —
+        and the method returns ``None``.
+        """
+        if not self.wave_batching:
+            fut = local_when_all(self.send_many(messages))
+            if callback is None:
+                return fut
+            fut._add_callback(lambda _f: callback())
+            return None
+        sim = self.sim
+        now = sim.now
+        plan_send = self.network.plan_send
+        net_counters = self._net_counters
+        num_nodes = len(self.nodes)
+        t_max = now
+        for src, dst, nbytes in messages:
+            if src >= num_nodes or dst >= num_nodes or src < 0 or dst < 0:
+                raise SimulationError(f"unknown node in send {src}->{dst}")
+            if src != dst:
+                tx, rx = net_counters[src][0], net_counters[dst][1]
+                tx._window += nbytes
+                tx._lifetime += nbytes
+                rx._window += nbytes
+                rx._lifetime += nbytes
+            arrival = plan_send(src, dst, nbytes, now)
+            if arrival > t_max:
+                t_max = arrival
+        if callback is not None:
+            if t_max <= now:
+                callback()
+            else:
+                sim.schedule(t_max, callback, priority=0,
+                             klass="delivery")
+            return None
+        fut = LocalFuture()
+        if t_max <= now:
+            fut._set_value(None)
+        else:
+            sim.schedule(t_max, fut._resolve_none, priority=0,
+                         klass="delivery")
+        return fut
+
     # -- membership (elastic cluster, DESIGN.md substitution 4) ------------
     def add_node(self, cores: int = 1,
                  trace: Optional[SpeedTrace] = None) -> int:
@@ -721,6 +897,10 @@ class SimCluster:
             raise SimulationError(
                 f"cannot fail node {node_id}: it is the last alive node")
         node.alive = False
+        # group entries (any node's) revert to per-task form first, so
+        # the dead node's in-flight work is truncated and orphaned with
+        # exact per-event semantics
+        self._materialize_groups()
         orphans: List[SimTask] = []
         if node.wave is not None:
             orphans.extend(self._flush_wave(node))
@@ -752,6 +932,7 @@ class SimCluster:
         result = self.sim.run(until=until, max_events=max_events)
         if until is not None:
             self._materialize_waves()
+            self._materialize_groups()
         return result
 
     @property
@@ -762,11 +943,16 @@ class SimCluster:
     # -- accounting -----------------------------------------------------------
     def busy_time(self, node_id: int) -> float:
         """Window busy core-seconds of ``node_id``."""
-        return self._node(node_id).busy_time()
+        node = self._node(node_id)
+        if node.pending:
+            self._flush_pending(node, self.sim.now)
+        return node.busy_time()
 
     def busy_fraction(self, node_id: int) -> float:
         """Busy core-seconds / available core-seconds in the window."""
         node = self._node(node_id)
+        if node.pending:
+            self._flush_pending(node, self.sim.now)
         span = (self.sim.now - self._window_start) * node.cores
         if span <= 0:
             return 0.0
@@ -775,6 +961,8 @@ class SimCluster:
     def idle_time(self, node_id: int) -> float:
         """Available minus busy core-seconds in the current window."""
         node = self._node(node_id)
+        if node.pending:
+            self._flush_pending(node, self.sim.now)
         span = (self.sim.now - self._window_start) * node.cores
         return max(0.0, span - node.busy_time())
 
@@ -794,8 +982,11 @@ class SimCluster:
         Passes the current virtual time so busy intervals that are open
         at the reset (in-flight tasks at a balance poll) are clipped at
         the window boundary instead of leaking their pre-reset span into
-        the new window.
+        the new window.  Group entries revert to per-task form first so
+        an entry straddling the reset is clipped exactly like an
+        in-flight per-event task.
         """
+        self._materialize_groups()
         self.counters.reset_all(now=self.sim.now)
         self._window_start = self.sim.now
 
@@ -814,6 +1005,11 @@ class SimCluster:
                     f"{node.node_id} and no orphan handler is set")
             self.orphan_handler(task)
             return
+        if node.pending:
+            # classic task arriving on a node with tail-scheduled group
+            # entries: revert groups to per-task state first so FIFO
+            # order and core occupancy are exact under mixing
+            self._materialize_groups()
         node.ready.append(task)
         self._dispatch(node)
 
@@ -821,14 +1017,37 @@ class SimCluster:
         if (self.wave_batching and node.alive and node.cores == 1
                 and node.free_cores == 1 and len(node.ready) >= 2
                 and type(node.trace) is ConstantSpeed):
-            # wave fast path: batch the leading run of action-free tasks
+            # wave fast path: batch the leading run of action-free
+            # tasks, cut so no *observed* future resolves late.  A wave
+            # resolves its members at the wave's end, so an observed
+            # member is only safe when every observer also waits for
+            # the wave's final member: a run may end at a member of the
+            # single common local_when_all barrier (the barrier cannot
+            # fire before the run's own end), at an unobserved member,
+            # or at a multi-observed member (its own true completion
+            # time is the wave end).  Futures observed *after* the wave
+            # forms trigger a live unwind (see LocalFuture._wave).
             k = 0
+            end = 0
+            common = None
             for task in node.ready:
                 if task.action is not None or task.work < 0.0:
                     break
+                g = task.future._group
                 k += 1
-            if k >= 2:
-                self._start_wave(node, k)
+                if g is None:
+                    if common is None:
+                        end = k
+                elif common is not None and g is not common:
+                    break
+                elif g is _MULTI:
+                    end = k
+                    break
+                else:
+                    common = g
+                    end = k
+            if end >= 2:
+                self._start_wave(node, end)
         while node.alive and node.free_cores > 0 and node.ready:
             task = node.ready.popleft()
             node.free_cores -= 1
@@ -868,11 +1087,21 @@ class SimCluster:
         event = self.sim.schedule(
             times[-1], lambda n=node: self._complete_wave(n),
             priority=1, klass="wave")
-        node.wave = _Wave(tasks, times, start, event)
+        wave = _Wave(tasks, times, start, event)
+        node.wave = wave
+        # a subscriber attaching to a non-final member mid-flight must
+        # see the true completion time: arm the live unwind trigger
+        # (fired from LocalFuture._add_callback)
+        trigger = (lambda n=node, w=wave:
+                   self._materialize_live_wave(n, w))
+        for task in tasks[:-1]:
+            task.future._wave = trigger
 
     def _complete_wave(self, node: SimNode) -> None:
         wave = node.wave
         node.wave = None
+        for task in wave.tasks:
+            task.future._wave = None
         counter = node.counter
         prev = wave.start
         # same telescoping busy deltas the per-event path accumulates
@@ -900,6 +1129,8 @@ class SimCluster:
         wave = node.wave
         node.wave = None
         wave.event.cancel()
+        for task in wave.tasks:
+            task.future._wave = None
         now = self.sim.now
         counter = node.counter
         prev = wave.start
@@ -937,6 +1168,8 @@ class SimCluster:
                 continue
             node.wave = None
             wave.event.cancel()
+            for task in wave.tasks:
+                task.future._wave = None
             counter = node.counter
             prev = wave.start
             idx = 0
@@ -963,6 +1196,140 @@ class SimCluster:
             else:  # pragma: no cover - wave event fires at times[-1]
                 node.free_cores += 1
                 self._dispatch(node)
+
+    def _materialize_live_wave(self, node: SimNode, wave: _Wave) -> None:
+        """Unwind one in-flight wave the instant a member is observed.
+
+        Triggered from :meth:`LocalFuture._add_callback` when a new
+        subscriber (a ``local_when_all`` barrier, a ``then``) attaches to
+        a non-final wave member: the subscriber must see the member's
+        true completion time, so the wave reverts to per-task form.
+        Members whose completion times are strictly past are completed
+        retroactively (their per-event completions would have fired
+        before the current event); the in-flight member becomes a normal
+        ``running`` entry with its own completion event — scheduled at
+        its exact per-event time, including a completion *later this
+        same instant* when ``t == now`` — and the tail returns to the
+        ready queue.
+        """
+        if node.wave is not wave:  # stale trigger from a resolved wave
+            return
+        node.wave = None
+        wave.event.cancel()
+        for task in wave.tasks:
+            task.future._wave = None
+        now = self.sim.now
+        counter = node.counter
+        prev = wave.start
+        idx = 0
+        for task, t in zip(wave.tasks, wave.times):
+            if t < now:
+                counter.add(t - prev)
+                prev = t
+                node.tasks_completed += 1
+                node.work_completed += task.work
+                task.future._set_value(None)
+                idx += 1
+            else:
+                break
+        # the wave event at times[-1] has not fired (it would have
+        # cleared node.wave), so at least the final member has t >= now
+        task = wave.tasks[idx]
+        token = counter.begin_work(prev)
+        event = self.sim.schedule(
+            wave.times[idx],
+            lambda t=task, n=node: self._complete(n, t),
+            priority=1, klass="completion")
+        node.running[task] = (token, event)
+        for rest in reversed(wave.tasks[idx + 1:]):
+            node.ready.appendleft(rest)
+
+    # -- task groups (service fast path) -----------------------------------
+    def _flush_pending(self, node: SimNode, now: float) -> None:
+        """Retire the completed prefix of ``node``'s group entries.
+
+        Pops entries with ``finish <= now`` — per-event, their
+        completions would already have fired — crediting busy time and
+        task/work totals exactly as :meth:`_complete` does, and
+        decrementing each entry's group counter.  Never resolves a
+        barrier: resolution happens in the group's own event
+        (:meth:`_complete_group`), preserving per-event firing order.
+        In-flight entries (``finish > now``) contribute nothing, exactly
+        like an open ``BusyTimeCounter`` interval.
+        """
+        pending = node.pending
+        counter = node.counter
+        while pending and pending[0][1] <= now:
+            start, finish, work, group = pending.popleft()
+            span = finish - start
+            counter._window += span
+            counter._lifetime += span
+            node.tasks_completed += 1
+            node.work_completed += work
+            group.remaining -= 1
+
+    def _complete_group(self, group: _TaskGroup) -> None:
+        """The one DES event per task group: flush, then fire the barrier.
+
+        Fires at the group's latest entry finish.  Per-node finishes are
+        monotone, so flushing every node's completed prefix retires all
+        of this group's entries (earlier groups' stragglers included —
+        their barriers still fire in their own events, where the flush
+        simply finds nothing left).
+        """
+        now = self.sim.now
+        for node in self.nodes:
+            pending = node.pending
+            if pending and pending[0][1] <= now:
+                self._flush_pending(node, now)
+        group.fire()
+
+    def _materialize_groups(self) -> None:
+        """Convert tail-scheduled group entries back into per-task state.
+
+        Called at a ``run(until=...)`` boundary, on failure, on counter
+        reset, and when classic tasks mix onto a node with pending
+        entries.  The completed prefix flushes as usual; every remaining
+        entry becomes a real :class:`SimTask` — the head entry (whose
+        ``start <= now`` always, by tail-scheduling) as an in-flight
+        ``running`` entry with an open busy interval and its own
+        completion event, the tail as ready-queue tasks.  Each converted
+        task decrements its group's counter on completion, so the
+        barrier still fires exactly when the group's last task finishes.
+        Group events of converted groups are cancelled (their remaining
+        entries no longer exist as entries).
+        """
+        now = self.sim.now
+        for node in self.nodes:
+            pending = node.pending
+            if not pending:
+                continue
+            self._flush_pending(node, now)
+            first = True
+            while pending:
+                start, finish, work, group = pending.popleft()
+                if group.event is not None:
+                    group.event.cancel()
+                    group.event = None
+                task = SimTask(node.node_id, work, None, "task")
+                task.future._add_callback(
+                    lambda _f, g=group: self._group_task_done(g))
+                if first:
+                    first = False
+                    token = node.counter.begin_work(start)
+                    event = self.sim.schedule(
+                        finish,
+                        lambda t=task, n=node: self._complete(n, t),
+                        priority=1, klass="completion")
+                    node.running[task] = (token, event)
+                    node.free_cores -= 1
+                else:
+                    node.ready.append(task)
+
+    def _group_task_done(self, group: _TaskGroup) -> None:
+        group.remaining -= 1
+        if group.remaining == 0:
+            group.fire()
 
     def _complete(self, node: SimNode, task: SimTask) -> None:
         token, _event = node.running.pop(task)

@@ -405,6 +405,15 @@ class Simulator:
         """Number of (non-cancelled) events executed so far."""
         return self._processed
 
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or ``None`` if none queued.
+
+        Lets batching layers (the service arrival pump) check whether any
+        event could fire before a candidate time without popping anything.
+        """
+        entry = self._queue.peek()
+        return entry[0] if entry is not None else None
+
     # -- scheduling --------------------------------------------------------
     def schedule(self, time: float, action: Callable[[], None],
                  priority: int = 0, klass: Optional[str] = None) -> Event:

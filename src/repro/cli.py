@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 from typing import List, Optional
 
@@ -156,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the arrival-trace seed")
     e.add_argument("--nodes", type=int, default=None,
                    help="override the cluster size")
+    e.add_argument("--profile", action="store_true",
+                   help="enable DES profiling (REPRO_DES_PROFILE) and "
+                        "print the per-event-class timing table after "
+                        "the summary")
     add_json(e)
     return p
 
@@ -395,10 +400,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .experiments import build, get_factory, run_scenario, scenario_names
+    from .experiments import build, get_factory, scenario_names
     from .reporting.service import (format_service_summary,
                                     format_tenant_table)
-    from .service import summarize_record
+    from .service import run_service_detailed, summarize_record
     if args.list_scenarios:
         for name in scenario_names():
             if name.startswith("service_"):
@@ -424,7 +429,11 @@ def _cmd_serve(args) -> int:
         print(f"serve: {args.scenario!r} is not a service scenario "
               f"(use 'repro run')", file=sys.stderr)
         return 2
-    rec = run_scenario(spec)
+    if args.profile:
+        # the env flag (not a Simulator kwarg) so any nested DES the
+        # run builds inherits it, matching bench_des_core's contract
+        os.environ["REPRO_DES_PROFILE"] = "1"
+    rec, cluster = run_service_detailed(spec)
     summary = summarize_record(rec)
     print(f"scenario: {spec.name} ({len(spec.tenants)} tenants, "
           f"{spec.cluster.num_nodes} nodes, "
@@ -432,6 +441,10 @@ def _cmd_serve(args) -> int:
     print(format_service_summary(summary))
     print()
     print(format_tenant_table(summary))
+    if args.profile:
+        print()
+        print(f"DES events processed: {cluster.sim.events_processed}")
+        print(cluster.sim.profile_report())
     _write_records(args.json, [rec])
     return 0
 

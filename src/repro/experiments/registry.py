@@ -697,3 +697,35 @@ def service_overload(rate: float = 150000.0, horizon: float = 2e-3,
         cluster=ClusterSpec(num_nodes=nodes),
         arrival=ArrivalSpec(process="poisson", rate=rate, seed=seed),
         horizon=horizon, max_queue_depth=depth, max_concurrent=concurrent)
+
+
+@register("service_extreme")
+def service_extreme(rate: float = 2e7, horizon: float = 5e-2,
+                    nodes: int = 64, tenants: int = 64, seed: int = 0,
+                    depth: int = 4, concurrent: int = 16):
+    """Service-throughput stress tier: the arrival-pump benchmark
+    workload (the service-path analogue of ``scale_extreme``).
+
+    64 tenants offer ~10^6 jobs over the horizon onto a 64-node fleet
+    that can complete only a tiny fraction — deep overload, so almost
+    every arrival is consumed by admission control (queue full → shed)
+    while the admitted jobs keep all 64 nodes busy with interleaved
+    step-DAGs.  Numerics-free: the per-job flops come from the two
+    shared cached operators (every 8th tenant runs a 96x96 mesh, the
+    rest 64x64), no temperatures move.  This is the configuration
+    ``benchmarks/bench_service.py`` measures wall-clock DES throughput
+    on; scale it down for smoke tests by shrinking ``horizon``.
+    """
+    from ..service import ArrivalSpec, ServiceSpec, TenantSpec
+    mix = tuple(
+        TenantSpec(name=f"t{i:02d}",
+                   weight=2.0 if i % 4 == 0 else 1.0,
+                   nx=96 if i % 8 == 0 else 64,
+                   steps=2)
+        for i in range(tenants))
+    return ServiceSpec(
+        name="service_extreme",
+        tenants=mix,
+        cluster=ClusterSpec(num_nodes=nodes),
+        arrival=ArrivalSpec(process="poisson", rate=rate, seed=seed),
+        horizon=horizon, max_queue_depth=depth, max_concurrent=concurrent)

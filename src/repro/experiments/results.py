@@ -88,7 +88,12 @@ class RunRecord:
     #: raw event stream of a multi-tenant service run, in virtual-time
     #: order: ``{kind: arrival|shed|start|finish, t, tenant, job, ...}``
     #: dicts (see :mod:`repro.service.manager`); empty for solver runs.
-    #: Reduce with :func:`repro.service.summarize_service`
+    #: Live service runs store the columnar
+    #: :class:`repro.service.telemetry.EventLog` here (it indexes,
+    #: iterates, and compares as the same list of dicts);
+    #: :meth:`to_dict` renders it to plain dicts, so JSON round-trips
+    #: are unchanged.  Reduce with
+    #: :func:`repro.service.summarize_service`
     service_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``[step, parts_after]`` per balancing event that moved SDs
     parts_events: List[List[Any]] = field(default_factory=list)
@@ -126,7 +131,10 @@ class RunRecord:
         return sum(int(e["recovery_bytes"]) for e in self.recovery_events)
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        if type(d["service_events"]) is not list:
+            d["service_events"] = list(self.service_events)
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "RunRecord":

@@ -14,16 +14,17 @@ stream reduces to latency/goodput/fairness telemetry (:mod:`telemetry`).
 {'offered': ..., 'goodput': ...}
 """
 
-from .arrivals import Arrival, generate_arrivals
+from .arrivals import Arrival, generate_arrival_arrays, generate_arrivals
 from .manager import JobManager
-from .runner import run_service, summarize_record
+from .runner import run_service, run_service_detailed, summarize_record
 from .spec import ArrivalSpec, ServiceSpec, TenantSpec
-from .telemetry import jain_fairness, percentile, summarize_service
+from .telemetry import (EventLog, jain_fairness, percentile,
+                        summarize_service)
 
 __all__ = [
     "ArrivalSpec", "TenantSpec", "ServiceSpec",
-    "Arrival", "generate_arrivals",
+    "Arrival", "generate_arrivals", "generate_arrival_arrays",
     "JobManager",
-    "run_service", "summarize_record",
-    "summarize_service", "percentile", "jain_fairness",
+    "run_service", "run_service_detailed", "summarize_record",
+    "EventLog", "summarize_service", "percentile", "jain_fairness",
 ]

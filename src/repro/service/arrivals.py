@@ -18,14 +18,15 @@ thinning for the diurnal sinusoid.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from .spec import ArrivalSpec, TenantSpec
 
-__all__ = ["Arrival", "generate_arrivals"]
+__all__ = ["Arrival", "generate_arrivals", "generate_arrival_arrays"]
 
 
 @dataclass(frozen=True)
@@ -81,16 +82,83 @@ def _tenant_times(spec: ArrivalSpec, rate: float, horizon: float,
     return times
 
 
+def _poisson_times_np(rng: np.random.Generator, rate: float,
+                      horizon: float) -> np.ndarray:
+    """Vectorized homogeneous Poisson instants in ``[0, horizon)``.
+
+    Block-draws exponential gaps and chains them with
+    ``np.add.accumulate`` — the accumulate performs the identical
+    left-to-right ``t_{i+1} = fl(t_i + gap)`` float64 additions as the
+    scalar loop over the *same* generator stream, so the kept times are
+    bit-identical to :func:`_poisson_times`.  The block draw may consume
+    a few more variates past the horizon than the scalar loop's single
+    terminating draw, which is only safe because a pure-Poisson tenant
+    stream uses its generator for nothing else — the modulated processes
+    (bursty, diurnal) must keep the scalar path.
+    """
+    scale = 1.0 / rate
+    expected = rate * horizon
+    chunk = max(64, int(expected + 6.0 * math.sqrt(expected)) + 16)
+    total = 0.0
+    parts: List[np.ndarray] = []
+    while True:
+        gaps = np.empty(chunk + 1, dtype=np.float64)
+        gaps[0] = total
+        gaps[1:] = rng.exponential(scale, size=chunk)
+        acc = np.add.accumulate(gaps)[1:]
+        cut = int(np.searchsorted(acc, horizon, side="left"))
+        if cut < chunk:
+            parts.append(acc[:cut])
+            break
+        parts.append(acc)
+        total = float(acc[-1])
+        chunk = max(64, chunk // 4)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+def generate_arrival_arrays(
+        spec: ArrivalSpec, tenants: Sequence[TenantSpec],
+        horizon: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The arrival trace as ``(times, tenants, indices)`` arrays.
+
+    Column-for-column the same trace :func:`generate_arrivals` returns
+    as records — same per-tenant generator streams, same
+    ``(time, tenant, index)`` ordering via a lexsort — without building
+    a million :class:`Arrival` objects.  This is what the service
+    runner feeds the manager's arrival pump at the ``service_extreme``
+    scale.
+    """
+    total = sum(t.weight for t in tenants)
+    times_parts: List[np.ndarray] = []
+    tenant_parts: List[np.ndarray] = []
+    index_parts: List[np.ndarray] = []
+    for idx, tenant in enumerate(tenants):
+        rng = np.random.default_rng([spec.seed, idx])
+        rate = spec.rate * tenant.weight / total
+        if rate <= 0:
+            continue
+        if spec.process == "poisson":
+            t = _poisson_times_np(rng, rate, horizon)
+        else:
+            t = np.asarray(_tenant_times(spec, rate, horizon, rng),
+                           dtype=np.float64)
+        times_parts.append(t)
+        tenant_parts.append(np.full(len(t), idx, dtype=np.int64))
+        index_parts.append(np.arange(len(t), dtype=np.int64))
+    if not times_parts:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    times = np.concatenate(times_parts)
+    tens = np.concatenate(tenant_parts)
+    idxs = np.concatenate(index_parts)
+    order = np.lexsort((idxs, tens, times))
+    return times[order], tens[order], idxs[order]
+
+
 def generate_arrivals(spec: ArrivalSpec, tenants: Sequence[TenantSpec],
                       horizon: float) -> List[Arrival]:
     """The full arrival trace, time-sorted with a deterministic
     tie-break (time, tenant, index)."""
-    total = sum(t.weight for t in tenants)
-    arrivals: List[Arrival] = []
-    for idx, tenant in enumerate(tenants):
-        rng = np.random.default_rng([spec.seed, idx])
-        rate = spec.rate * tenant.weight / total
-        for k, t in enumerate(_tenant_times(spec, rate, horizon, rng)):
-            arrivals.append(Arrival(float(t), idx, k))
-    arrivals.sort(key=lambda a: (a.time, a.tenant, a.index))
-    return arrivals
+    times, tens, idxs = generate_arrival_arrays(spec, tenants, horizon)
+    return [Arrival(t, n, k)
+            for t, n, k in zip(times.tolist(), tens.tolist(), idxs.tolist())]

@@ -15,21 +15,35 @@ way.  Concurrent jobs' tasks interleave in the nodes' FIFO ready
 queues, so multi-tenant interference emerges from the DES itself rather
 than from an analytic sharing model.
 
-Everything the run observes is appended to ``manager.events`` as plain
-dicts (``arrival`` / ``shed`` / ``start`` / ``finish``), the raw
-telemetry stream :func:`repro.service.telemetry.summarize_service`
-reduces and ``RunRecord.service_events`` persists.
+Everything the run observes lands in ``manager.events`` — a columnar
+:class:`repro.service.telemetry.EventLog` whose rows render as the
+same plain dicts (``arrival`` / ``shed`` / ``start`` / ``finish``)
+the stream has always carried — which
+:func:`repro.service.telemetry.summarize_service` reduces and
+``RunRecord.service_events`` persists.
+
+Fast path (see DESIGN.md, "Service fast path"): when the cluster runs
+with wave batching, sweeps go through
+:meth:`repro.amt.cluster.SimCluster.submit_group` /
+:meth:`~repro.amt.cluster.SimCluster.send_group` (one DES event per
+sweep / exchange instead of one per task / message) and the arrival
+trace is replayed by a chunked *pump*: one chained DES event per
+admission-control slice, draining every arrival that provably cannot
+dispatch work (fleet saturated, no earlier cluster event) with its own
+timestamp.  With batching off, both collapse to the historical
+one-event-per-arrival / per-task forms; the telemetry stream is
+bit-identical either way.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List
+from typing import Deque, Dict, List, Sequence
 
 from ..amt.cluster import SimCluster
-from ..amt.future import local_when_all
 from .arrivals import Arrival
 from .spec import ServiceSpec
+from .telemetry import EventLog
 
 __all__ = ["JobManager", "ARRIVAL_PRIORITY"]
 
@@ -42,9 +56,16 @@ ARRIVAL_PRIORITY = 2
 
 
 class _Job:
-    """One admitted (or queued) solve job and its DAG bookkeeping."""
+    """One admitted (or queued) solve job and its DAG bookkeeping.
 
-    __slots__ = ("tenant", "index", "arrival_time", "start_time", "step")
+    ``on_sweep`` / ``on_ghosts`` are the job's two DAG continuations,
+    built once at admission and handed to ``submit_group`` /
+    ``send_group`` for every step — one closure per job instead of one
+    per sweep.
+    """
+
+    __slots__ = ("tenant", "index", "arrival_time", "start_time", "step",
+                 "label", "on_sweep", "on_ghosts")
 
     def __init__(self, tenant: int, index: int, arrival_time: float) -> None:
         self.tenant = tenant
@@ -52,6 +73,9 @@ class _Job:
         self.arrival_time = arrival_time
         self.start_time = -1.0
         self.step = 0
+        self.label = ""
+        self.on_sweep = None
+        self.on_ghosts = None
 
 
 class _Template:
@@ -102,37 +126,106 @@ class JobManager:
             _build_template(t, flops_per_dp[i], spec.cluster.num_nodes)
             for i, t in enumerate(spec.tenants)]
         self.queues: List[Deque[_Job]] = [deque() for _ in spec.tenants]
-        self.events: List[Dict[str, Any]] = []
+        self.events = EventLog([t.name for t in spec.tenants])
         self.running = 0
         self.jobs_in_flight = 0
         self._rr = 0  # next tenant the round-robin scan starts from
+        # admission limits, hoisted off the frozen spec for the pump's
+        # per-arrival hot path
+        self._max_depth = spec.max_queue_depth
+        self._max_concurrent = spec.max_concurrent
+        # arrival-pump state (fast feed path only)
+        self._arr_times: Sequence[float] = ()
+        self._arr_tenants: Sequence[int] = ()
+        self._arr_indices: Sequence[int] = ()
+        self._arr_cursor = 0
 
     # -- arrival / admission ----------------------------------------------
     def feed(self, arrivals: List[Arrival]) -> None:
-        """Schedule the whole trace as absolute-time DES events."""
+        """Replay the whole trace as absolute-time DES events."""
+        if self.cluster.wave_batching:
+            self.feed_columnar([a.time for a in arrivals],
+                               [a.tenant for a in arrivals],
+                               [a.index for a in arrivals])
+            return
         for arr in arrivals:
             self.cluster.sim.schedule(
                 arr.time, lambda a=arr: self.on_arrival(a),
                 priority=ARRIVAL_PRIORITY, klass="arrival")
 
-    def on_arrival(self, arr: Arrival) -> None:
-        now = self.cluster.now
-        name = self.spec.tenants[arr.tenant].name
-        self.events.append({"kind": "arrival", "t": now, "tenant": name,
-                            "job": arr.index})
-        queue = self.queues[arr.tenant]
-        if len(queue) >= self.spec.max_queue_depth:
-            self.events.append({"kind": "shed", "t": now, "tenant": name,
-                                "job": arr.index,
-                                "depth": len(queue)})
+    def feed_columnar(self, times: Sequence[float],
+                      tenants: Sequence[int],
+                      indices: Sequence[int]) -> None:
+        """Replay a ``(times, tenants, indices)`` trace via the pump.
+
+        One chained DES event per admission-control slice instead of
+        one per arrival: when the pump fires it processes the due
+        arrival, then keeps draining while the fleet is saturated
+        (``running == max_concurrent``) and the next arrival precedes
+        every other pending DES event — such an arrival can only queue
+        or shed, never dispatch work, so consuming it inline with its
+        own timestamp is indistinguishable from a dedicated event.
+        With batching off this falls back to one event per arrival.
+        """
+        if not self.cluster.wave_batching:
+            self.feed([Arrival(t, n, k)
+                       for t, n, k in zip(times, tenants, indices)])
             return
-        queue.append(_Job(arr.tenant, arr.index, now))
+        if not len(times):
+            return
+        self._arr_times = times
+        self._arr_tenants = tenants
+        self._arr_indices = indices
+        self._arr_cursor = 0
+        self.cluster.sim.schedule(
+            times[0], self._pump,
+            priority=ARRIVAL_PRIORITY, klass="arrival")
+
+    def _pump(self) -> None:
+        times = self._arr_times
+        tenants = self._arr_tenants
+        indices = self._arr_indices
+        i = self._arr_cursor
+        n = len(times)
+        # the due arrival — may start a job, so handle it alone first
+        self._on_arrival(times[i], tenants[i], indices[i])
+        i += 1
+        if i < n and self.running >= self._max_concurrent:
+            # drain-ahead: while saturated, an arrival strictly earlier
+            # than the next queued DES event cannot observe anything a
+            # dedicated event would (no completion frees a slot before
+            # it, and arrivals never unsaturate the fleet)
+            peek = self.cluster.sim.peek_time
+            nxt = peek()
+            while i < n and (nxt is None or times[i] < nxt):
+                self._on_arrival(times[i], tenants[i], indices[i])
+                i += 1
+                if self.running < self._max_concurrent:
+                    break  # a slot opened (shouldn't happen) — resync
+                nxt = peek()
+        self._arr_cursor = i
+        if i < n:
+            self.cluster.sim.schedule(
+                times[i], self._pump,
+                priority=ARRIVAL_PRIORITY, klass="arrival")
+
+    def on_arrival(self, arr: Arrival) -> None:
+        self._on_arrival(self.cluster.now, arr.tenant, arr.index)
+
+    def _on_arrival(self, t: float, tenant: int, index: int) -> None:
+        events = self.events
+        events.arrival(t, tenant, index)
+        queue = self.queues[tenant]
+        if len(queue) >= self._max_depth:
+            events.shed(t, tenant, index, len(queue))
+            return
+        queue.append(_Job(tenant, index, t))
         self._dispatch()
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch(self) -> None:
         num_tenants = len(self.queues)
-        while self.running < self.spec.max_concurrent:
+        while self.running < self._max_concurrent:
             job = None
             for k in range(num_tenants):
                 tenant = (self._rr + k) % num_tenants
@@ -149,10 +242,11 @@ class JobManager:
     def _start(self, job: _Job) -> None:
         now = self.cluster.now
         job.start_time = now
-        self.events.append({
-            "kind": "start", "t": now,
-            "tenant": self.spec.tenants[job.tenant].name,
-            "job": job.index, "wait": now - job.arrival_time})
+        job.label = f"{self.spec.tenants[job.tenant].name}/{job.index}"
+        job.on_sweep = lambda: self._exchange_ghosts(job)
+        job.on_ghosts = lambda: self._run_step(job)
+        self.events.start(now, job.tenant, job.index,
+                          now - job.arrival_time)
         self._run_step(job)
 
     # -- the per-job step DAG ---------------------------------------------
@@ -161,12 +255,8 @@ class JobManager:
         if job.step >= template.steps:
             self._finish(job)
             return
-        label = (f"{self.spec.tenants[job.tenant].name}"
-                 f"/{job.index}/s{job.step}")
-        futs = [self.cluster.submit(n, work, label=label)
-                for n, work in enumerate(template.works)]
-        local_when_all(futs)._add_callback(
-            lambda _f: self._exchange_ghosts(job))
+        self.cluster.submit_group(template.works, label=job.label,
+                                  callback=job.on_sweep)
 
     def _exchange_ghosts(self, job: _Job) -> None:
         job.step += 1
@@ -175,19 +265,14 @@ class JobManager:
             # last sweep needs no exchange; single-node jobs never do
             self._run_step(job)
             return
-        ghost_futs = self.cluster.send_many(template.ghosts)
-        local_when_all(ghost_futs)._add_callback(
-            lambda _f: self._run_step(job))
+        self.cluster.send_group(template.ghosts, callback=job.on_ghosts)
 
     def _finish(self, job: _Job) -> None:
         now = self.cluster.now
-        self.events.append({
-            "kind": "finish", "t": now,
-            "tenant": self.spec.tenants[job.tenant].name,
-            "job": job.index,
-            "wait": job.start_time - job.arrival_time,
-            "makespan": now - job.arrival_time,
-            "service": now - job.start_time})
+        self.events.finish(now, job.tenant, job.index,
+                           job.start_time - job.arrival_time,
+                           now - job.arrival_time,
+                           now - job.start_time)
         self.running -= 1
         self.jobs_in_flight -= 1
         self._dispatch()

@@ -10,37 +10,48 @@ measures), replay the seeded arrival trace through a
 :class:`RunRecord` whose ``service_events`` field carries the raw
 trace.
 
-Wave batching is forced **off** on the service cluster: the wave fast
-path resolves intermediate task futures at the end of a batched run,
-which is invisible through a single solver's step barrier but *not*
-through many independent jobs' interleaved barriers — a job's sweep
-barrier must fire the instant its own tasks finish, not when an
-unrelated tenant's backlog drains.
+Wave batching now runs **on** by default on the service cluster: the
+wave machinery is barrier-aware (a wave is materialized the moment a
+``local_when_all`` barrier observes any of its member futures early,
+and ``submit_group`` / ``send_group`` batch each sweep and exchange
+into one DES event per job step), so interleaved multi-job DAGs see
+bit-identical telemetry with batching on or off.  ``wave_batching``
+can still be forced either way per call — the parity tests and the
+service bench run both modes and assert the ``service_events`` streams
+are equal.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from ..amt.cluster import ConstantSpeed, SimCluster
 from ..experiments.results import RunRecord
 from ..experiments.runner import cached_operator
-from .arrivals import generate_arrivals
+from .arrivals import generate_arrival_arrays, generate_arrivals
 from .manager import JobManager
 from .spec import ServiceSpec
 from .telemetry import summarize_service
 
-__all__ = ["run_service"]
+__all__ = ["run_service", "run_service_detailed", "summarize_record"]
 
 
-def run_service(spec: ServiceSpec) -> RunRecord:
-    """Execute one service point and collect its :class:`RunRecord`.
+def run_service_detailed(
+        spec: ServiceSpec,
+        wave_batching: Optional[bool] = None
+) -> Tuple[RunRecord, SimCluster]:
+    """Execute one service point; return the record *and* the cluster.
 
     The cluster runs ``until=spec.horizon``: jobs still queued or
     mid-DAG at the horizon stay unfinished (they are the ``in_flight``
     count in the summary), and — via the drained-queue clock contract —
     an underloaded run still ends with ``now == horizon``, so busy
     fractions and goodput are always measured against the full window.
+
+    ``wave_batching=None`` defers to the ``REPRO_DES_WAVE`` default
+    (on); pass ``False`` to force the strict one-event-per-task path.
+    The returned cluster exposes the DES itself (``cluster.sim``) for
+    callers that want ``events_processed`` or ``profile_report()``.
     """
     flops: Dict[int, float] = {}
     backends = set()
@@ -61,21 +72,35 @@ def run_service(spec: ServiceSpec) -> RunRecord:
         cores_per_node=spec.cluster.cores_per_node,
         speeds=speeds,
         network=spec.cluster.build_network(),
-        wave_batching=False)
+        wave_batching=wave_batching)
 
     manager = JobManager(cluster, spec, flops)
-    manager.feed(generate_arrivals(spec.arrival, spec.tenants,
-                                   spec.horizon))
+    if cluster.wave_batching:
+        # columnar trace straight into the arrival pump — no per-event
+        # lambda and no Arrival object per job at service_extreme scale
+        manager.feed_columnar(*generate_arrival_arrays(
+            spec.arrival, spec.tenants, spec.horizon))
+    else:
+        manager.feed(generate_arrivals(spec.arrival, spec.tenants,
+                                       spec.horizon))
     cluster.run(until=spec.horizon)
 
-    return RunRecord(
+    record = RunRecord(
         scenario=spec.name, solver="service", spec=spec.to_dict(),
         num_steps=0,
         makespan=float(cluster.now),
         busy_total=[float(cluster.busy_time(n))
                     for n in range(spec.cluster.num_nodes)],
-        service_events=list(manager.events),
+        service_events=manager.events,
         backend_resolved="+".join(sorted(backends)))
+    return record, cluster
+
+
+def run_service(spec: ServiceSpec,
+                wave_batching: Optional[bool] = None) -> RunRecord:
+    """Execute one service point and collect its :class:`RunRecord`."""
+    record, _cluster = run_service_detailed(spec, wave_batching)
+    return record
 
 
 def summarize_record(record: RunRecord) -> Dict:

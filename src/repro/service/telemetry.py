@@ -5,14 +5,130 @@ the horizon), so it works identically on a live run's
 ``JobManager.events`` and on the ``service_events`` field of a record
 loaded back from JSON — the reporting layer and the benches both call
 it on whichever they have.
+
+:class:`EventLog` is the columnar in-memory form of that stream: the
+manager appends typed rows into parallel arrays (a byte per kind, a
+float64 per timestamp, …) instead of allocating one dict per event,
+and the log lazily renders dicts on access so every consumer of the
+list-of-dicts shape — ``RunRecord.service_events`` persistence,
+:func:`summarize_service`, the reporting tables — sees byte-identical
+events (see DESIGN.md, "Service fast path").
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Optional
+from array import array
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
-__all__ = ["percentile", "jain_fairness", "summarize_service"]
+__all__ = ["EventLog", "percentile", "jain_fairness", "summarize_service"]
+
+#: kind codes for the columnar log (order is meaningless; values are an
+#: internal encoding, never persisted)
+_ARRIVAL, _SHED, _START, _FINISH = 0, 1, 2, 3
+_KIND_NAMES = ("arrival", "shed", "start", "finish")
+
+
+class EventLog:
+    """Columnar service telemetry with a lazy list-of-dicts view.
+
+    Parallel arrays hold one entry per event: ``kind`` (byte code),
+    ``t`` (float64), ``tenant`` (index into the tenant-name table) and
+    ``job``; kind-specific extras (queue ``depth`` for sheds, ``wait``
+    for starts, ``wait``/``makespan``/``service`` for finishes) ride in
+    a per-event tuple.  Indexing and iteration materialize the exact
+    dicts the per-dict path appended, so the log compares equal to (and
+    serializes as) the historical list-of-dicts stream.
+    """
+
+    __slots__ = ("_names", "_kind", "_t", "_tenant", "_job", "_extra")
+
+    def __init__(self, tenant_names: Sequence[str]) -> None:
+        self._names = list(tenant_names)
+        self._kind = array("b")
+        self._t = array("d")
+        self._tenant = array("i")
+        self._job = array("q")
+        self._extra: List[Any] = []
+
+    # -- appends (manager hot path) ---------------------------------------
+    def arrival(self, t: float, tenant: int, job: int) -> None:
+        self._kind.append(_ARRIVAL)
+        self._t.append(t)
+        self._tenant.append(tenant)
+        self._job.append(job)
+        self._extra.append(None)
+
+    def shed(self, t: float, tenant: int, job: int, depth: int) -> None:
+        self._kind.append(_SHED)
+        self._t.append(t)
+        self._tenant.append(tenant)
+        self._job.append(job)
+        self._extra.append((depth,))
+
+    def start(self, t: float, tenant: int, job: int, wait: float) -> None:
+        self._kind.append(_START)
+        self._t.append(t)
+        self._tenant.append(tenant)
+        self._job.append(job)
+        self._extra.append((wait,))
+
+    def finish(self, t: float, tenant: int, job: int, wait: float,
+               makespan: float, service: float) -> None:
+        self._kind.append(_FINISH)
+        self._t.append(t)
+        self._tenant.append(tenant)
+        self._job.append(job)
+        self._extra.append((wait, makespan, service))
+
+    # -- list-of-dicts view ------------------------------------------------
+    def _event(self, i: int) -> Dict[str, Any]:
+        kind = self._kind[i]
+        e: Dict[str, Any] = {"kind": _KIND_NAMES[kind], "t": self._t[i],
+                             "tenant": self._names[self._tenant[i]],
+                             "job": self._job[i]}
+        extra = self._extra[i]
+        if kind == _SHED:
+            e["depth"] = extra[0]
+        elif kind == _START:
+            e["wait"] = extra[0]
+        elif kind == _FINISH:
+            e["wait"], e["makespan"], e["service"] = extra
+        return e
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._event(j) for j in range(*i.indices(len(self)))]
+        n = len(self._kind)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("event index out of range")
+        return self._event(i)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for i in range(len(self._kind)):
+            yield self._event(i)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, EventLog):
+            return (self._names == other._names
+                    and self._kind == other._kind
+                    and self._t == other._t
+                    and self._tenant == other._tenant
+                    and self._job == other._job
+                    and self._extra == other._extra)
+        if isinstance(other, (list, tuple)):
+            return (len(other) == len(self)
+                    and all(self._event(i) == e
+                            for i, e in enumerate(other)))
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventLog {len(self)} events, {len(self._names)} tenants>"
 
 
 def percentile(values: Iterable[float], q: float) -> float:
@@ -72,24 +188,49 @@ def summarize_service(events: List[Dict[str, Any]], horizon: float,
                              "waits": [], "makespans": []}
         return tenants[name]
 
-    for e in events:
-        kind = e["kind"]
-        b = bucket(e["tenant"])
-        if kind == "arrival":
-            offered += 1
-            b["offered"] += 1
-        elif kind == "shed":
-            shed += 1
-            b["shed"] += 1
-        elif kind == "start":
-            started += 1
-            waits.append(e["wait"])
-            b["waits"].append(e["wait"])
-        elif kind == "finish":
-            completed += 1
-            makespans.append(e["makespan"])
-            b["completed"] += 1
-            b["makespans"].append(e["makespan"])
+    if isinstance(events, EventLog):
+        # columnar fast path: walk the typed arrays directly instead of
+        # materializing one dict per event; the accumulations (and thus
+        # every number in the summary) are identical
+        names = events._names
+        for i, kind in enumerate(events._kind):
+            b = bucket(names[events._tenant[i]])
+            if kind == _ARRIVAL:
+                offered += 1
+                b["offered"] += 1
+            elif kind == _SHED:
+                shed += 1
+                b["shed"] += 1
+            elif kind == _START:
+                wait = events._extra[i][0]
+                started += 1
+                waits.append(wait)
+                b["waits"].append(wait)
+            else:
+                makespan = events._extra[i][1]
+                completed += 1
+                makespans.append(makespan)
+                b["completed"] += 1
+                b["makespans"].append(makespan)
+    else:
+        for e in events:
+            kind = e["kind"]
+            b = bucket(e["tenant"])
+            if kind == "arrival":
+                offered += 1
+                b["offered"] += 1
+            elif kind == "shed":
+                shed += 1
+                b["shed"] += 1
+            elif kind == "start":
+                started += 1
+                waits.append(e["wait"])
+                b["waits"].append(e["wait"])
+            elif kind == "finish":
+                completed += 1
+                makespans.append(e["makespan"])
+                b["completed"] += 1
+                b["makespans"].append(e["makespan"])
 
     per_tenant = {}
     for name, b in sorted(tenants.items()):

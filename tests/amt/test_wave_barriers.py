@@ -1,0 +1,176 @@
+"""Barrier-aware wave batching and the task-group fast path.
+
+The wave fast path historically had to be switched off whenever
+independent jobs' ``local_when_all`` barriers interleaved on one node:
+a batched wave resolved its member futures only when the whole wave
+ended, so a barrier over an early member fired late.  These tests pin
+the barrier-aware machinery that lifted that restriction:
+
+* wave formation stops at the boundary of a second barrier group, so
+  interleaved-job waves are simply not formed;
+* a wave is unwound mid-flight the moment any member future gains a
+  subscriber (the ``_wave`` trigger), so late subscriptions still see
+  exact per-task resolution times;
+* ``submit_group`` / ``send_group`` batch a whole cross-node group
+  into one event while producing bit-identical telemetry, busy time,
+  and barrier firing times to the per-event path;
+* a mid-horizon ``run(until=...)`` cut materializes in-flight groups
+  back into per-task form with no observable difference.
+
+Each scenario runs once with batching on and once off and asserts the
+observable streams are equal.
+"""
+
+from repro.amt.cluster import SimCluster
+from repro.amt.future import local_when_all
+
+
+def _two_clusters(n, **kw):
+    return (SimCluster(n, wave_batching=True, **kw),
+            SimCluster(n, wave_batching=False, **kw))
+
+
+class TestBarrierAwareWaves:
+    def test_single_barrier_run_still_batches(self):
+        """One barrier over the whole backlog (the solver's shape):
+        the wave fast path must still collapse it to O(1) events."""
+        results = {}
+        for mode in (True, False):
+            c = SimCluster(1, wave_batching=mode)
+            futs = [c.submit(0, 10.0) for _ in range(100)]
+            fired = []
+            local_when_all(futs)._add_callback(lambda _f, c=c: fired.append(c.now))
+            c.run()
+            results[mode] = fired
+            if mode:
+                assert c.sim.events_processed <= 3
+        assert results[True] == results[False] == [1000.0]
+
+    def test_interleaved_job_barriers_fire_at_their_own_times(self):
+        """Two jobs' barriers interleave on one node: each must fire
+        when its own tasks are done, not when the backlog drains."""
+        results = {}
+        for mode in (True, False):
+            c = SimCluster(1, wave_batching=mode)
+            a = [c.submit(0, 10.0), c.submit(0, 10.0)]
+            b = [c.submit(0, 10.0), c.submit(0, 10.0)]
+            fired = {}
+            local_when_all(a)._add_callback(
+                lambda _f, c=c: fired.setdefault("A", c.now))
+            local_when_all(b)._add_callback(
+                lambda _f, c=c: fired.setdefault("B", c.now))
+            c.run()
+            results[mode] = fired
+        # submission order on the FIFO node: a0 a1 b0 b1
+        assert results[True] == results[False] == {"A": 20.0, "B": 40.0}
+
+    def test_mid_wave_subscription_unwinds_the_wave(self):
+        """Subscribing to a member future while its wave is in flight
+        must observe the member's exact per-task completion time."""
+        results = {}
+        for mode in (True, False):
+            c = SimCluster(1, wave_batching=mode)
+            futs = [c.submit(0, 10.0) for _ in range(5)]
+            seen = []
+            # at t=25 (mid-wave), subscribe to task 3 (finishes at 40)
+            c.timer(25.0).then(
+                lambda _f: futs[3]._add_callback(
+                    lambda _g: seen.append(c.now)))
+            c.run()
+            results[mode] = seen
+        assert results[True] == results[False] == [40.0]
+
+
+class TestTaskGroups:
+    def test_group_chain_matches_per_event_path(self):
+        """A 3-step submit_group/send_group chain over 3 nodes: same
+        barrier times, same busy time, far fewer events."""
+        logs = {}
+        events = {}
+        for mode in (True, False):
+            c = SimCluster(3, wave_batching=mode)
+            log = []
+
+            def step(k, c=c, log=log):
+                if k == 3:
+                    return
+                fut = c.submit_group([10.0, 20.0, 15.0])
+                fut._add_callback(lambda _f: (
+                    log.append((k, c.now)),
+                    send(k)))
+
+            def send(k, c=c):
+                fut = c.send_group([(0, 1, 800), (1, 2, 800)])
+                fut._add_callback(lambda _f: step(k + 1))
+
+            step(0)
+            c.run()
+            log.append(("busy", [round(c.busy_time(n), 9)
+                                 for n in range(3)]))
+            logs[mode] = log
+            events[mode] = c.sim.events_processed
+        assert logs[True] == logs[False]
+        assert events[True] < events[False]
+
+    def test_group_callback_mode_matches_future_mode(self):
+        """submit_group(callback=...) fires exactly where the barrier
+        future would have resolved."""
+        fired = {}
+        for label, use_cb in (("cb", True), ("fut", False)):
+            c = SimCluster(2, wave_batching=True)
+            times = []
+            if use_cb:
+                c.submit_group([10.0, 30.0],
+                               callback=lambda: times.append(c.now))
+            else:
+                c.submit_group([10.0, 30.0])._add_callback(
+                    lambda _f: times.append(c.now))
+            c.run()
+            fired[label] = times
+        assert fired["cb"] == fired["fut"] == [30.0]
+
+    def test_mid_horizon_cut_and_resume(self):
+        """run(until=) through in-flight groups, then resume: the
+        materialized continuation must finish identically."""
+        results = {}
+        for mode in (True, False):
+            c = SimCluster(1, wave_batching=mode)
+            log = []
+
+            def chain(k, c=c, log=log):
+                if k == 4:
+                    return
+                c.submit_group([20.0])._add_callback(
+                    lambda _f: (log.append((k, c.now)), chain(k + 1)))
+
+            chain(0)
+            c.run(until=25.0)
+            mid_busy = round(c.busy_time(0), 9)
+            mid_now = c.now
+            c.run()
+            results[mode] = (log, mid_busy, mid_now,
+                             round(c.busy_time(0), 9))
+        assert results[True] == results[False]
+        assert results[True][0] == [(0, 20.0), (1, 40.0), (2, 60.0),
+                                    (3, 80.0)]
+
+    def test_group_falls_back_on_ineligible_node(self):
+        """Multi-core nodes take the classic path but the barrier
+        semantics are unchanged."""
+        c = SimCluster(2, cores_per_node=2, wave_batching=True)
+        times = []
+        c.submit_group([10.0, 30.0])._add_callback(
+            lambda _f: times.append(c.now))
+        c.run()
+        assert times == [30.0]
+
+    def test_counters_flush_through_busy_time_reads(self):
+        """busy_time() mid-run sees the completed prefix of pending
+        group entries without materializing them."""
+        c = SimCluster(1, wave_batching=True)
+        c.submit_group([10.0])
+        c.submit_group([10.0])
+        c.run(until=15.0)
+        assert c.busy_time(0) == 10.0
+        c.run()
+        assert c.busy_time(0) == 20.0

@@ -1,8 +1,12 @@
 """Determinism and shape of the seeded arrival traces."""
 
+import numpy as np
 import pytest
 
-from repro.service import ArrivalSpec, TenantSpec, generate_arrivals
+from repro.service import (ArrivalSpec, TenantSpec, generate_arrival_arrays,
+                           generate_arrivals)
+from repro.service.arrivals import (Arrival, _poisson_times,
+                                    _poisson_times_np, _tenant_times)
 
 TENANTS = (TenantSpec(name="a"), TenantSpec(name="b", weight=3.0))
 
@@ -84,3 +88,51 @@ class TestShape:
         for tenant in (0, 1):
             ks = [a.index for a in trace if a.tenant == tenant]
             assert ks == list(range(len(ks)))
+
+
+def _reference_trace(spec, tenants, horizon):
+    """The pre-vectorization construction: scalar per-tenant loops,
+    then a plain (time, tenant, index) sort over Arrival records."""
+    total = sum(t.weight for t in tenants)
+    out = []
+    for idx, tenant in enumerate(tenants):
+        rng = np.random.default_rng([spec.seed, idx])
+        rate = spec.rate * tenant.weight / total
+        for k, t in enumerate(_tenant_times(spec, rate, horizon, rng)):
+            out.append(Arrival(t, idx, k))
+    out.sort(key=lambda a: (a.time, a.tenant, a.index))
+    return out
+
+
+class TestVectorizationParity:
+    """The block-drawn / lexsorted fast path must be bit-identical to
+    the scalar reference — same generator streams, same float64 sums,
+    same tie-break order."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    @pytest.mark.parametrize("rate,horizon", [(2e4, 5e-3), (1.5e5, 2e-3),
+                                              (1e6, 5e-4), (37.0, 1e-2)])
+    def test_poisson_times_bit_identical(self, seed, rate, horizon):
+        scalar = _poisson_times(np.random.default_rng([seed, 0]),
+                                rate, 0.0, horizon)
+        vector = _poisson_times_np(np.random.default_rng([seed, 0]),
+                                   rate, horizon)
+        assert vector.tolist() == scalar
+
+    @pytest.mark.parametrize("process", ["poisson", "bursty", "diurnal"])
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_arrays_match_reference_trace(self, process, seed):
+        spec = ArrivalSpec(process=process, rate=8e4, seed=seed)
+        ref = _reference_trace(spec, TENANTS, 2e-3)
+        times, tens, idxs = generate_arrival_arrays(spec, TENANTS, 2e-3)
+        assert times.tolist() == [a.time for a in ref]
+        assert tens.tolist() == [a.tenant for a in ref]
+        assert idxs.tolist() == [a.index for a in ref]
+        assert generate_arrivals(spec, TENANTS, 2e-3) == ref
+
+    def test_empty_arrays_shape(self):
+        times, tens, idxs = generate_arrival_arrays(
+            ArrivalSpec(rate=0.0), TENANTS, 1e-3)
+        assert (len(times), len(tens), len(idxs)) == (0, 0, 0)
+        assert times.dtype == np.float64
+        assert tens.dtype == np.int64 and idxs.dtype == np.int64
