@@ -1,0 +1,226 @@
+"""Closed-loop autoscaling benchmark: the node-hours-vs-p99 frontier.
+
+The two autoscaled registry scenarios run end to end, each in a fresh
+subprocess (clean operator cache, true per-scenario ``ru_maxrss``),
+and each *three ways*:
+
+* ``autoscale``   — the scenario as registered: the fleet starts at
+  ``min_nodes`` and the target-utilization policy grows/drains it
+  through the load swing;
+* ``static_min``  — the same spec with autoscaling stripped: a fixed
+  ``min_nodes`` fleet riding out the peak;
+* ``static_peak`` — a fixed ``max_nodes`` fleet provisioned for the
+  peak the whole run.
+
+The frontier claim (all virtual-time quantities, so hard asserts):
+the autoscaled run must beat the static minimum fleet on *both* the
+p99 queue wait and the shed count, while provisioning fewer
+node-seconds than the static peak fleet — elasticity buys most of the
+peak fleet's latency at a fraction of its cost.  Node-seconds follow
+cloud billing (:func:`repro.amt.autoscale.node_seconds`): a node is
+paid for from the scale-out request through retirement.
+
+Scenarios:
+
+* ``flash_crowd`` — one on/off burst at ~3x the minimum fleet's
+  capacity; the scaler must chase a step change both ways.
+* ``diurnal_autoscale`` — a sinusoidal day cycle; provisioned
+  capacity should track the load curve instead of the peak.
+
+Every variant runs once cold and then best-of-3 timed; the cold and
+timed autoscale records must be bit-identical (seeded determinism of
+the whole control loop, poll events included).
+
+Floors (env-tunable for noisy runners; defaults hold with margin):
+
+* ``REPRO_BENCH_MIN_AUTOSCALE_GAIN`` (default 1.1) — p99-wait ratio
+  ``static_min / autoscale`` the flash-crowd scaler must clear.
+
+Knobs: ``REPRO_BENCH_AUTOSCALE_HORIZON`` (default 4.0) scales both
+scenarios' horizons — ``flash_crowd`` repeats its burst cycle and
+``diurnal_autoscale`` its day, so larger horizons add independent load
+swings rather than stretching one.
+
+Emits JSON in the harness result schema; ``REPRO_BENCH_JSON=path``
+writes it to a file (``BENCH_autoscale.json`` at the repo root is the
+committed record).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from functools import lru_cache
+
+from repro.experiments import SCHEMA, write_json
+from repro.reporting.tables import format_table
+
+#: horizon multiplier — more load cycles per run, same per-cycle shape
+HORIZON_SCALE = float(
+    os.environ.get("REPRO_BENCH_AUTOSCALE_HORIZON", "4.0"))
+
+#: flash-crowd p99-wait gain floor: static_min p99 / autoscale p99
+_MIN_GAIN = float(os.environ.get("REPRO_BENCH_MIN_AUTOSCALE_GAIN", "1.1"))
+
+SCENARIOS = ("flash_crowd", "diurnal_autoscale")
+
+
+def _run_variant(spec):
+    """One cold + best-of-3 timed runs; returns (record, stats dict)."""
+    from repro.amt.autoscale import node_seconds
+    from repro.service import run_service_detailed, summarize_record
+
+    cold, _ = run_service_detailed(spec)
+    wall = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        record, cluster = run_service_detailed(spec)
+        wall = min(wall, time.perf_counter() - t0)
+    assert record.to_dict() == cold.to_dict(), \
+        f"{spec.name}: seeded rerun diverged"
+    summary = summarize_record(record)
+    scale_events = record.scale_events
+    fleet_sizes = [e["nodes"] for e in scale_events]
+    return record, {
+        "offered": summary["offered"],
+        "shed": summary["shed"],
+        "completed": summary["completed"],
+        "goodput": summary["goodput"],
+        "p50_wait": summary["p50_wait"],
+        "p99_wait": summary["p99_wait"],
+        "p99_makespan": summary["p99_makespan"],
+        "fairness": summary["fairness"],
+        "node_seconds": node_seconds(scale_events,
+                                     spec.cluster.num_nodes, spec.horizon),
+        "scale_events": len(scale_events),
+        "peak_fleet": (max(fleet_sizes) if fleet_sizes
+                       else spec.cluster.num_nodes),
+        "physical_events": cluster.sim.events_processed,
+        "wall_seconds": wall,
+    }
+
+
+def _worker(name: str) -> None:
+    """Subprocess entry: one scenario, three provisioning variants."""
+    from harness import peak_rss_bytes
+
+    from repro.experiments import build
+    from repro.experiments.spec import ClusterSpec
+
+    base = build(name)
+    spec = base.replace(horizon=base.horizon * HORIZON_SCALE)
+    a = spec.autoscale
+    assert a is not None, f"{name} is not an autoscaled scenario"
+
+    _, auto = _run_variant(spec)
+    _, static_min = _run_variant(spec.replace(autoscale=None))
+    _, static_peak = _run_variant(spec.replace(
+        autoscale=None, cluster=ClusterSpec(num_nodes=a.max_nodes)))
+
+    row = {
+        "scenario": name,
+        "horizon": spec.horizon,
+        "process": spec.arrival.process,
+        "min_nodes": a.min_nodes,
+        "max_nodes": a.max_nodes,
+        "poll_interval": a.poll_interval,
+        "autoscale": auto,
+        "static_min": static_min,
+        "static_peak": static_peak,
+        "p99_gain_vs_min": static_min["p99_wait"] / auto["p99_wait"],
+        "node_seconds_saved_vs_peak":
+            static_peak["node_seconds"] - auto["node_seconds"],
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    print("RESULT " + json.dumps(row, sort_keys=True))
+
+
+def _run_worker(name):
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--worker", name],
+        env=dict(os.environ), capture_output=True, text=True,
+        cwd=os.path.dirname(os.path.abspath(__file__)))
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"autoscale bench worker {name!r} failed:\n{proc.stderr}")
+    for line in proc.stdout.splitlines():
+        if line.startswith("RESULT "):
+            return json.loads(line[len("RESULT "):])
+    raise RuntimeError(
+        f"autoscale bench worker {name!r} produced no result:\n"
+        f"{proc.stdout}")
+
+
+@lru_cache(maxsize=1)
+def scenario_rows():
+    return [_run_worker(name) for name in SCENARIOS]
+
+
+def test_autoscale_frontier(benchmark):
+    rows = scenario_rows()
+
+    table = []
+    for r in rows:
+        for tag in ("autoscale", "static_min", "static_peak"):
+            v = r[tag]
+            table.append([
+                r["scenario"] if tag == "autoscale" else "",
+                tag, v["peak_fleet"], f"{v['node_seconds']:.4g}",
+                v["shed"], v["completed"],
+                f"{v['p99_wait'] * 1e6:.0f}", f"{v['goodput']:,.0f}",
+            ])
+    print("\n" + format_table(
+        ["scenario", "fleet", "peak", "node-s", "shed", "done",
+         "p99 wait (us)", "goodput/s"],
+        table, title="closed-loop autoscaling — node-hours vs p99 "
+                     "frontier"))
+
+    for r in rows:
+        name = r["scenario"]
+        auto, smin, speak = (r["autoscale"], r["static_min"],
+                             r["static_peak"])
+        # the scaler actually moved, both directions, and respected
+        # the band
+        assert auto["scale_events"] > 0, f"{name}: policy never fired"
+        assert auto["peak_fleet"] > r["min_nodes"], \
+            f"{name}: never scaled out"
+        assert auto["peak_fleet"] <= r["max_nodes"], \
+            f"{name}: exceeded max_nodes"
+        # frontier: beat the static minimum on BOTH tail wait and shed
+        # load, at lower provisioned cost than the static peak
+        assert auto["p99_wait"] < smin["p99_wait"], (
+            f"{name}: autoscale p99 {auto['p99_wait']:.2e}s not below "
+            f"static-min {smin['p99_wait']:.2e}s")
+        assert auto["shed"] <= smin["shed"], (
+            f"{name}: autoscale shed {auto['shed']} above static-min "
+            f"{smin['shed']}")
+        assert auto["node_seconds"] < speak["node_seconds"], (
+            f"{name}: autoscale node-seconds {auto['node_seconds']:.4g} "
+            f"not below static-peak {speak['node_seconds']:.4g}")
+        # and the capacity it did rent was put to work
+        assert auto["completed"] > smin["completed"]
+
+    flash = next(r for r in rows if r["scenario"] == "flash_crowd")
+    assert flash["p99_gain_vs_min"] >= _MIN_GAIN, (
+        f"flash_crowd p99 gain {flash['p99_gain_vs_min']:.2f}x below "
+        f"the {_MIN_GAIN:g}x floor")
+
+    payload = {
+        "benchmark": "autoscale",
+        "horizon_scale": HORIZON_SCALE,
+        "min_gain": _MIN_GAIN,
+        "scenarios": rows,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        write_json(out, payload)
+    else:
+        print(json.dumps({"schema": SCHEMA, **payload}, sort_keys=True))
+
+    benchmark(lambda: rows)  # rows cached; keep pytest-benchmark happy
+
+
+if __name__ == "__main__" and len(sys.argv) >= 3 and sys.argv[1] == "--worker":
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    _worker(sys.argv[2])

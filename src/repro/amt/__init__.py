@@ -14,6 +14,9 @@ Fig. 3 that the load balancer depends on.
 """
 
 from .agas import AddressSpace, AgasError
+from .autoscale import (AUTOSCALE_PRIORITY, AutoscaleController,
+                        AutoscaleObservation, AutoscalePolicy,
+                        TargetUtilizationPolicy, node_seconds)
 from .channel import Channel, ChannelError, ChannelTable
 from .counters import BUSY_TIME, BusyTimeCounter, Counter, CounterRegistry
 from .des import Event, SimulationError, Simulator
@@ -31,6 +34,8 @@ from .topology import (FlatTopology, HierarchicalTopology, LinkHop,
 
 __all__ = [
     "AddressSpace", "AgasError",
+    "AUTOSCALE_PRIORITY", "AutoscaleController", "AutoscaleObservation",
+    "AutoscalePolicy", "TargetUtilizationPolicy", "node_seconds",
     "Channel", "ChannelError", "ChannelTable",
     "BUSY_TIME", "BusyTimeCounter", "Counter", "CounterRegistry",
     "Event", "SimulationError", "Simulator",

@@ -568,9 +568,21 @@ class SimCluster:
                  speeds: Optional[Sequence[SpeedTrace]] = None,
                  network: Optional[Network] = None,
                  agas: Optional[AddressSpace] = None,
-                 wave_batching: Optional[bool] = None) -> None:
+                 wave_batching: Optional[bool] = None,
+                 default_rate: float = 1.0) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if default_rate <= 0:
+            raise ValueError(
+                f"default_rate must be > 0, got {default_rate}")
+        #: flops/s a node delivers when no explicit trace is given —
+        #: used both for construction (``speeds=None``) and for
+        #: mid-simulation joiners (:meth:`add_node` with ``trace=None``),
+        #: matching the ``ChurnEvent.join`` ``rate=0`` → "solver
+        #: default" contract.  A service cluster running at 1e9 flops/s
+        #: would otherwise hand a joiner the bare unit-test rate of 1.0
+        #: — a billion times slow.
+        self.default_rate = float(default_rate)
         self.sim = Simulator()
         if wave_batching is None:
             wave_batching = os.environ.get("REPRO_DES_WAVE", "1") != "0"
@@ -582,7 +594,8 @@ class SimCluster:
         self.counters = CounterRegistry(self.agas)
         self.network = network if network is not None else Network()
         if speeds is None:
-            speeds = [ConstantSpeed(1.0) for _ in range(num_nodes)]
+            speeds = [ConstantSpeed(self.default_rate)
+                      for _ in range(num_nodes)]
         if len(speeds) != num_nodes:
             raise ValueError(f"need {num_nodes} speed traces, got {len(speeds)}")
         self.nodes: List[SimNode] = []
@@ -722,13 +735,19 @@ class SimCluster:
         return futures
 
     def submit_group(self, works: Sequence[float], label: str = "task",
-                     callback=None) -> Optional[Future]:
-        """Queue ``works[i]`` on node ``i``; one barrier future for all.
+                     callback=None,
+                     nodes: Optional[Sequence[int]] = None
+                     ) -> Optional[Future]:
+        """Queue ``works[k]`` on node ``nodes[k]``; one barrier future.
 
-        Semantically identical to::
+        ``nodes`` defaults to ``0..len(works)-1`` (the historical
+        dense-fleet form); an explicit sequence targets an arbitrary
+        subset of node ids — the membership-aware form the service
+        manager uses once autoscaling grows or drains the fleet, since
+        dead nodes keep their ids.  Semantically identical to::
 
-            local_when_all([self.submit(i, w, label=label)
-                            for i, w in enumerate(works)])
+            local_when_all([self.submit(nid, w, label=label)
+                            for nid, w in zip(nodes, works)])
 
         and falls back to exactly that when batching is off or any
         target node is not on the group fast path (dead, multi-core,
@@ -748,21 +767,32 @@ class SimCluster:
         future plus its subscription per group — the service manager's
         per-sweep continuation path.
         """
+        if nodes is None:
+            ids: Sequence[int] = range(len(works))
+        else:
+            if len(nodes) != len(works):
+                raise SimulationError(
+                    f"group of {len(works)} tasks got {len(nodes)} "
+                    f"target nodes")
+            ids = nodes
         if not self.wave_batching:
             fut = local_when_all(
-                [self.submit(i, w, label=label)
-                 for i, w in enumerate(works)])
+                [self.submit(nid, w, label=label)
+                 for nid, w in zip(ids, works)])
             if callback is None:
                 return fut
             fut._add_callback(lambda _f: callback())
             return None
-        nodes = self.nodes
-        if len(works) > len(nodes):
+        all_nodes = self.nodes
+        num_nodes = len(all_nodes)
+        if len(works) > num_nodes:
             raise SimulationError(
                 f"group of {len(works)} tasks needs {len(works)} nodes, "
-                f"have {len(nodes)}")
-        for i, work in enumerate(works):
-            node = nodes[i]
+                f"have {num_nodes}")
+        for nid, work in zip(ids, works):
+            if not 0 <= nid < num_nodes:
+                raise SimulationError(f"unknown node id {nid}")
+            node = all_nodes[nid]
             # a node that already holds pending group entries is still
             # eligible: everything that could break eligibility
             # (classic submits, failures, run cuts, counter resets)
@@ -774,8 +804,8 @@ class SimCluster:
                     or node.running or node.ready
                     or node.wave is not None)):
                 fut = local_when_all(
-                    [self.submit(i, w, label=label)
-                     for i, w in enumerate(works)])
+                    [self.submit(nid, w, label=label)
+                     for nid, w in zip(ids, works)])
                 if callback is None:
                     return fut
                 fut._add_callback(lambda _f: callback())
@@ -789,8 +819,8 @@ class SimCluster:
             fut = None
             group = _TaskGroup(callback, len(works))
         t_max = now
-        for i, work in enumerate(works):
-            node = nodes[i]
+        for nid, work in zip(ids, works):
+            node = all_nodes[nid]
             tail = node.tail
             start = tail if tail > now else now
             finish = start + work / node.group_rate
@@ -866,12 +896,15 @@ class SimCluster:
 
         The node starts alive, idle, and with fresh counters whose
         measurement window begins now — its busy fraction is comparable
-        to the incumbents' from the next counter reset on.
+        to the incumbents' from the next counter reset on.  Without an
+        explicit ``trace`` the joiner runs at the cluster's
+        ``default_rate`` (the same default construction uses), so a
+        joiner is never slower than the fleet by accident.
         """
         i = len(self.nodes)
         counter = self.counters.create_busy_time(f"node{i}")
         if trace is None:
-            trace = ConstantSpeed(1.0)
+            trace = ConstantSpeed(self.default_rate)
         self.nodes.append(SimNode(i, cores, trace, counter))
         self._net_counters.append(
             (self.counters.create(f"node{i}", "bytes_sent"),

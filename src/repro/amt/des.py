@@ -388,6 +388,7 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._run_until: Optional[float] = None
         self._processed = 0
         if profile is None:
             profile = os.environ.get("REPRO_DES_PROFILE", "") not in ("", "0")
@@ -404,6 +405,17 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of (non-cancelled) events executed so far."""
         return self._processed
+
+    @property
+    def run_until(self) -> Optional[float]:
+        """The ``until`` boundary of the active :meth:`run`, else ``None``.
+
+        Batching layers that consume *future* work inside one event (the
+        service arrival pump's drain-ahead) must not reach past this
+        cut: an observer reading state when ``run(until=t)`` returns
+        would otherwise see effects from beyond ``t``.
+        """
+        return self._run_until
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or ``None`` if none queued.
@@ -498,6 +510,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        self._run_until = until
         executed = 0
         try:
             while True:
@@ -527,6 +540,7 @@ class Simulator:
                 self._execute(ev)
         finally:
             self._running = False
+            self._run_until = None
         return self._now
 
     def pending(self) -> int:

@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the arrival-trace seed")
     e.add_argument("--nodes", type=int, default=None,
                    help="override the cluster size")
+    e.add_argument("--autoscale", action="store_true",
+                   help="close the loop on fleet sizing: attach the "
+                        "default telemetry-driven autoscale policy "
+                        "(target-utilization with hysteresis) to a "
+                        "scenario that does not already carry one, and "
+                        "print the scale-events table; scenarios like "
+                        "flash_crowd autoscale by default")
     e.add_argument("--profile", action="store_true",
                    help="enable DES profiling (REPRO_DES_PROFILE) and "
                         "print the per-event-class timing table after "
@@ -401,12 +408,17 @@ def _cmd_run(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .experiments import build, get_factory, scenario_names
-    from .reporting.service import (format_service_summary,
+    from .reporting.service import (format_scale_events,
+                                    format_service_summary,
                                     format_tenant_table)
-    from .service import run_service_detailed, summarize_record
+    from .service import (AutoscaleSpec, run_service_detailed,
+                          summarize_record)
     if args.list_scenarios:
         for name in scenario_names():
-            if name.startswith("service_"):
+            # service scenarios are the ones whose spec dispatches to
+            # the service runner (covers flash_crowd etc., which do not
+            # carry the service_ name prefix)
+            if getattr(build(name), "solver", None) == "service":
                 print(name)
         return 0
     try:
@@ -429,18 +441,41 @@ def _cmd_serve(args) -> int:
         print(f"serve: {args.scenario!r} is not a service scenario "
               f"(use 'repro run')", file=sys.stderr)
         return 2
+    if args.autoscale and spec.autoscale is None:
+        # bound by the current fleet on the low side so the policy can
+        # shed idle capacity, twice the fleet on the high side
+        spec = spec.replace(autoscale=AutoscaleSpec(
+            min_nodes=max(1, spec.cluster.num_nodes // 2),
+            max_nodes=2 * spec.cluster.num_nodes))
     if args.profile:
         # the env flag (not a Simulator kwarg) so any nested DES the
         # run builds inherits it, matching bench_des_core's contract
         os.environ["REPRO_DES_PROFILE"] = "1"
     rec, cluster = run_service_detailed(spec)
     summary = summarize_record(rec)
+    if spec.autoscale is not None:
+        fleet = (f"{spec.cluster.num_nodes} nodes, autoscaling in "
+                 f"[{spec.autoscale.min_nodes}, "
+                 f"{spec.autoscale.max_nodes}]")
+    else:
+        fleet = f"{spec.cluster.num_nodes} nodes"
     print(f"scenario: {spec.name} ({len(spec.tenants)} tenants, "
-          f"{spec.cluster.num_nodes} nodes, "
-          f"{spec.arrival.process} arrivals)")
+          f"{fleet}, {spec.arrival.process} arrivals)")
     print(format_service_summary(summary))
     print()
     print(format_tenant_table(summary))
+    if spec.autoscale is not None:
+        from .amt.autoscale import node_seconds
+        used = node_seconds(rec.scale_events, spec.cluster.num_nodes,
+                            spec.horizon)
+        static = spec.cluster.num_nodes * spec.horizon
+        print()
+        print(f"provisioned node-seconds: {used:.4g} "
+              f"(static {spec.cluster.num_nodes}-node fleet: "
+              f"{static:.4g})")
+        if rec.scale_events:
+            print()
+            print(format_scale_events(rec.scale_events))
     if args.profile:
         print()
         print(f"DES events processed: {cluster.sim.events_processed}")

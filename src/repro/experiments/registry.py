@@ -699,6 +699,70 @@ def service_overload(rate: float = 150000.0, horizon: float = 2e-3,
         horizon=horizon, max_queue_depth=depth, max_concurrent=concurrent)
 
 
+@register("flash_crowd")
+def flash_crowd(rate: float = 40000.0, horizon: float = 1.2e-2,
+                seed: int = 0, min_nodes: int = 2, max_nodes: int = 8,
+                depth: int = 16, concurrent: int = 8,
+                burst_on: float = 4e-3, burst_off: float = 8e-3):
+    """One flash crowd against a closed-loop autoscaled fleet.
+
+    A single on/off burst (one ``burst_on + burst_off`` cycle fills
+    the horizon) offers ~3x the *minimum* fleet's capacity while it
+    lasts: a static ``min_nodes`` fleet sheds heavily and queues to
+    the depth limit, a static ``max_nodes`` fleet coasts at a fraction
+    of utilization, and the autoscaler rides the frontier between them
+    — grow through the burst on sustained utilization/shed pressure,
+    drain back to the floor once the backlog clears.  This is the
+    scenario ``benchmarks/bench_autoscale.py`` runs three ways to pin
+    the node-hours-vs-p99 frontier (BENCH_autoscale.json).
+    """
+    from ..service import ArrivalSpec, AutoscaleSpec, ServiceSpec
+    return ServiceSpec(
+        name="flash_crowd",
+        tenants=_default_tenants(),
+        cluster=ClusterSpec(num_nodes=min_nodes),
+        arrival=ArrivalSpec(process="bursty", rate=rate, seed=seed,
+                            burst_on=burst_on, burst_off=burst_off),
+        horizon=horizon, max_queue_depth=depth, max_concurrent=concurrent,
+        autoscale=AutoscaleSpec(
+            min_nodes=min_nodes, max_nodes=max_nodes,
+            poll_interval=2e-4, cooldown=4e-4, provision_delay=4e-4,
+            warmup=4e-4, warmup_factor=0.5,
+            scale_out_utilization=0.85, scale_in_utilization=0.3,
+            max_shed_rate=0.0,  # any shedding is scale-out pressure
+            breach_polls=2, low_polls=4))
+
+
+@register("diurnal_autoscale")
+def diurnal_autoscale(rate: float = 40000.0, horizon: float = 2e-2,
+                      seed: int = 0, min_nodes: int = 2,
+                      max_nodes: int = 6, depth: int = 16,
+                      concurrent: int = 8, amplitude: float = 0.8):
+    """A full diurnal cycle tracked by the autoscaler.
+
+    Sinusoidally modulated arrivals (one period = the horizon) swing
+    the offered load from ~0.2x to ~1.8x the average; the policy
+    should grow the fleet through the peak and drain it through the
+    trough, so provisioned node-seconds track the load curve instead
+    of the peak — the paper-style elasticity argument, closed-loop.
+    """
+    from ..service import ArrivalSpec, AutoscaleSpec, ServiceSpec
+    return ServiceSpec(
+        name="diurnal_autoscale",
+        tenants=_default_tenants(),
+        cluster=ClusterSpec(num_nodes=min_nodes),
+        arrival=ArrivalSpec(process="diurnal", rate=rate, seed=seed,
+                            period=horizon, amplitude=amplitude),
+        horizon=horizon, max_queue_depth=depth, max_concurrent=concurrent,
+        autoscale=AutoscaleSpec(
+            min_nodes=min_nodes, max_nodes=max_nodes,
+            poll_interval=2.5e-4, cooldown=5e-4, provision_delay=5e-4,
+            warmup=5e-4, warmup_factor=0.5,
+            scale_out_utilization=0.85, scale_in_utilization=0.3,
+            max_shed_rate=0.0,
+            breach_polls=2, low_polls=4))
+
+
 @register("service_extreme")
 def service_extreme(rate: float = 2e7, horizon: float = 5e-2,
                     nodes: int = 64, tenants: int = 64, seed: int = 0,

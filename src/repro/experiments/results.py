@@ -41,7 +41,13 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
 #: arrival/shed/start/finish stream of a ``solver == "service"`` run;
 #: empty on solver records) and ``"service"`` as a third ``solver``
 #: value with a :class:`repro.service.ServiceSpec` dict in ``spec``.
-SCHEMA = "repro.experiments/v5"
+#: v6: closed-loop autoscaling — ``scale_events`` (one dict per
+#: autoscale decision/transition of a service run: ``scale_out`` /
+#: ``join`` / ``drain`` / ``retire`` rows from
+#: :class:`repro.amt.autoscale.AutoscaleController`; empty when
+#: autoscaling is off) and ``ServiceSpec.autoscale`` in the embedded
+#: spec.
+SCHEMA = "repro.experiments/v6"
 
 
 @dataclass
@@ -95,6 +101,15 @@ class RunRecord:
     #: are unchanged.  Reduce with
     #: :func:`repro.service.summarize_service`
     service_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: autoscale decision/transition log of a service run with a
+    #: closed-loop policy, in virtual-time order: ``{t, action, node,
+    #: nodes, ...}`` dicts (``action`` one of ``scale_out`` / ``join``
+    #: / ``drain`` / ``retire``; decision rows carry the observation's
+    #: ``utilization`` / ``p99_wait`` / ``shed_rate`` /
+    #: ``queue_depth``) — see :mod:`repro.amt.autoscale`.  Empty when
+    #: autoscaling is off; cost it with
+    #: :func:`repro.amt.autoscale.node_seconds`
+    scale_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``[step, parts_after]`` per balancing event that moved SDs
     parts_events: List[List[Any]] = field(default_factory=list)
     #: SD ownership at the end of the run

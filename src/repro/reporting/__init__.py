@@ -5,7 +5,8 @@ from .balance import (format_balance_events, format_bytes_by_class,
                       format_recovery_events)
 from .ownership import (ownership_counts, render_ownership,
                         render_ownership_sequence)
-from .service import format_service_summary, format_tenant_table
+from .service import (format_scale_events, format_service_summary,
+                      format_tenant_table)
 from .tables import format_series, format_table, print_series, print_table
 from .trace import TaskInterval, TraceRecorder, render_gantt
 
@@ -13,7 +14,8 @@ __all__ = [
     "format_balance_events", "format_bytes_by_class",
     "format_recovery_events",
     "ownership_counts", "render_ownership", "render_ownership_sequence",
-    "format_service_summary", "format_tenant_table",
+    "format_scale_events", "format_service_summary",
+    "format_tenant_table",
     "format_series", "format_table", "print_series", "print_table",
     "TaskInterval", "TraceRecorder", "render_gantt",
 ]

@@ -8,11 +8,12 @@ aligned table with a row per tenant.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from .tables import format_table
 
-__all__ = ["format_service_summary", "format_tenant_table"]
+__all__ = ["format_service_summary", "format_tenant_table",
+           "format_scale_events"]
 
 
 def format_service_summary(summary: Dict[str, Any]) -> str:
@@ -52,4 +53,30 @@ def format_tenant_table(summary: Dict[str, Any],
     return format_table(
         ["tenant", "offered", "shed", "done", "goodput/s",
          "wait p50", "wait p99", "mkspan p50", "mkspan p99"],
+        rows, title=title)
+
+
+def format_scale_events(scale_events: List[Dict[str, Any]],
+                        title: str = "autoscale decisions") -> str:
+    """One row per autoscale decision/transition of a service run.
+
+    ``scale_events`` is a record's ``scale_events`` list (see
+    :mod:`repro.amt.autoscale`).  Decision rows (``scale_out`` /
+    ``drain``) carry the observation that triggered them; transition
+    rows (``join`` / ``retire``) show ``-`` in the signal columns.
+    """
+    rows = []
+    for e in scale_events:
+        has_obs = "utilization" in e
+        rows.append([
+            f"{e['t']:.4g}", e["action"],
+            "-" if e["node"] is None else e["node"], e["nodes"],
+            f"{e['utilization']:.3f}" if has_obs else "-",
+            f"{e['p99_wait']:.4g}" if has_obs else "-",
+            f"{e['shed_rate']:.4g}" if has_obs else "-",
+            f"{e['queue_depth']:g}" if has_obs else "-",
+        ])
+    return format_table(
+        ["t (s)", "action", "node", "fleet", "util",
+         "wait p99", "shed/s", "queued"],
         rows, title=title)

@@ -17,12 +17,12 @@ stream reduces to latency/goodput/fairness telemetry (:mod:`telemetry`).
 from .arrivals import Arrival, generate_arrival_arrays, generate_arrivals
 from .manager import JobManager
 from .runner import run_service, run_service_detailed, summarize_record
-from .spec import ArrivalSpec, ServiceSpec, TenantSpec
+from .spec import ArrivalSpec, AutoscaleSpec, ServiceSpec, TenantSpec
 from .telemetry import (EventLog, jain_fairness, percentile,
                         summarize_service)
 
 __all__ = [
-    "ArrivalSpec", "TenantSpec", "ServiceSpec",
+    "ArrivalSpec", "TenantSpec", "AutoscaleSpec", "ServiceSpec",
     "Arrival", "generate_arrivals", "generate_arrival_arrays",
     "JobManager",
     "run_service", "run_service_detailed", "summarize_record",

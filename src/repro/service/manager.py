@@ -43,7 +43,7 @@ from typing import Deque, Dict, List, Sequence
 from ..amt.cluster import SimCluster
 from .arrivals import Arrival
 from .spec import ServiceSpec
-from .telemetry import EventLog
+from .telemetry import _SHED, _START, EventLog, percentile
 
 __all__ = ["JobManager", "ARRIVAL_PRIORITY"]
 
@@ -79,35 +79,43 @@ class _Job:
 
 
 class _Template:
-    """Per-tenant job shape, resolved once against the cluster.
+    """Per-tenant job shape, resolved against the *current* fleet.
 
-    ``works[n]`` is the flops of tenant's per-sweep task on node ``n``
-    (mesh rows block-split over all nodes, cost from the shared cached
-    operator's ``flops_per_dp``); ``ghosts`` the ``(src, dst, nbytes)``
-    ring-exchange messages issued between sweeps.
+    ``works[k]`` is the flops of tenant's per-sweep task on node
+    ``nodes[k]`` (mesh rows block-split across the dispatchable nodes,
+    cost from the shared cached operator's ``flops_per_dp``);
+    ``ghosts`` the ``(src, dst, nbytes)`` ring-exchange messages issued
+    between sweeps.  Templates are rebuilt on membership change
+    (:meth:`JobManager.set_membership`); in-flight jobs adopt the new
+    shape at their next step, since the step DAG looks the template up
+    per step.
     """
 
-    __slots__ = ("steps", "works", "ghosts")
+    __slots__ = ("steps", "works", "ghosts", "nodes")
 
     def __init__(self, steps: int, works: List[float],
-                 ghosts: List[tuple]) -> None:
+                 ghosts: List[tuple], nodes: List[int]) -> None:
         self.steps = steps
         self.works = works
         self.ghosts = ghosts
+        self.nodes = nodes
 
 
 def _build_template(tenant, flops_per_dp: float,
-                    num_nodes: int) -> _Template:
+                    nodes: List[int]) -> _Template:
+    num_nodes = len(nodes)
     rows = [tenant.nx // num_nodes
-            + (1 if n < tenant.nx % num_nodes else 0)
-            for n in range(num_nodes)]
+            + (1 if k < tenant.nx % num_nodes else 0)
+            for k in range(num_nodes)]
     works = [r * tenant.nx * flops_per_dp for r in rows]
-    # one ghost row (8 bytes per DP) each way across every block seam
+    # one ghost row (8 bytes per DP) each way across every block seam;
+    # seams are between *consecutive dispatchable* nodes, so a fleet
+    # with retired ids in the middle still forms one ring
     ghosts = []
-    for n in range(num_nodes - 1):
-        ghosts.append((n, n + 1, 8 * tenant.nx))
-        ghosts.append((n + 1, n, 8 * tenant.nx))
-    return _Template(tenant.steps, works, ghosts)
+    for a, b in zip(nodes, nodes[1:]):
+        ghosts.append((a, b, 8 * tenant.nx))
+        ghosts.append((b, a, 8 * tenant.nx))
+    return _Template(tenant.steps, works, ghosts, nodes)
 
 
 class JobManager:
@@ -122,8 +130,10 @@ class JobManager:
                  flops_per_dp: Dict[int, float]) -> None:
         self.cluster = cluster
         self.spec = spec
+        self._flops_per_dp = dict(flops_per_dp)
+        self._membership = list(range(spec.cluster.num_nodes))
         self.templates = [
-            _build_template(t, flops_per_dp[i], spec.cluster.num_nodes)
+            _build_template(t, flops_per_dp[i], self._membership)
             for i, t in enumerate(spec.tenants)]
         self.queues: List[Deque[_Job]] = [deque() for _ in spec.tenants]
         self.events = EventLog([t.name for t in spec.tenants])
@@ -139,6 +149,54 @@ class JobManager:
         self._arr_tenants: Sequence[int] = ()
         self._arr_indices: Sequence[int] = ()
         self._arr_cursor = 0
+        # autoscale signal feed: events already reduced by poll_signals
+        self._signal_cursor = 0
+
+    # -- elastic membership (autoscale hooks) ------------------------------
+    def set_membership(self, node_ids: Sequence[int]) -> None:
+        """Re-split every tenant's job over the given dispatchable fleet.
+
+        Wired as the :class:`~repro.amt.autoscale.AutoscaleController`'s
+        ``on_membership_change`` callback.  Takes effect at each job's
+        next step — the step DAG resolves ``self.templates`` per step —
+        so in-flight sweeps on a draining node finish where they are
+        while new sweeps avoid it.
+        """
+        nodes = sorted(node_ids)
+        if not nodes:
+            raise ValueError("membership must contain at least one node")
+        if nodes == self._membership:
+            return
+        self._membership = nodes
+        self.templates = [
+            _build_template(t, self._flops_per_dp[i], nodes)
+            for i, t in enumerate(self.spec.tenants)]
+
+    def poll_signals(self, now: float, dt: float) -> Dict[str, float]:
+        """Service-level signals since the previous poll.
+
+        Wired as the controller's ``metrics`` callback: reduces only
+        the telemetry appended since the last call (a cursor into the
+        columnar log, so polling is O(new events), not O(history)).
+        """
+        events = self.events
+        n = len(events)
+        kinds = events._kind
+        extras = events._extra
+        waits: List[float] = []
+        sheds = 0
+        for i in range(self._signal_cursor, n):
+            kind = kinds[i]
+            if kind == _START:
+                waits.append(extras[i][0])
+            elif kind == _SHED:
+                sheds += 1
+        self._signal_cursor = n
+        return {
+            "p99_wait": percentile(waits, 99) if waits else 0.0,
+            "shed_rate": sheds / dt if dt > 0 else 0.0,
+            "queue_depth": float(sum(len(q) for q in self.queues)),
+        }
 
     # -- arrival / admission ----------------------------------------------
     def feed(self, arrivals: List[Arrival]) -> None:
@@ -194,10 +252,16 @@ class JobManager:
             # drain-ahead: while saturated, an arrival strictly earlier
             # than the next queued DES event cannot observe anything a
             # dedicated event would (no completion frees a slot before
-            # it, and arrivals never unsaturate the fleet)
-            peek = self.cluster.sim.peek_time
+            # it, and arrivals never unsaturate the fleet).  Clamped at
+            # the active run(until=...) boundary: an arrival past the
+            # cut must stay queued, or a caller reading the event log
+            # when run() returns would see timestamps from the future.
+            sim = self.cluster.sim
+            peek = sim.peek_time
+            cut = sim.run_until
             nxt = peek()
-            while i < n and (nxt is None or times[i] < nxt):
+            while i < n and (nxt is None or times[i] < nxt) \
+                    and (cut is None or times[i] <= cut):
                 self._on_arrival(times[i], tenants[i], indices[i])
                 i += 1
                 if self.running < self._max_concurrent:
@@ -256,7 +320,8 @@ class JobManager:
             self._finish(job)
             return
         self.cluster.submit_group(template.works, label=job.label,
-                                  callback=job.on_sweep)
+                                  callback=job.on_sweep,
+                                  nodes=template.nodes)
 
     def _exchange_ghosts(self, job: _Job) -> None:
         job.step += 1

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..amt.autoscale import AutoscaleController
 from ..amt.cluster import ConstantSpeed, SimCluster
 from ..experiments.results import RunRecord
 from ..experiments.runner import cached_operator
@@ -63,7 +64,7 @@ def run_service_detailed(
 
     # same default rate as the distributed solver: 1e9 DP-update-flops
     # per virtual second per node (SimCluster's own default is a bare
-    # 1.0 for unit tests)
+    # 1.0 for unit tests); also the rate autoscale joiners inherit
     speeds = spec.cluster.build_speeds(default_rate=1e9)
     if speeds is None:
         speeds = [ConstantSpeed(1e9)] * spec.cluster.num_nodes
@@ -72,9 +73,23 @@ def run_service_detailed(
         cores_per_node=spec.cluster.cores_per_node,
         speeds=speeds,
         network=spec.cluster.build_network(),
-        wave_batching=wave_batching)
+        wave_batching=wave_batching,
+        default_rate=1e9)
 
     manager = JobManager(cluster, spec, flops)
+    controller = None
+    if spec.autoscale is not None:
+        a = spec.autoscale
+        controller = AutoscaleController(
+            cluster, a.build_policy(),
+            poll_interval=a.poll_interval,
+            min_nodes=a.min_nodes, max_nodes=a.max_nodes,
+            cooldown=a.cooldown, provision_delay=a.provision_delay,
+            warmup=a.warmup, warmup_factor=a.warmup_factor,
+            cores_per_node=spec.cluster.cores_per_node,
+            metrics=manager.poll_signals,
+            on_membership_change=manager.set_membership)
+        controller.start()
     if cluster.wave_batching:
         # columnar trace straight into the arrival pump — no per-event
         # lambda and no Arrival object per job at service_extreme scale
@@ -89,9 +104,13 @@ def run_service_detailed(
         scenario=spec.name, solver="service", spec=spec.to_dict(),
         num_steps=0,
         makespan=float(cluster.now),
+        # final membership, joiners included (dead nodes keep their
+        # slot so busy_total[i] still belongs to node id i)
         busy_total=[float(cluster.busy_time(n))
-                    for n in range(spec.cluster.num_nodes)],
+                    for n in range(len(cluster.nodes))],
         service_events=manager.events,
+        scale_events=(list(controller.events) if controller is not None
+                      else []),
         backend_resolved="+".join(sorted(backends)))
     return record, cluster
 

@@ -17,12 +17,126 @@ boundary) can route service points to :func:`repro.service.runner
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from ..experiments.spec import ClusterSpec, _require, _set
 
-__all__ = ["ArrivalSpec", "TenantSpec", "ServiceSpec"]
+__all__ = ["ArrivalSpec", "TenantSpec", "AutoscaleSpec", "ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class AutoscaleSpec:
+    """Closed-loop fleet sizing for a service run (DESIGN.md sub. 6).
+
+    When present on a :class:`ServiceSpec`, the runner wires an
+    :class:`repro.amt.autoscale.AutoscaleController` over the cluster:
+    it polls every ``poll_interval`` virtual seconds, feeds the named
+    ``policy`` (only ``"target_utilization"`` today), and actuates the
+    churn machinery within ``[min_nodes, max_nodes]`` — the cluster
+    *starts* at ``cluster.num_nodes``, which must sit inside that band.
+    Scale-out lands after ``provision_delay`` and runs its first
+    ``warmup`` seconds at ``warmup_factor`` of full speed; scale-in
+    drains the idlest node and retires it once empty.  The service
+    thresholds default to ``inf`` (utilization-only scaling); finite
+    values arm the corresponding signal.
+    """
+
+    policy: str = "target_utilization"
+    poll_interval: float = 2.5e-4
+    min_nodes: int = 2
+    max_nodes: int = 8
+    cooldown: float = 5e-4
+    provision_delay: float = 5e-4
+    warmup: float = 5e-4
+    warmup_factor: float = 0.5
+    scale_out_utilization: float = 0.85
+    scale_in_utilization: float = 0.25
+    max_p99_wait: float = math.inf
+    max_shed_rate: float = math.inf
+    max_queue_depth: float = math.inf
+    breach_polls: int = 2
+    low_polls: int = 4
+
+    POLICIES = ("target_utilization",)
+
+    def __post_init__(self) -> None:
+        _require(self.policy in self.POLICIES,
+                 f"unknown autoscale policy {self.policy!r}; "
+                 f"expected one of {self.POLICIES}")
+        _set(self, "poll_interval", float(self.poll_interval))
+        _set(self, "min_nodes", int(self.min_nodes))
+        _set(self, "max_nodes", int(self.max_nodes))
+        _set(self, "cooldown", float(self.cooldown))
+        _set(self, "provision_delay", float(self.provision_delay))
+        _set(self, "warmup", float(self.warmup))
+        _set(self, "warmup_factor", float(self.warmup_factor))
+        _set(self, "scale_out_utilization",
+             float(self.scale_out_utilization))
+        _set(self, "scale_in_utilization", float(self.scale_in_utilization))
+        _set(self, "max_p99_wait", float(self.max_p99_wait))
+        _set(self, "max_shed_rate", float(self.max_shed_rate))
+        _set(self, "max_queue_depth", float(self.max_queue_depth))
+        _set(self, "breach_polls", int(self.breach_polls))
+        _set(self, "low_polls", int(self.low_polls))
+        _require(self.poll_interval > 0,
+                 f"poll_interval must be > 0, got {self.poll_interval}")
+        _require(1 <= self.min_nodes <= self.max_nodes,
+                 f"need 1 <= min_nodes <= max_nodes, got "
+                 f"[{self.min_nodes}, {self.max_nodes}]")
+        _require(self.cooldown >= 0,
+                 f"cooldown must be >= 0, got {self.cooldown}")
+        _require(self.provision_delay >= 0,
+                 f"provision_delay must be >= 0, got "
+                 f"{self.provision_delay}")
+        _require(self.warmup >= 0,
+                 f"warmup must be >= 0, got {self.warmup}")
+        _require(0 < self.warmup_factor <= 1,
+                 f"warmup_factor must be in (0, 1], got "
+                 f"{self.warmup_factor}")
+        _require(self.scale_in_utilization < self.scale_out_utilization,
+                 f"scale_in_utilization ({self.scale_in_utilization}) "
+                 f"must be below scale_out_utilization "
+                 f"({self.scale_out_utilization})")
+        _require(self.breach_polls >= 1 and self.low_polls >= 1,
+                 "breach_polls and low_polls must be >= 1")
+
+    def build_policy(self):
+        """The configured :class:`repro.amt.autoscale.AutoscalePolicy`
+        instance (fresh per run — policies carry hysteresis state)."""
+        from ..amt.autoscale import TargetUtilizationPolicy
+        return TargetUtilizationPolicy(
+            scale_out_utilization=self.scale_out_utilization,
+            scale_in_utilization=self.scale_in_utilization,
+            max_p99_wait=self.max_p99_wait,
+            max_shed_rate=self.max_shed_rate,
+            max_queue_depth=self.max_queue_depth,
+            breach_polls=self.breach_polls,
+            low_polls=self.low_polls)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "poll_interval": self.poll_interval,
+            "min_nodes": self.min_nodes,
+            "max_nodes": self.max_nodes,
+            "cooldown": self.cooldown,
+            "provision_delay": self.provision_delay,
+            "warmup": self.warmup,
+            "warmup_factor": self.warmup_factor,
+            "scale_out_utilization": self.scale_out_utilization,
+            "scale_in_utilization": self.scale_in_utilization,
+            "max_p99_wait": self.max_p99_wait,
+            "max_shed_rate": self.max_shed_rate,
+            "max_queue_depth": self.max_queue_depth,
+            "breach_polls": self.breach_polls,
+            "low_polls": self.low_polls,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "AutoscaleSpec":
+        return cls(**d)
 
 
 @dataclass(frozen=True)
@@ -159,6 +273,7 @@ class ServiceSpec:
     max_queue_depth: int = 16
     max_concurrent: int = 8
     kernel_backend: str = "auto"
+    autoscale: Optional[AutoscaleSpec] = None
 
     def __post_init__(self) -> None:
         _require(isinstance(self.name, str) and bool(self.name),
@@ -189,10 +304,22 @@ class ServiceSpec:
         _require(self.cluster.faults is None,
                  "the service layer requires a fault-free cluster "
                  "(job-level recovery is not defined)")
+        if isinstance(self.autoscale, dict):
+            _set(self, "autoscale", AutoscaleSpec.from_dict(self.autoscale))
+        # jobs must split over the largest fleet autoscaling can reach
+        widest = (self.autoscale.max_nodes if self.autoscale is not None
+                  else self.cluster.num_nodes)
         for t in self.tenants:
-            _require(t.nx >= self.cluster.num_nodes,
+            _require(t.nx >= widest,
                      f"tenant {t.name!r}: nx={t.nx} rows cannot be "
-                     f"block-split over {self.cluster.num_nodes} nodes")
+                     f"block-split over {widest} nodes")
+        if self.autoscale is not None:
+            _require(self.autoscale.min_nodes <= self.cluster.num_nodes
+                     <= self.autoscale.max_nodes,
+                     f"cluster starts at {self.cluster.num_nodes} nodes, "
+                     f"outside the autoscale band "
+                     f"[{self.autoscale.min_nodes}, "
+                     f"{self.autoscale.max_nodes}]")
         from ..solver.backends import backend_names
         _require(self.kernel_backend == "auto"
                  or self.kernel_backend in backend_names(),
@@ -229,6 +356,8 @@ class ServiceSpec:
             "max_queue_depth": self.max_queue_depth,
             "max_concurrent": self.max_concurrent,
             "kernel_backend": self.kernel_backend,
+            "autoscale": (self.autoscale.to_dict()
+                          if self.autoscale is not None else None),
         }
 
     @classmethod
@@ -240,4 +369,7 @@ class ServiceSpec:
         d["tenants"] = tuple(TenantSpec.from_dict(t) for t in d["tenants"])
         d["cluster"] = ClusterSpec.from_dict(d.get("cluster", {}))
         d["arrival"] = ArrivalSpec.from_dict(d.get("arrival", {}))
+        autoscale = d.get("autoscale")
+        if autoscale is not None and not isinstance(autoscale, AutoscaleSpec):
+            d["autoscale"] = AutoscaleSpec.from_dict(autoscale)
         return cls(**d)

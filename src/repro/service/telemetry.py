@@ -138,12 +138,14 @@ def percentile(values: Iterable[float], q: float) -> float:
     statistic), so summaries round-trip exactly through JSON and never
     depend on numpy version differences.  Returns 0.0 for an empty
     sample (a run with no finished jobs has no latency, not NaN).
+    ``q`` is validated before the empty-sample shortcut, so a bad
+    quantile fails loudly regardless of the sample.
     """
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
     data = sorted(values)
     if not data:
         return 0.0
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile q must be in (0, 100], got {q}")
     rank = math.ceil(q / 100.0 * len(data))
     return data[rank - 1]
 
@@ -174,8 +176,13 @@ def summarize_service(events: List[Dict[str, Any]], horizon: float,
 
     ``weights`` (tenant name → entitlement) normalizes the fairness
     index: each tenant's share is ``completed / weight``, so 1.0 means
-    everyone got throughput proportional to entitlement.  Without
-    weights the index is over raw completion counts.
+    everyone got throughput proportional to entitlement.  The share
+    list is seeded from the *weights* mapping, not from the event
+    stream — an entitled tenant that never appears in the events
+    contributes a 0 share and drags the index down (two tenants with
+    completions ``[1, 0]`` read 0.5), instead of silently vanishing.
+    Without weights the index is over raw completion counts of the
+    tenants that did appear.
     """
     offered = shed = started = completed = 0
     waits: List[float] = []
@@ -258,7 +265,8 @@ def summarize_service(events: List[Dict[str, Any]], horizon: float,
         "p50_makespan": percentile(makespans, 50),
         "p99_makespan": percentile(makespans, 99),
         "fairness": jain_fairness(
-            [t["completed"] / (weights or {}).get(name, 1.0)
-             for name, t in per_tenant.items()]),
+            [per_tenant.get(name, {}).get("completed", 0) / w
+             for name, w in sorted(weights.items())] if weights else
+            [t["completed"] for t in per_tenant.values()]),
         "tenants": per_tenant,
     }

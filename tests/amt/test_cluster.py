@@ -320,6 +320,45 @@ class TestSimCluster:
         assert run_once() == run_once()
 
 
+class TestDefaultRate:
+    """``default_rate`` governs construction AND mid-run joiners.
+
+    ``add_node(trace=None)`` used to hand every joiner a hard-coded
+    ``ConstantSpeed(1.0)`` — on a service cluster running at 1e9
+    flops/s the joiner was a billion times slow.
+    """
+
+    def test_construction_uses_default_rate(self):
+        cluster = SimCluster(num_nodes=1, default_rate=4.0)
+        cluster.submit(0, work=8.0)
+        assert cluster.run() == pytest.approx(2.0)
+
+    def test_joiner_inherits_default_rate(self):
+        cluster = SimCluster(num_nodes=1, default_rate=4.0)
+        nid = cluster.add_node()
+        cluster.submit(nid, work=8.0)
+        assert cluster.run() == pytest.approx(2.0)
+
+    def test_joiner_inherits_default_rate_with_explicit_speeds(self):
+        # explicit speeds don't change the joiner contract: trace=None
+        # still means "the cluster default", not a bare 1.0
+        cluster = SimCluster(num_nodes=1, speeds=[ConstantSpeed(2.0)],
+                             default_rate=4.0)
+        nid = cluster.add_node()
+        cluster.submit(nid, work=8.0)
+        assert cluster.run() == pytest.approx(2.0)
+
+    def test_explicit_trace_still_wins(self):
+        cluster = SimCluster(num_nodes=1, default_rate=4.0)
+        nid = cluster.add_node(trace=ConstantSpeed(1.0))
+        cluster.submit(nid, work=8.0)
+        assert cluster.run() == pytest.approx(8.0)
+
+    def test_default_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="default_rate"):
+            SimCluster(num_nodes=1, default_rate=0.0)
+
+
 class TestNetworkingCounters:
     """The paper's future-work item: per-node networking counters."""
 

@@ -76,6 +76,15 @@ class TestTelemetryHelpers:
         with pytest.raises(ValueError, match="percentile"):
             percentile([1.0], 0)
 
+    def test_percentile_rejects_bad_q_on_empty_sample(self):
+        """q is validated before the empty-sample shortcut: percentile
+        used to return 0.0 for ``([], 0)`` while raising for
+        ``([1], 0)`` — the same bad q must fail either way."""
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([], 0)
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([], 101)
+
     def test_jain_bounds(self):
         assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
         assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
@@ -106,3 +115,66 @@ class TestTelemetryHelpers:
         assert weighted["fairness"] == pytest.approx(1.0)
         assert raw["completed"] == 3
         assert raw["p99_makespan"] == 2.0
+
+    def test_fairness_counts_starved_zero_event_tenants(self):
+        """The share list is seeded from the weights mapping: an
+        entitled tenant absent from the event stream contributes a 0
+        share.  Two equal-weight tenants with completions [1, 0] must
+        read 0.5 — the starved tenant used to vanish and the index
+        read a perfect 1.0."""
+        events = [
+            {"kind": "arrival", "t": 0.0, "tenant": "a", "job": 0},
+            {"kind": "start", "t": 0.0, "tenant": "a", "job": 0,
+             "wait": 0.0},
+            {"kind": "finish", "t": 1.0, "tenant": "a", "job": 0,
+             "wait": 0.0, "makespan": 1.0, "service": 1.0},
+        ]
+        summary = summarize_service(events, 2.0,
+                                    weights={"a": 1.0, "b": 1.0})
+        assert summary["fairness"] == pytest.approx(0.5)
+        # three entitled tenants, one served: Jain reads 1/3
+        three = summarize_service(
+            events, 2.0, weights={"a": 1.0, "b": 1.0, "c": 1.0})
+        assert three["fairness"] == pytest.approx(1 / 3)
+
+
+class TestPumpRunBoundary:
+    """The arrival pump's drain-ahead must respect ``run(until=t)``.
+
+    With the fleet saturated and the next queued DES event far beyond
+    the cut, the pump used to consume the whole remaining trace inline
+    — a mid-horizon observer of ``manager.events`` saw arrivals with
+    timestamps from the future.
+    """
+
+    def _saturated_manager(self):
+        from repro.amt.cluster import SimCluster
+        from repro.service.manager import JobManager
+
+        spec = _spec(
+            tenants=(TenantSpec(name="a", nx=16, steps=1),),
+            cluster=ClusterSpec(num_nodes=1), max_concurrent=1)
+        cluster = SimCluster(1, wave_batching=True)
+        # one admitted job runs for ~256 virtual seconds at rate 1.0:
+        # the fleet saturates on the first arrival and the only queued
+        # cluster event sits far past any mid-horizon cut
+        manager = JobManager(cluster, spec, {0: 1.0})
+        times = [k * 1e-4 for k in range(10)]
+        manager.feed_columnar(times, [0] * 10, list(range(10)))
+        return cluster, manager
+
+    def test_cut_observes_no_future_arrivals(self):
+        cluster, manager = self._saturated_manager()
+        cluster.run(until=3.5e-4)
+        stamps = [e["t"] for e in manager.events]
+        assert stamps, "pump never fired"
+        assert max(stamps) <= 3.5e-4, (
+            f"drain-ahead leaked arrivals past the cut: {stamps}")
+
+    def test_cut_and_resume_match_the_uncut_stream(self):
+        cluster, manager = self._saturated_manager()
+        cluster.run(until=3.5e-4)
+        cluster.run(until=1.0)
+        uncut_cluster, uncut_manager = self._saturated_manager()
+        uncut_cluster.run(until=1.0)
+        assert list(manager.events) == list(uncut_manager.events)

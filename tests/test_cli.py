@@ -354,9 +354,8 @@ class TestServeCommand:
         assert rc == 0
         names = out.split()
         assert names == sorted(names)
-        assert {"service_poisson", "service_bursty",
-                "service_overload"} <= set(names)
-        assert all(n.startswith("service_") for n in names)
+        assert {"service_poisson", "service_bursty", "service_overload",
+                "flash_crowd", "diurnal_autoscale"} <= set(names)
 
     def test_serve_default_scenario_with_json(self, capsys, tmp_path):
         path = tmp_path / "svc.json"
