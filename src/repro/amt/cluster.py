@@ -30,13 +30,15 @@ from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
 
 import numpy as np
 
+from ..costmodel import FLAT, WorkItem
 from .agas import AddressSpace
 from .counters import BusyTimeCounter, CounterRegistry
 from .des import Event, SimulationError, Simulator
 from .future import _MULTI, Future, LocalFuture, local_when_all
 
 __all__ = ["SpeedTrace", "ConstantSpeed", "PiecewiseSpeed", "RampSpeed",
-           "StraggleSpeed", "Network", "SimNode", "SimTask", "SimCluster"]
+           "StraggleSpeed", "Network", "SimNode", "SimTask", "SimCluster",
+           "BusyCursor"]
 
 
 # ---------------------------------------------------------------------------
@@ -507,13 +509,21 @@ class SimNode:
     """
 
     def __init__(self, node_id: int, cores: int, trace: SpeedTrace,
-                 counter: BusyTimeCounter) -> None:
+                 counter: BusyTimeCounter, memory=None) -> None:
         if cores < 1:
             raise ValueError(f"cores must be >= 1, got {cores}")
         self.node_id = node_id
         self.cores = cores
         self.trace = trace
         self.counter = counter
+        #: the node's :class:`repro.costmodel.MemoryHierarchy` (or
+        #: ``None``): what hierarchy-aware cost models price tasks
+        #: against; inert under the flat model
+        self.memory = memory
+        #: monotone count of busy-time credits (task completions, wave
+        #: flushes, group retirements) since construction — the change
+        #: detector behind :meth:`SimCluster.poll_busy`'s cursor
+        self.busy_marks = 0
         self.free_cores = cores
         self.ready: Deque[SimTask] = deque()
         self.tasks_completed = 0
@@ -549,6 +559,33 @@ class SimNode:
         return self.counter.value()
 
 
+class BusyCursor:
+    """Per-caller state for incremental busy-time polls.
+
+    Pairs a last-seen :attr:`SimNode.busy_marks` with the window value
+    read at that mark, per node.  :meth:`SimCluster.poll_busy` re-reads
+    only nodes whose marks moved (or that hold un-flushed group
+    entries) — every other node's cached float *is* the value a full
+    sweep would read, bit for bit, because nothing touched its counter.
+    Create one cursor per measurement consumer (the balancer keeps its
+    own) and realign it with :meth:`SimCluster.rebase_busy_cursor`
+    after every ``reset_counters``.
+    """
+
+    __slots__ = ("marks", "values")
+
+    def __init__(self) -> None:
+        self.marks: List[int] = []
+        self.values: List[float] = []
+
+    def _ensure(self, n: int) -> None:
+        # joiners enter with an impossible mark so their first poll
+        # always reads the counter
+        while len(self.marks) < n:
+            self.marks.append(-1)
+            self.values.append(0.0)
+
+
 class SimCluster:
     """The distributed-machine model: nodes + network + virtual clock.
 
@@ -569,7 +606,8 @@ class SimCluster:
                  network: Optional[Network] = None,
                  agas: Optional[AddressSpace] = None,
                  wave_batching: Optional[bool] = None,
-                 default_rate: float = 1.0) -> None:
+                 default_rate: float = 1.0,
+                 cost_model=None, memory=None) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if default_rate <= 0:
@@ -590,6 +628,12 @@ class SimCluster:
         #: mutable so callers (e.g. the fault-injecting solver) can turn
         #: the fast path off and fall back to strict per-event semantics
         self.wave_batching = bool(wave_batching)
+        #: resolves :class:`repro.costmodel.WorkItem` submissions to
+        #: work floats; raw float submissions bypass it entirely, so a
+        #: bare cluster behaves exactly as before the cost-model layer
+        self.cost_model = cost_model if cost_model is not None else FLAT
+        #: memory hierarchy stamped onto every node (``None`` = none)
+        self.memory = memory
         self.agas = agas if agas is not None else AddressSpace()
         self.counters = CounterRegistry(self.agas)
         self.network = network if network is not None else Network()
@@ -602,7 +646,8 @@ class SimCluster:
         self._net_counters = []
         for i in range(num_nodes):
             counter = self.counters.create_busy_time(f"node{i}")
-            self.nodes.append(SimNode(i, cores_per_node, speeds[i], counter))
+            self.nodes.append(SimNode(i, cores_per_node, speeds[i], counter,
+                                      memory=memory))
             # networking counters (the paper's future-work item): bytes
             # crossing each node's NIC, resettable like busy_time
             self._net_counters.append(
@@ -629,7 +674,15 @@ class SimCluster:
         ``node_id`` must be alive at submission time; a task whose deps
         resolve *after* the node failed is handed to
         :attr:`orphan_handler` instead of running on the dead node.
+
+        ``work`` may be a plain float (work units, as always) or a
+        :class:`repro.costmodel.WorkItem`, which the cluster's cost
+        model resolves to work units here — before the task exists —
+        so waves, group prefix sums, and the step-plan cache all
+        operate on ordinary resolved floats.
         """
+        if isinstance(work, WorkItem):
+            work = self.cost_model.task_work(work)
         node = self._node(node_id)
         if not node.alive:
             raise SimulationError(f"cannot submit to failed node {node_id}")
@@ -766,7 +819,13 @@ class SimCluster:
         have resolved, and the method returns ``None``.  That skips one
         future plus its subscription per group — the service manager's
         per-sweep continuation path.
+
+        ``works`` may be :class:`repro.costmodel.WorkItem` s (all or
+        none — no mixing), resolved through the cluster's cost model up
+        front so the tail-scheduling arithmetic below sees floats.
         """
+        if works and isinstance(works[0], WorkItem):
+            works = [self.cost_model.task_work(w) for w in works]
         if nodes is None:
             ids: Sequence[int] = range(len(works))
         else:
@@ -905,7 +964,8 @@ class SimCluster:
         counter = self.counters.create_busy_time(f"node{i}")
         if trace is None:
             trace = ConstantSpeed(self.default_rate)
-        self.nodes.append(SimNode(i, cores, trace, counter))
+        self.nodes.append(SimNode(i, cores, trace, counter,
+                                  memory=self.memory))
         self._net_counters.append(
             (self.counters.create(f"node{i}", "bytes_sent"),
              self.counters.create(f"node{i}", "bytes_received")))
@@ -941,6 +1001,8 @@ class SimCluster:
             event.cancel()
             node.counter.end_work(self.sim.now, token)
             orphans.append(task)
+        if node.running:
+            node.busy_marks += 1
         node.running.clear()
         orphans.extend(node.ready)
         node.ready.clear()
@@ -980,6 +1042,44 @@ class SimCluster:
         if node.pending:
             self._flush_pending(node, self.sim.now)
         return node.busy_time()
+
+    def poll_busy(self, cursor: BusyCursor) -> List[float]:
+        """Per-node window busy times, incrementally (all node ids).
+
+        Semantically ``[self.busy_time(n) for n in range(len(
+        self.nodes))]`` — and bit-identical to it: a node is re-read
+        only when its :attr:`SimNode.busy_marks` moved past the
+        cursor's last-seen mark (or it holds un-flushed group entries);
+        otherwise nothing has touched its busy counter since the last
+        poll, so the cached float *is* what ``busy_time`` would return.
+        Nodes that stayed idle the whole window — the common case at
+        fleet scale — cost one integer compare instead of a counter
+        read per poll.
+        """
+        nodes = self.nodes
+        marks, values = cursor.marks, cursor.values
+        cursor._ensure(len(nodes))
+        for i, node in enumerate(nodes):
+            if node.pending or node.busy_marks != marks[i]:
+                values[i] = self.busy_time(i)
+                # read back after busy_time: flushing pending entries
+                # bumps the mark
+                marks[i] = node.busy_marks
+        return values[:len(nodes)]
+
+    def rebase_busy_cursor(self, cursor: BusyCursor) -> None:
+        """Realign ``cursor`` to the just-reset counters.
+
+        Call immediately after :meth:`reset_counters`: every window is
+        exactly ``0.0`` there, so the cursor caches zeros against the
+        current marks and the next poll re-reads only nodes that do
+        work in the new window.
+        """
+        nodes = self.nodes
+        cursor._ensure(len(nodes))
+        for i, node in enumerate(nodes):
+            cursor.marks[i] = node.busy_marks
+            cursor.values[i] = 0.0
 
     def busy_fraction(self, node_id: int) -> float:
         """Busy core-seconds / available core-seconds in the window."""
@@ -1022,6 +1122,11 @@ class SimCluster:
         self._materialize_groups()
         self.counters.reset_all(now=self.sim.now)
         self._window_start = self.sim.now
+        # windows changed under every cursor: any poll that skips the
+        # rebase fast path must re-read (rebase_busy_cursor avoids the
+        # O(nodes) re-read for callers that pair it with the reset)
+        for node in self.nodes:
+            node.busy_marks += 1
 
     # -- internals ---------------------------------------------------------
     def _node(self, node_id: int) -> SimNode:
@@ -1141,6 +1246,7 @@ class SimCluster:
         for t in wave.times:
             counter.add(t - prev)
             prev = t
+        node.busy_marks += 1
         node.tasks_completed += len(wave.tasks)
         for task in wave.tasks:
             node.work_completed += task.work
@@ -1182,6 +1288,7 @@ class SimCluster:
                     counter.add(now - prev)
                     in_flight = False
                 orphans.append(task)
+        node.busy_marks += 1
         return orphans
 
     def _materialize_waves(self) -> None:
@@ -1216,6 +1323,8 @@ class SimCluster:
                     idx += 1
                 else:
                     break
+            if idx:
+                node.busy_marks += 1
             if idx < len(wave.tasks):
                 task = wave.tasks[idx]
                 token = counter.begin_work(prev)
@@ -1265,6 +1374,8 @@ class SimCluster:
                 idx += 1
             else:
                 break
+        if idx:
+            node.busy_marks += 1
         # the wave event at times[-1] has not fired (it would have
         # cleared node.wave), so at least the final member has t >= now
         task = wave.tasks[idx]
@@ -1292,6 +1403,7 @@ class SimCluster:
         """
         pending = node.pending
         counter = node.counter
+        retired = False
         while pending and pending[0][1] <= now:
             start, finish, work, group = pending.popleft()
             span = finish - start
@@ -1300,6 +1412,9 @@ class SimCluster:
             node.tasks_completed += 1
             node.work_completed += work
             group.remaining -= 1
+            retired = True
+        if retired:
+            node.busy_marks += 1
 
     def _complete_group(self, group: _TaskGroup) -> None:
         """The one DES event per task group: flush, then fire the barrier.
@@ -1367,6 +1482,7 @@ class SimCluster:
     def _complete(self, node: SimNode, task: SimTask) -> None:
         token, _event = node.running.pop(task)
         node.counter.end_work(self.sim.now, token)
+        node.busy_marks += 1
         node.free_cores += 1
         node.tasks_completed += 1
         node.work_completed += task.work

@@ -36,6 +36,7 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (separate for testability)."""
     from .core.strategies import strategy_names
+    from .costmodel import cost_model_names
     from .solver.backends import backend_names
     p = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="load-balancing strategy (default: the "
                              "scenario's choice, normally 'auto' = the "
                              "paper's tree algorithm; env REPRO_BALANCER "
+                             "overrides 'auto')")
+
+    def add_cost_model(sp):
+        sp.add_argument("--cost-model", choices=["auto"] + cost_model_names(),
+                        default=None, dest="cost_model",
+                        help="task-cost model pricing simulated task "
+                             "times (default: the scenario's choice, "
+                             "normally 'auto' = the seed's flat "
+                             "arithmetic; 'hierarchy' makes block shape "
+                             "and backend matter; env REPRO_COST_MODEL "
                              "overrides 'auto')")
 
     def add_topology(sp):
@@ -101,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend(c)
     add_balancer(c)
     add_topology(c)
+    add_cost_model(c)
     add_json(c)
 
     b = sub.add_parser("balance", help="Fig. 14 iterated balancing demo")
@@ -138,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend(r)
     add_balancer(r)
     add_topology(r)
+    add_cost_model(r)
     add_json(r)
 
     e = sub.add_parser("serve",
@@ -164,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "scenario that does not already carry one, and "
                         "print the scale-events table; scenarios like "
                         "flash_crowd autoscale by default")
+    add_cost_model(e)
     e.add_argument("--profile", action="store_true",
                    help="enable DES profiling (REPRO_DES_PROFILE) and "
                         "print the per-event-class timing table after "
@@ -194,10 +208,12 @@ def _parse_faults(arg: str):
 
 
 def _apply_overrides(spec, args):
-    """The spec with the CLI's --backend/--balancer/--topology/--faults
-    overrides."""
+    """The spec with the CLI's --backend/--balancer/--topology/
+    --cost-model/--faults overrides."""
     if getattr(args, "backend", None):
         spec = spec.replace(kernel_backend=args.backend)
+    if getattr(args, "cost_model", None):
+        spec = spec.replace(cost_model=args.cost_model)
     if getattr(args, "balancer", None):
         spec = spec.with_balancer(args.balancer)
     if getattr(args, "topology", None):
@@ -379,6 +395,8 @@ def _cmd_run(args) -> int:
     print(f"scenario: {spec.name} ({rec.solver}, {rec.num_steps} steps)")
     if spec.kernel_backend != "auto":
         print(f"kernel backend: {spec.kernel_backend}")
+    if rec.cost_model_resolved not in ("", "flat"):
+        print(f"cost model: {rec.cost_model_resolved}")
     if rec.solver == "distributed" and spec.policy.balancer != "auto":
         print(f"balancer: {spec.policy.balancer}")
     if rec.solver == "distributed":
@@ -441,6 +459,8 @@ def _cmd_serve(args) -> int:
         print(f"serve: {args.scenario!r} is not a service scenario "
               f"(use 'repro run')", file=sys.stderr)
         return 2
+    if getattr(args, "cost_model", None):
+        spec = spec.replace(cost_model=args.cost_model)
     if args.autoscale and spec.autoscale is None:
         # bound by the current fleet on the low side so the policy can
         # shed idle capacity, twice the fleet on the high side
@@ -489,11 +509,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from .amt.des import requested_queue
     from .core.strategies import requested_strategy
+    from .costmodel import requested_cost_model
     from .solver.backends import requested_backend
     try:
-        requested_backend()    # a bad REPRO_KERNEL_BACKEND (or
-        requested_strategy()   # REPRO_BALANCER, REPRO_DES_QUEUE)
-        requested_queue()      # fails every command; report it
+        requested_backend()      # a bad REPRO_KERNEL_BACKEND (or
+        requested_strategy()     # REPRO_BALANCER, REPRO_DES_QUEUE,
+        requested_queue()        # REPRO_COST_MODEL) fails every
+        requested_cost_model()   # command; report it
     except ValueError as exc:  # without a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2

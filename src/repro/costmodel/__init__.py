@@ -1,0 +1,32 @@
+"""Pluggable task-cost models (DESIGN.md, *Substitution 7*).
+
+``flat`` reproduces the seed's ``count * flops * work_factor``
+arithmetic bit for bit and is the default; ``hierarchy`` prices each
+task against a per-node memory hierarchy through offline reuse-distance
+profiles of the kernel backends.  Selection mirrors the kernel-backend
+registry: explicit names win, ``"auto"`` honors the
+``REPRO_COST_MODEL`` environment override, and absent both it resolves
+to ``flat``.
+"""
+
+from .base import CostModel, WorkItem
+from .flat import FLAT, FlatCostModel
+from .hierarchy import (DEFAULT_HIERARCHY, HierarchyCostModel,
+                        MemoryHierarchy, MemoryLevel, REFERENCE_RATE)
+from .profiler import (ReuseProfile, clear_profile_cache,
+                       profile_cache_info, reuse_profile)
+from .registry import (AUTO, DEFAULT, ENV_VAR, cost_model_names,
+                       get_cost_model_class, make_cost_model,
+                       register_cost_model, requested_cost_model)
+
+__all__ = [
+    "CostModel", "WorkItem",
+    "FLAT", "FlatCostModel",
+    "MemoryLevel", "MemoryHierarchy", "DEFAULT_HIERARCHY",
+    "HierarchyCostModel", "REFERENCE_RATE",
+    "ReuseProfile", "reuse_profile", "profile_cache_info",
+    "clear_profile_cache",
+    "AUTO", "DEFAULT", "ENV_VAR", "register_cost_model",
+    "cost_model_names", "get_cost_model_class", "requested_cost_model",
+    "make_cost_model",
+]

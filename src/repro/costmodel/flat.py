@@ -1,0 +1,35 @@
+"""The flat cost model: the seed arithmetic, bit for bit.
+
+``count * flops * work_factor`` evaluated left to right — exactly the
+expression the cluster, solver, and service manager inlined before the
+cost-model layer existed.  IEEE-754 multiplication is deterministic and
+``x * 1.0 == x`` for every finite float, so resolving a
+:class:`WorkItem` through this model reproduces the pre-refactor work
+floats (and therefore schedules) bit-identically; the golden and
+RunRecord parity tests pin this.
+"""
+
+from __future__ import annotations
+
+from .base import CostModel, WorkItem
+from .registry import register_cost_model
+
+__all__ = ["FlatCostModel", "FLAT"]
+
+
+@register_cost_model("flat")
+class FlatCostModel(CostModel):
+    """Cache-oblivious work: every DP update costs ``flops`` flops."""
+
+    def __init__(self, memory=None):
+        # the flat model is shape- and hierarchy-blind by definition;
+        # `memory` is accepted so make_cost_model can construct every
+        # registered model uniformly
+        pass
+
+    def task_work(self, item: WorkItem) -> float:
+        return item.count * item.flops * item.work_factor
+
+
+#: Shared stateless instance — the default wherever no model is wired.
+FLAT = FlatCostModel()

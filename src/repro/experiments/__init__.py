@@ -22,8 +22,8 @@ from .runner import (build_parts, build_problem, build_solver,
                      clear_operator_cache, operator_cache_info,
                      ownership_timeline, run_scenario, run_sweep)
 from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
-                   InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
-                   ScenarioSpec, TopologySpec)
+                   InterferenceSpec, MemoryLevelSpec, MemorySpec, MeshSpec,
+                   PartitionSpec, PolicySpec, ScenarioSpec, TopologySpec)
 
 #: Alias for re-export at the package root, where bare ``build`` would
 #: be ambiguous.
@@ -31,8 +31,8 @@ build_scenario = build
 
 __all__ = [
     "MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec", "ChurnEvent",
-    "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
-    "TopologySpec",
+    "InterferenceSpec", "MemoryLevelSpec", "MemorySpec", "PartitionSpec",
+    "PolicySpec", "ScenarioSpec", "TopologySpec",
     "register", "build", "build_scenario", "get_factory", "scenario_names",
     "balancer_sweep",
     "EPS_FACTOR", "NUM_STEPS", "CORE_SPEED", "SPAWN_OVERHEAD",

@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from .spec import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
-                   InterferenceSpec, MeshSpec, PartitionSpec, PolicySpec,
-                   ScenarioSpec, TopologySpec)
+                   InterferenceSpec, MemorySpec, MeshSpec, PartitionSpec,
+                   PolicySpec, ScenarioSpec, TopologySpec)
 
 __all__ = ["register", "build", "scenario_names", "get_factory",
            "balancer_sweep",
@@ -425,9 +425,10 @@ def fault_recovery(nx: int = 32, sd_axis: int = 4, nodes: int = 3,
     manufactured problem; the run must recover — requeued kernels,
     evacuated SDs, recovery-tagged balance events — with final
     temperatures still bit-near the serial solver.  Everything is
-    pinned (``tree`` strategy, ``direct`` backend, block partition) so
-    the committed ``tests/golden/fault_recovery.json`` record is
-    invariant under the CI's REPRO_BALANCER / REPRO_KERNEL_BACKEND
+    pinned (``tree`` strategy, ``direct`` backend, ``flat`` cost
+    model, block partition) so the committed
+    ``tests/golden/fault_recovery.json`` record is invariant under the
+    CI's REPRO_BALANCER / REPRO_KERNEL_BACKEND / REPRO_COST_MODEL
     matrices and across machines.
     """
     # eps = 2h -> radius 2, ~13 stencil neighbors, ~26 flops per DP.
@@ -443,7 +444,7 @@ def fault_recovery(nx: int = 32, sd_axis: int = 4, nodes: int = 3,
         partition=PartitionSpec(method="blocks"),
         policy=PolicySpec(kind="interval", interval=1, balancer=balancer),
         num_steps=steps, compute_numerics=True, track_error=True,
-        kernel_backend="direct")
+        kernel_backend="direct", cost_model="flat")
 
 
 @register("straggler_tail")
@@ -526,6 +527,43 @@ def oversubscribed_uplink(mesh: int = 256, sd_axis: int = 8, nodes: int = 8,
         partition=PartitionSpec(method="metis", seed=seed,
                                 placement=placement),
         num_steps=steps)
+
+
+@register("abl_costmodel")
+def abl_costmodel(mesh: int = 256, sd_axis: int = 8, nodes: int = 8,
+                  steps: int = 3, seed: int = 0, backend: str = "direct",
+                  placement: str = "rack",
+                  cost_model: str = "hierarchy") -> ScenarioSpec:
+    """Cost-model co-optimization: granularity x backend x placement.
+
+    One cell of the ``bench_costmodel`` configuration sweep: a
+    two-rack switched cluster on a compute-weighted network tier (fast
+    enough that task cost, not wire time, is first-order — placement
+    still matters through the oversubscribed uplinks), an explicit
+    per-node :class:`MemorySpec` cache ladder, and a pinned kernel
+    backend.  Under the ``flat`` cost model the backend axis is
+    degenerate — every backend prices a DP update at the same
+    neighbor-count flops, so makespans tie across backends and the
+    optimal ``(sd_axis, backend, placement)`` cell is decided by
+    communication alone.  Under ``hierarchy`` the per-(backend, block
+    shape) reuse-distance profiles break the tie: cache pressure moves
+    the optimum to a different granularity *and* backend, which
+    ``benchmarks/bench_costmodel.py`` demonstrates and
+    ``BENCH_costmodel.json`` records.
+    """
+    return ScenarioSpec(
+        name="abl_costmodel",
+        mesh=MeshSpec(nx=mesh, sd_nx=sd_axis, eps_factor=EPS_FACTOR),
+        cluster=ClusterSpec(
+            num_nodes=nodes, latency=5e-6, bandwidth=1e8,
+            topology=TopologySpec(kind="switched", rack_size=4,
+                                  oversubscription=8.0),
+            memory=MemorySpec()),
+        partition=PartitionSpec(method="metis", seed=seed,
+                                placement=placement),
+        num_steps=steps,
+        kernel_backend=backend,
+        cost_model=cost_model)
 
 
 @register("wan_joiner")

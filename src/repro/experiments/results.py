@@ -47,7 +47,13 @@ __all__ = ["RunRecord", "SCHEMA", "write_json", "write_records",
 #: :class:`repro.amt.autoscale.AutoscaleController`; empty when
 #: autoscaling is off) and ``ServiceSpec.autoscale`` in the embedded
 #: spec.
-SCHEMA = "repro.experiments/v6"
+#: v7: pluggable task-cost models — ``cost_model_resolved`` records the
+#: model that priced the run's tasks (``flat`` reproduces the pre-v7
+#: arithmetic bit for bit), plus ``ScenarioSpec.cost_model`` /
+#: ``ScenarioSpec.work_factors``, ``ServiceSpec.cost_model``, and
+#: ``ClusterSpec.memory`` (the node cache hierarchy shape-aware models
+#: price against) in the embedded spec.
+SCHEMA = "repro.experiments/v7"
 
 
 @dataclass
@@ -129,6 +135,11 @@ class RunRecord:
     #: after the ``REPRO_BALANCER`` override and the ``auto`` default
     #: resolved it ("" for serial runs and pre-strategy records)
     balancer_resolved: str = ""
+    #: task-cost model that priced the run's simulated tasks: the
+    #: spec's request after the ``REPRO_COST_MODEL`` override and the
+    #: ``auto`` → ``flat`` default resolved it ("" for serial runs and
+    #: records written before the cost-model layer existed)
+    cost_model_resolved: str = ""
 
     @property
     def sds_moved(self) -> int:

@@ -92,7 +92,9 @@ def build_problem(spec: ScenarioSpec):
 
 
 def build_work_factors(spec: ScenarioSpec) -> Optional[np.ndarray]:
-    """Per-SD work multipliers from the scenario's crack network."""
+    """Per-SD work multipliers: explicit ``work_factors``, else cracks."""
+    if spec.work_factors is not None:
+        return np.asarray(spec.work_factors, dtype=np.float64)
     if not spec.cracks:
         return None
     from ..models.crack import Crack, crack_work_factors
@@ -148,7 +150,9 @@ def build_solver(spec: ScenarioSpec, source=None):
         compute_numerics=spec.compute_numerics,
         spawn_overhead=spec.cluster.spawn_overhead,
         operator=op,
-        faults=spec.cluster.build_faults())
+        faults=spec.cluster.build_faults(),
+        cost_model=spec.cost_model,  # the solver resolves the name
+        memory=spec.cluster.build_memory())
 
 
 def ownership_timeline(spec: ScenarioSpec,
@@ -217,7 +221,8 @@ def _run_distributed(spec: ScenarioSpec) -> RunRecord:
         busy_total=[float(b) for b in res.busy_total],
         errors=errors, total_error=res.total_error,
         backend_resolved=solver.operator.backend_name,
-        balancer_resolved=solver.balancer.name)
+        balancer_resolved=solver.balancer.name,
+        cost_model_resolved=solver.cost_model_resolved)
 
 
 def run_scenario(spec) -> RunRecord:

@@ -34,7 +34,8 @@ import numpy as np
 from ..amt.faults import DEFAULT_RECOVERY_PENALTY, ChurnEvent, FaultSchedule
 
 __all__ = ["MeshSpec", "ClusterSpec", "DriftSpec", "FaultSpec",
-           "InterferenceSpec", "PartitionSpec", "PolicySpec", "ScenarioSpec",
+           "InterferenceSpec", "MemoryLevelSpec", "MemorySpec",
+           "PartitionSpec", "PolicySpec", "ScenarioSpec",
            "TopologySpec", "ChurnEvent"]
 
 
@@ -388,6 +389,100 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class MemoryLevelSpec:
+    """One cache level of a node's memory hierarchy (see
+    :class:`repro.costmodel.MemoryLevel`): byte capacity, streaming
+    bandwidth, and per-access latency."""
+
+    name: str
+    capacity: float
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "memory level name must be a non-empty string")
+        _set(self, "capacity", float(self.capacity))
+        _set(self, "bandwidth", float(self.bandwidth))
+        _set(self, "latency", float(self.latency))
+        _require(self.capacity > 0,
+                 f"capacity must be > 0, got {self.capacity}")
+        _require(self.bandwidth > 0,
+                 f"bandwidth must be > 0, got {self.bandwidth}")
+        _require(self.latency >= 0,
+                 f"latency must be >= 0, got {self.latency}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "capacity": self.capacity,
+                "bandwidth": self.bandwidth, "latency": self.latency}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MemoryLevelSpec":
+        return cls(**d)
+
+
+#: The defaults mirror :data:`repro.costmodel.DEFAULT_HIERARCHY`.
+_DEFAULT_MEMORY_LEVELS = (
+    MemoryLevelSpec("L1", 32 * 1024, 4e11, 1e-9),
+    MemoryLevelSpec("L2", 256 * 1024, 2e11, 4e-9),
+    MemoryLevelSpec("L3", 8 * 1024 * 1024, 1e11, 1.2e-8),
+)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A node memory hierarchy for shape-aware cost models.
+
+    Declares the cache ladder the ``hierarchy`` cost model prices
+    tasks against (capacities ordered smallest to largest, with DRAM
+    as the fallthrough tier).  The defaults mirror
+    :data:`repro.costmodel.DEFAULT_HIERARCHY` — 32 KiB L1, 256 KiB L2,
+    8 MiB L3 — so ``MemorySpec()`` is the contemporary-looking node the
+    ablations use.  Flat cost models ignore it entirely.
+    """
+
+    levels: Tuple[MemoryLevelSpec, ...] = _DEFAULT_MEMORY_LEVELS
+    dram_bandwidth: float = 2e10
+    dram_latency: float = 8e-8
+
+    def __post_init__(self) -> None:
+        levels = []
+        for entry in self.levels:
+            if isinstance(entry, dict):
+                entry = MemoryLevelSpec.from_dict(entry)
+            levels.append(entry)
+        _set(self, "levels", tuple(levels))
+        _set(self, "dram_bandwidth", float(self.dram_bandwidth))
+        _set(self, "dram_latency", float(self.dram_latency))
+        # eager validation: level ordering and DRAM parameters fail at
+        # spec construction, not when the cost model first prices a task
+        self.build()
+
+    def build(self):
+        """The runtime :class:`repro.costmodel.MemoryHierarchy`."""
+        from ..costmodel import MemoryHierarchy, MemoryLevel
+        return MemoryHierarchy(
+            levels=tuple(MemoryLevel(lv.name, lv.capacity, lv.bandwidth,
+                                     lv.latency) for lv in self.levels),
+            dram_bandwidth=self.dram_bandwidth,
+            dram_latency=self.dram_latency)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"levels": [lv.to_dict() for lv in self.levels],
+                "dram_bandwidth": self.dram_bandwidth,
+                "dram_latency": self.dram_latency}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MemorySpec":
+        d = dict(d)
+        if "levels" in d:
+            d["levels"] = tuple(MemoryLevelSpec.from_dict(lv)
+                                if isinstance(lv, dict) else lv
+                                for lv in d["levels"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Simulated cluster shape: nodes, cores, speeds, network, overheads.
 
@@ -404,7 +499,11 @@ class ClusterSpec:
     and interference.  ``topology`` replaces the flat network with a
     rack-aware model (see :class:`TopologySpec`); ``None`` keeps the
     legacy flat network, and ``latency``/``bandwidth`` then feed the
-    topology's NIC tier when it leaves its own unset.
+    topology's NIC tier when it leaves its own unset.  ``memory``
+    declares the per-node cache ladder shape-aware cost models price
+    tasks against (see :class:`MemorySpec`); ``None`` leaves the
+    hierarchy model on :data:`repro.costmodel.DEFAULT_HIERARCHY` and
+    is invisible to the flat model.
     """
 
     num_nodes: int = 1
@@ -417,6 +516,7 @@ class ClusterSpec:
     spawn_overhead: float = 0.0
     faults: Optional[FaultSpec] = None
     topology: Optional[TopologySpec] = None
+    memory: Optional[MemorySpec] = None
 
     def __post_init__(self) -> None:
         _set(self, "num_nodes", int(self.num_nodes))
@@ -473,6 +573,8 @@ class ClusterSpec:
             # (or any bad link parameter) fails here, not mid-sweep
             self.topology.build(self.num_nodes, self.latency,
                                 self.bandwidth)
+        if isinstance(self.memory, dict):
+            _set(self, "memory", MemorySpec.from_dict(self.memory))
 
     # -- builders (data -> runtime objects) -------------------------------
     def build_faults(self):
@@ -518,6 +620,14 @@ class ClusterSpec:
             kwargs["bandwidth"] = self.bandwidth
         return Network(**kwargs)
 
+    def build_memory(self):
+        """The runtime :class:`repro.costmodel.MemoryHierarchy`, or
+        ``None`` when no hierarchy is declared (shape-aware cost models
+        then use their own default)."""
+        if self.memory is None:
+            return None
+        return self.memory.build()
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "num_nodes": self.num_nodes,
@@ -532,6 +642,8 @@ class ClusterSpec:
             "faults": None if self.faults is None else self.faults.to_dict(),
             "topology": (None if self.topology is None
                          else self.topology.to_dict()),
+            "memory": (None if self.memory is None
+                       else self.memory.to_dict()),
         }
 
     @classmethod
@@ -548,6 +660,8 @@ class ClusterSpec:
             d["faults"] = FaultSpec.from_dict(d["faults"])
         if d.get("topology") is not None:
             d["topology"] = TopologySpec.from_dict(d["topology"])
+        if d.get("memory") is not None:
+            d["memory"] = MemorySpec.from_dict(d["memory"])
         return cls(**d)
 
 
@@ -750,8 +864,20 @@ class ScenarioSpec:
     applies (``"auto"``, ``"direct"``, ``"fft"``, ``"sparse"`` — see
     :mod:`repro.solver.backends`).  ``"auto"`` resolves by the radius
     heuristic and honors the ``REPRO_KERNEL_BACKEND`` environment
-    override; the backend changes numerics execution speed only, never
-    the simulated schedule.
+    override; under the default flat cost model the backend changes
+    numerics execution speed only, never the simulated schedule.
+
+    ``cost_model`` names the task-cost model pricing simulated task
+    times (``"auto"``, ``"flat"``, ``"hierarchy"`` — see
+    :mod:`repro.costmodel`).  ``"auto"`` honors the
+    ``REPRO_COST_MODEL`` environment override and defaults to
+    ``flat``, the seed arithmetic; ``hierarchy`` makes block shape and
+    kernel backend matter to the schedule via the cluster's
+    ``memory`` hierarchy.
+
+    ``work_factors`` pins explicit per-SD work multipliers (one per
+    SD, non-negative) instead of deriving them from ``cracks`` — the
+    two are mutually exclusive; both validate eagerly at construction.
 
     The balancing-strategy choice lives on the policy
     (``spec.policy.balancer``, surfaced here as the read-only
@@ -775,6 +901,8 @@ class ScenarioSpec:
     crack_floor: float = 0.25
     crack_horizon_factor: float = 2.0
     kernel_backend: str = "auto"
+    cost_model: str = "auto"
+    work_factors: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         _require(isinstance(self.name, str) and bool(self.name),
@@ -819,6 +947,22 @@ class ScenarioSpec:
                  or self.kernel_backend in backend_names(),
                  f"unknown kernel backend {self.kernel_backend!r}; "
                  f"expected 'auto' or one of {tuple(backend_names())}")
+        from ..costmodel import cost_model_names
+        _require(self.cost_model == "auto"
+                 or self.cost_model in cost_model_names(),
+                 f"unknown cost model {self.cost_model!r}; "
+                 f"expected 'auto' or one of {tuple(cost_model_names())}")
+        if self.work_factors is not None:
+            _require(not self.cracks,
+                     "work_factors and cracks are mutually exclusive "
+                     "(both define the per-SD work multipliers)")
+            _set(self, "work_factors",
+                 tuple(float(w) for w in self.work_factors))
+            _require(len(self.work_factors) == self.mesh.num_subdomains,
+                     f"work_factors has {len(self.work_factors)} entries "
+                     f"for {self.mesh.num_subdomains} SDs")
+            _require(all(w >= 0 for w in self.work_factors),
+                     "work_factors must all be non-negative")
 
     @property
     def balancer(self) -> str:
@@ -866,6 +1010,9 @@ class ScenarioSpec:
             "crack_floor": self.crack_floor,
             "crack_horizon_factor": self.crack_horizon_factor,
             "kernel_backend": self.kernel_backend,
+            "cost_model": self.cost_model,
+            "work_factors": (None if self.work_factors is None
+                             else list(self.work_factors)),
         }
 
     @classmethod
@@ -878,4 +1025,7 @@ class ScenarioSpec:
         d["cracks"] = tuple(
             tuple((x, y) for x, y in polyline)
             for polyline in d.get("cracks", ()))
+        # dicts written before v7 carry neither key: flat-by-default
+        if d.get("work_factors") is not None:
+            d["work_factors"] = tuple(d["work_factors"])
         return cls(**d)

@@ -41,6 +41,7 @@ from collections import deque
 from typing import Deque, Dict, List, Sequence
 
 from ..amt.cluster import SimCluster
+from ..costmodel import FLAT, WorkItem
 from .arrivals import Arrival
 from .spec import ServiceSpec
 from .telemetry import _SHED, _START, EventLog, percentile
@@ -101,13 +102,20 @@ class _Template:
         self.nodes = nodes
 
 
-def _build_template(tenant, flops_per_dp: float,
-                    nodes: List[int]) -> _Template:
+def _build_template(tenant, flops_per_dp: float, nodes: List[int],
+                    cost=FLAT, backend: str = "",
+                    radius: int = 0) -> _Template:
     num_nodes = len(nodes)
     rows = [tenant.nx // num_nodes
             + (1 if k < tenant.nx % num_nodes else 0)
             for k in range(num_nodes)]
-    works = [r * tenant.nx * flops_per_dp for r in rows]
+    # priced through the cost model; flat resolves each item to the
+    # seed's ``(r * nx) * flops * 1.0`` — bit-identical to the inlined
+    # ``r * tenant.nx * flops_per_dp`` (``x * 1.0 == x``)
+    works = [cost.task_work(WorkItem(
+        count=r * tenant.nx, flops=flops_per_dp, work_factor=1.0,
+        backend=backend, rows=r, cols=tenant.nx, radius=radius))
+        for r in rows]
     # one ghost row (8 bytes per DP) each way across every block seam;
     # seams are between *consecutive dispatchable* nodes, so a fleet
     # with retired ids in the middle still forms one ring
@@ -124,16 +132,28 @@ class JobManager:
     ``flops_per_dp`` maps tenant index → per-DP work of that tenant's
     (shared, cached) operator; the manager never builds operators
     itself, so operator sharing stays the runner's concern.
+
+    ``cost_model`` prices each per-sweep task (default: the shared
+    ``flat`` model, the seed arithmetic); ``backend_info`` maps tenant
+    index → ``(backend_name, radius)`` so shape-aware models know what
+    kernel each tenant runs — absent entries fall back to the flat
+    arithmetic for that tenant.
     """
 
     def __init__(self, cluster: SimCluster, spec: ServiceSpec,
-                 flops_per_dp: Dict[int, float]) -> None:
+                 flops_per_dp: Dict[int, float],
+                 cost_model=None,
+                 backend_info: Dict[int, tuple] = None) -> None:
         self.cluster = cluster
         self.spec = spec
         self._flops_per_dp = dict(flops_per_dp)
+        self._cost_model = FLAT if cost_model is None else cost_model
+        self._backend_info = dict(backend_info) if backend_info else {}
         self._membership = list(range(spec.cluster.num_nodes))
         self.templates = [
-            _build_template(t, flops_per_dp[i], self._membership)
+            _build_template(t, flops_per_dp[i], self._membership,
+                            self._cost_model,
+                            *self._backend_info.get(i, ("", 0)))
             for i, t in enumerate(spec.tenants)]
         self.queues: List[Deque[_Job]] = [deque() for _ in spec.tenants]
         self.events = EventLog([t.name for t in spec.tenants])
@@ -169,7 +189,9 @@ class JobManager:
             return
         self._membership = nodes
         self.templates = [
-            _build_template(t, self._flops_per_dp[i], nodes)
+            _build_template(t, self._flops_per_dp[i], nodes,
+                            self._cost_model,
+                            *self._backend_info.get(i, ("", 0)))
             for i, t in enumerate(self.spec.tenants)]
 
     def poll_signals(self, now: float, dt: float) -> Dict[str, float]:

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 from ..amt.autoscale import AutoscaleController
 from ..amt.cluster import ConstantSpeed, SimCluster
+from ..costmodel import make_cost_model
 from ..experiments.results import RunRecord
 from ..experiments.runner import cached_operator
 from .arrivals import generate_arrival_arrays, generate_arrivals
@@ -56,11 +57,13 @@ def run_service_detailed(
     """
     flops: Dict[int, float] = {}
     backends = set()
+    backend_info: Dict[int, tuple] = {}
     for i, tenant in enumerate(spec.tenants):
         op = cached_operator(tenant.nx, tenant.nx, tenant.eps_factor,
                              spec.kernel_backend)
         flops[i] = op.flops_per_dp()
         backends.add(op.backend_name)
+        backend_info[i] = (op.backend_name, op.radius)
 
     # same default rate as the distributed solver: 1e9 DP-update-flops
     # per virtual second per node (SimCluster's own default is a bare
@@ -68,15 +71,20 @@ def run_service_detailed(
     speeds = spec.cluster.build_speeds(default_rate=1e9)
     if speeds is None:
         speeds = [ConstantSpeed(1e9)] * spec.cluster.num_nodes
+    memory = spec.cluster.build_memory()
+    cost = make_cost_model(spec.cost_model, memory=memory)
     cluster = SimCluster(
         spec.cluster.num_nodes,
         cores_per_node=spec.cluster.cores_per_node,
         speeds=speeds,
         network=spec.cluster.build_network(),
         wave_batching=wave_batching,
-        default_rate=1e9)
+        default_rate=1e9,
+        cost_model=cost,
+        memory=memory)
 
-    manager = JobManager(cluster, spec, flops)
+    manager = JobManager(cluster, spec, flops, cost_model=cost,
+                         backend_info=backend_info)
     controller = None
     if spec.autoscale is not None:
         a = spec.autoscale
@@ -111,7 +119,8 @@ def run_service_detailed(
         service_events=manager.events,
         scale_events=(list(controller.events) if controller is not None
                       else []),
-        backend_resolved="+".join(sorted(backends)))
+        backend_resolved="+".join(sorted(backends)),
+        cost_model_resolved=cost.name)
     return record, cluster
 
 

@@ -273,6 +273,7 @@ class ServiceSpec:
     max_queue_depth: int = 16
     max_concurrent: int = 8
     kernel_backend: str = "auto"
+    cost_model: str = "auto"
     autoscale: Optional[AutoscaleSpec] = None
 
     def __post_init__(self) -> None:
@@ -325,6 +326,11 @@ class ServiceSpec:
                  or self.kernel_backend in backend_names(),
                  f"unknown kernel backend {self.kernel_backend!r}; "
                  f"expected 'auto' or one of {tuple(backend_names())}")
+        from ..costmodel import cost_model_names
+        _require(self.cost_model == "auto"
+                 or self.cost_model in cost_model_names(),
+                 f"unknown cost model {self.cost_model!r}; "
+                 f"expected 'auto' or one of {tuple(cost_model_names())}")
 
     @property
     def solver(self) -> str:
@@ -356,6 +362,7 @@ class ServiceSpec:
             "max_queue_depth": self.max_queue_depth,
             "max_concurrent": self.max_concurrent,
             "kernel_backend": self.kernel_backend,
+            "cost_model": self.cost_model,
             "autoscale": (self.autoscale.to_dict()
                           if self.autoscale is not None else None),
         }

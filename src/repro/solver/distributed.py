@@ -28,8 +28,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..amt.cluster import (ConstantSpeed, Network, SimCluster, SimTask,
-                           SpeedTrace, StraggleSpeed)
+from ..amt.cluster import (BusyCursor, ConstantSpeed, Network, SimCluster,
+                           SimTask, SpeedTrace, StraggleSpeed)
 from ..amt.faults import ChurnEvent, FaultSchedule, RecoveryEvent
 from ..amt.future import Future, local_when_all
 from ..core.balancer import BalanceResult, LoadBalancer
@@ -37,6 +37,7 @@ from ..core.policy import BalancePolicy, NeverBalance
 from ..core.power import imbalance_ratio
 from ..core.strategies import (BalanceEvent, BalanceStrategy,
                                evacuate_assignments, make_strategy)
+from ..costmodel import CostModel, FlatCostModel, WorkItem, make_cost_model
 from ..mesh.decomposition import BYTES_PER_DP, Decomposition
 from ..mesh.grid import UniformGrid
 from ..mesh.subdomain import SubdomainGrid
@@ -112,9 +113,10 @@ class _StepPlan:
     solver compiles them once into plain tuples and replays those until
     ownership changes (balancing, failure, join) or a new run starts.
 
-    The cached work floats are computed with the exact expression the
-    uncached path uses (``count * flops * work_factor``, left to right),
-    so replayed schedules are bit-identical to rebuilt ones.
+    The cached work floats are resolved through the solver's cost model
+    once at compile time (``flat`` evaluates the seed's ``count * flops
+    * work_factor`` left to right), so replayed schedules are
+    bit-identical to rebuilt ones.
     """
 
     __slots__ = ("messages", "ghost_sds", "tasks")
@@ -211,6 +213,19 @@ class DistributedSolver:
         absorbed at the end of the step they join in, at the next
         balance step.  The schedule is data, so runs stay bit-identical
         and process-parallel sweeps equal serial execution.
+    cost_model:
+        Task-cost model name or prebuilt instance (``"auto"`` honors
+        the ``REPRO_COST_MODEL`` override, else ``"flat"`` — see
+        :mod:`repro.costmodel`).  ``flat`` reproduces the seed
+        arithmetic bit for bit; ``hierarchy`` prices each SD task
+        against the node memory hierarchy through offline
+        reuse-distance profiles, so block shape and kernel backend
+        change virtual task costs (and the balancer's eq-8 work
+        weights scale accordingly).
+    memory:
+        Optional :class:`repro.costmodel.MemoryHierarchy` handed to the
+        cost model (hierarchy models default to
+        :data:`repro.costmodel.DEFAULT_HIERARCHY` without one).
     """
 
     def __init__(self, model: NonlocalHeatModel, grid: UniformGrid,
@@ -230,7 +245,9 @@ class DistributedSolver:
                  spawn_overhead: float = 0.0,
                  operator: Optional[NonlocalOperator] = None,
                  backend: str = "auto",
-                 faults: Optional[FaultSchedule] = None) -> None:
+                 faults: Optional[FaultSchedule] = None,
+                 cost_model: Union[str, CostModel] = "auto",
+                 memory=None) -> None:
         if (sd_grid.mesh_nx, sd_grid.mesh_ny) != (grid.nx, grid.ny):
             raise ValueError(
                 f"SD grid covers {sd_grid.mesh_nx}x{sd_grid.mesh_ny} "
@@ -288,8 +305,26 @@ class DistributedSolver:
         if spawn_overhead < 0:
             raise ValueError(f"spawn_overhead must be >= 0, got {spawn_overhead}")
         self.spawn_overhead = float(spawn_overhead)
+        if isinstance(cost_model, CostModel):
+            self.cost_model = cost_model
+        else:
+            self.cost_model = make_cost_model(cost_model, memory=memory)
+        #: the model the registry actually resolved (sweeps record it)
+        self.cost_model_resolved = self.cost_model.name
+        self.memory = memory
         self.cluster = SimCluster(num_nodes, cores_per_node=cores_per_node,
-                                  speeds=speeds, network=network)
+                                  speeds=speeds, network=network,
+                                  cost_model=self.cost_model, memory=memory)
+        #: balancer busy-time polling: ``cursor`` (default) re-reads
+        #: only nodes whose counters changed since the last poll,
+        #: ``sweep`` restores the full per-node sweep (the parity
+        #: baseline) — both produce bit-identical measurements
+        self._poll_mode = os.environ.get("REPRO_BALANCER_POLL", "cursor")
+        if self._poll_mode not in ("cursor", "sweep"):
+            raise ValueError(
+                f"REPRO_BALANCER_POLL must be 'cursor' or 'sweep', "
+                f"got {self._poll_mode!r}")
+        self._busy_cursor = BusyCursor()
         if faults is not None:
             # fault handlers poll busy_time at arbitrary mid-step times;
             # wave batching defers per-task busy accounting to the wave
@@ -357,6 +392,7 @@ class DistributedSolver:
         self._exact = exact
         self._num_steps = num_steps
         self._flops = self.operator.flops_per_dp()
+        self._balance_work = self._effective_work_factors()
         self._step_start_time = 0.0
         self._failure: Optional[BaseException] = None
         self._current_step = 0
@@ -421,11 +457,49 @@ class DistributedSolver:
         return result
 
     # -- per-step machinery ----------------------------------------------------
+    def _work_item(self, sd: int, count: int, wf: float) -> WorkItem:
+        """The cost-model input for ``count`` DP updates of SD ``sd``."""
+        rect = self.sd_grid.rect(sd)
+        return WorkItem(count=count, flops=self._flops, work_factor=wf,
+                        backend=self.operator.backend_name,
+                        rows=rect.height, cols=rect.width,
+                        radius=self.operator.radius)
+
+    def _effective_work_factors(self) -> np.ndarray:
+        """Eq-8 per-SD work weights under the active cost model.
+
+        Flat models scale nothing, so the balancer keeps seeing the
+        *same array object* as before the cost-model layer existed —
+        bit-identical balance decisions by construction.  Shape-aware
+        models multiply each SD's work factor by its dimensionless
+        slowdown, so power-proportional targets account for cache
+        behaviour exactly like the task times do.
+        """
+        if isinstance(self.cost_model, FlatCostModel):
+            return self.work_factors
+        scales = [self.cost_model.work_scale(self._work_item(sd, 1, 1.0))
+                  for sd in range(self.sd_grid.num_subdomains)]
+        return self.work_factors * np.asarray(scales, dtype=np.float64)
+
+    def _poll_busy(self) -> List[float]:
+        """Per-node busy time since the last counter reset.
+
+        ``cursor`` mode re-reads only nodes whose busy counters moved
+        since the previous poll (``SimCluster.poll_busy``); ``sweep``
+        restores the full O(nodes) sweep.  Both return bit-identical
+        values — an untouched counter's cached float *is* its value.
+        """
+        if self._poll_mode == "sweep":
+            return [self.cluster.busy_time(n)
+                    for n in range(len(self.cluster.nodes))]
+        return self.cluster.poll_busy(self._busy_cursor)
+
     def _build_plan(self) -> _StepPlan:
         """Compile the current ownership into a :class:`_StepPlan`."""
         num_nodes = len(self.cluster.nodes)
         decomp = Decomposition(self.sd_grid, self.parts, num_nodes)
         R = self.operator.radius
+        cost = self.cost_model
 
         # ghost messages; with a domain mask, inactive SDs are
         # known-zero (the Dc condition) so no message involving them
@@ -448,11 +522,12 @@ class DistributedSolver:
             split = decomp.case_split(sd, R)
             wf = float(self.work_factors[sd])
             if not self.overlap:
-                tasks.append((sd, node, split.total * self._flops * wf))
+                tasks.append((sd, node, cost.task_work(
+                    self._work_item(sd, split.total, wf))))
             else:
-                w2 = (split.case2_count * self._flops * wf
+                w2 = (cost.task_work(self._work_item(sd, split.case2_count, wf))
                       if split.case2_count > 0 else None)
-                w1 = (split.case1_count * self._flops * wf
+                w1 = (cost.task_work(self._work_item(sd, split.case1_count, wf))
                       if split.case1_count > 0 else None)
                 tasks.append((sd, node, w2, w1))
         return _StepPlan(messages, ghost_sds, tasks)
@@ -564,7 +639,7 @@ class DistributedSolver:
         migration_futs: List[Future] = list(self._pending_recovery_futs)
         self._pending_recovery_futs = []
         num_nodes = len(self.cluster.nodes)
-        busy = [self.cluster.busy_time(n) for n in range(num_nodes)]
+        busy = self._poll_busy()
         # all indicators are over the live cluster: a dead node's frozen
         # window and a fixed-membership run's full set coincide when no
         # faults are configured
@@ -583,7 +658,7 @@ class DistributedSolver:
                       else np.asarray(self.cluster.alive_mask()))
             bal = self.balancer.balance_step(
                 self.parts, num_nodes, busy,
-                work_per_sd=self.work_factors, active=active)
+                work_per_sd=self._balance_work, active=active)
             result.balance_results.append(bal)
             event_bytes = 0
             if bal.triggered and bal.sds_moved > 0:
@@ -606,6 +681,7 @@ class DistributedSolver:
                 recovery=bool(bal.recovery or forced)))
             # Algorithm 1 line 35: new measurement window either way
             self.cluster.reset_counters()
+            self.cluster.rebase_busy_cursor(self._busy_cursor)
 
         if step + 1 < self._num_steps:
             if migration_futs:
@@ -636,7 +712,7 @@ class DistributedSolver:
         orphans = cluster.fail_node(node_id)
         num_nodes = len(cluster.nodes)
         alive = np.asarray(cluster.alive_mask())
-        busy = [cluster.busy_time(n) for n in range(num_nodes)]
+        busy = self._poll_busy()
         old_parts = self.parts
         step = self._current_step
         result = self._result
@@ -645,7 +721,7 @@ class DistributedSolver:
                 and not isinstance(self.policy, NeverBalance)):
             bal = self.balancer.balance_step(
                 old_parts, num_nodes, busy,
-                work_per_sd=self.work_factors, active=alive)
+                work_per_sd=self._balance_work, active=alive)
             result.balance_results.append(bal)
             new_parts = bal.parts_after.copy()
             strategy = bal.strategy
@@ -654,7 +730,7 @@ class DistributedSolver:
             self._last_balance = step
         else:
             new_parts, _plans = evacuate_assignments(
-                self.sd_grid, old_parts, alive, self.work_factors)
+                self.sd_grid, old_parts, alive, self._balance_work)
             strategy = "evacuate"
             alive_busy = [busy[n] for n in np.nonzero(alive)[0]]
             ratio_before = ratio_after = imbalance_ratio(alive_busy)
@@ -696,6 +772,7 @@ class DistributedSolver:
             self._requeue_orphan(task)
         # new measurement window: the old one mixes dead and live nodes
         cluster.reset_counters()
+        cluster.rebase_busy_cursor(self._busy_cursor)
 
     def _on_join(self, event: ChurnEvent) -> None:
         """Provision the scheduled joiner; it is absorbed at the next

@@ -1,0 +1,156 @@
+"""Cost-model registry semantics: the same selection contract as the
+kernel-backend and balancer registries.
+
+Explicit names win over the environment; ``REPRO_COST_MODEL`` reroutes
+only ``"auto"`` requests (``=auto`` means "no override"); unresolved
+``"auto"`` falls back to the ``flat`` default — the seed arithmetic —
+so every pre-existing scenario and golden is untouched.
+"""
+
+import pytest
+
+from repro.costmodel import (AUTO, DEFAULT, ENV_VAR, CostModel,
+                             FlatCostModel, HierarchyCostModel, WorkItem,
+                             cost_model_names, get_cost_model_class,
+                             make_cost_model, register_cost_model,
+                             requested_cost_model)
+from repro.costmodel.hierarchy import DEFAULT_HIERARCHY, MemoryHierarchy, \
+    MemoryLevel
+
+ALL_MODELS = cost_model_names()
+
+
+class TestRegistry:
+    def test_two_models_registered(self):
+        assert ALL_MODELS == ["flat", "hierarchy"]
+
+    def test_get_cost_model_class_roundtrip(self):
+        for name in ALL_MODELS:
+            assert get_cost_model_class(name).name == name
+
+    def test_default_is_flat(self):
+        assert DEFAULT == "flat"
+        assert ENV_VAR == "REPRO_COST_MODEL"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown cost model"):
+            get_cost_model_class("oracle")
+        with pytest.raises(ValueError, match="unknown cost model"):
+            requested_cost_model("oracle")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_cost_model("flat")(get_cost_model_class("flat"))
+
+    def test_auto_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_cost_model(AUTO)(get_cost_model_class("flat"))
+
+    def test_explicit_name_passes_through(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hierarchy")
+        # explicit names win over the environment
+        assert requested_cost_model("flat") == "flat"
+
+    def test_env_forces_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hierarchy")
+        assert requested_cost_model(AUTO) == "hierarchy"
+
+    def test_env_unset_leaves_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert requested_cost_model(AUTO) == AUTO
+
+    def test_env_auto_means_no_override(self, monkeypatch):
+        """Exporting REPRO_COST_MODEL=auto must behave like not setting
+        it, not error out as an unknown model."""
+        monkeypatch.setenv(ENV_VAR, "auto")
+        assert requested_cost_model(AUTO) == AUTO
+        assert requested_cost_model("hierarchy") == "hierarchy"
+
+    def test_env_with_unknown_model_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "oracle")
+        with pytest.raises(ValueError, match="REPRO_COST_MODEL"):
+            requested_cost_model(AUTO)
+
+
+class TestMakeCostModel:
+    def test_auto_resolves_to_flat(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        model = make_cost_model()
+        assert isinstance(model, FlatCostModel)
+        assert model.name == "flat"
+
+    def test_env_reroutes_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hierarchy")
+        assert isinstance(make_cost_model(AUTO), HierarchyCostModel)
+        # ...but an explicit request keeps its pin
+        assert isinstance(make_cost_model("flat"), FlatCostModel)
+
+    def test_memory_reaches_the_hierarchy_model(self):
+        ladder = MemoryHierarchy(levels=(
+            MemoryLevel("L1", 1024, 1e11, 1e-9),))
+        model = make_cost_model("hierarchy", memory=ladder)
+        assert model.memory is ladder
+        # None means the model's own default
+        assert make_cost_model("hierarchy").memory is DEFAULT_HIERARCHY
+
+    def test_flat_ignores_memory(self):
+        model = make_cost_model("flat", memory=DEFAULT_HIERARCHY)
+        item = WorkItem(count=7, flops=26.0, work_factor=1.5,
+                        backend="direct", rows=8, cols=8, radius=2)
+        assert model.task_work(item) == 7 * 26.0 * 1.5
+
+
+class TestSolverResolution:
+    """The DistributedSolver resolves its cost model exactly like its
+    kernel backend: spec name → env override of auto → flat default."""
+
+    def make_solver(self, **kw):
+        from repro.mesh.grid import UniformGrid
+        from repro.mesh.subdomain import SubdomainGrid
+        from repro.partition.geometric import block_partition
+        from repro.solver.distributed import DistributedSolver
+        from repro.solver.model import NonlocalHeatModel
+        grid = UniformGrid(16, 16)
+        model = NonlocalHeatModel(epsilon=2 * grid.h)
+        sg = SubdomainGrid(16, 16, 2, 2)
+        return DistributedSolver(model, grid, sg, block_partition(2, 2, 2),
+                                 num_nodes=2, compute_numerics=False, **kw)
+
+    def test_default_is_flat(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        solver = self.make_solver()
+        assert solver.cost_model_resolved == "flat"
+        assert isinstance(solver.cost_model, FlatCostModel)
+
+    def test_env_forces_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hierarchy")
+        assert self.make_solver().cost_model_resolved == "hierarchy"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hierarchy")
+        assert self.make_solver(
+            cost_model="flat").cost_model_resolved == "flat"
+
+    def test_prebuilt_instance_accepted(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "flat")
+        prebuilt = HierarchyCostModel()
+        solver = self.make_solver(cost_model=prebuilt)
+        assert solver.cost_model is prebuilt
+        assert solver.cost_model_resolved == "hierarchy"
+        assert isinstance(prebuilt, CostModel)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            self.make_solver(cost_model="oracle")
+
+    def test_record_carries_the_resolved_model(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        from repro.experiments import build, run_scenario
+        auto = run_scenario(build("quickstart", nx=16, sd_axis=2, nodes=2,
+                                  steps=1))
+        assert auto.spec["cost_model"] == "auto"
+        assert auto.cost_model_resolved == "flat"
+        pinned = run_scenario(build("quickstart", nx=16, sd_axis=2, nodes=2,
+                                    steps=1).replace(cost_model="hierarchy"))
+        assert pinned.spec["cost_model"] == "hierarchy"
+        assert pinned.cost_model_resolved == "hierarchy"

@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 
 from repro.experiments import (ChurnEvent, ClusterSpec, DriftSpec, FaultSpec,
-                               InterferenceSpec, MeshSpec, PartitionSpec,
-                               PolicySpec, ScenarioSpec)
+                               InterferenceSpec, MemorySpec, MeshSpec,
+                               PartitionSpec, PolicySpec, ScenarioSpec)
 
 
 class TestMeshSpec:
@@ -291,6 +291,8 @@ class TestScenarioSpec:
         dict(name="s", crack_horizon_factor=0.0),
         dict(name="s", kernel_backend="quantum"),
         dict(name="s", kernel_backend=""),
+        dict(name="s", cost_model="oracle"),
+        dict(name="s", cost_model=""),
     ])
     def test_invalid(self, kwargs):
         kwargs.setdefault("mesh", MeshSpec(nx=16, sd_nx=4))
@@ -324,6 +326,61 @@ class TestScenarioSpec:
         del d["kernel_backend"]
         assert ScenarioSpec.from_dict(d).kernel_backend == "auto"
 
+    def test_cost_model_survives_legacy_dicts(self):
+        """Pre-v7 spec dicts have no cost_model/work_factors/memory
+        keys: they must load as auto/None — the flat seed arithmetic."""
+        s = ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4))
+        d = s.to_dict()
+        for key in ("cost_model", "work_factors"):
+            del d[key]
+        del d["cluster"]["memory"]
+        loaded = ScenarioSpec.from_dict(d)
+        assert loaded.cost_model == "auto"
+        assert loaded.work_factors is None
+        assert loaded.cluster.memory is None
+
+
+class TestWorkFactorsValidation:
+    """Explicit per-SD work multipliers fail at spec construction, not
+    steps into a sweep when build_work_factors first touches them."""
+
+    def make(self, **kw):
+        return ScenarioSpec(name="s", mesh=MeshSpec(nx=16, sd_nx=4), **kw)
+
+    def test_valid_factors_normalize_to_floats(self):
+        s = self.make(work_factors=tuple(range(1, 17)))
+        assert s.work_factors == tuple(float(w) for w in range(1, 17))
+
+    def test_wrong_length_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="work_factors has 3 entries"):
+            self.make(work_factors=(1.0, 2.0, 3.0))
+
+    def test_negative_factor_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self.make(work_factors=(1.0,) * 15 + (-0.5,))
+
+    def test_non_numeric_factor_rejected_eagerly(self):
+        with pytest.raises((TypeError, ValueError)):
+            self.make(work_factors=("heavy",) * 16)
+
+    def test_cracks_and_work_factors_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self.make(work_factors=(1.0,) * 16,
+                      cracks=(((0.1, 0.1), (0.9, 0.9)),))
+
+    def test_replace_revalidates_factors(self):
+        s = self.make(work_factors=(1.0,) * 16)
+        with pytest.raises(ValueError):
+            s.replace(work_factors=(1.0,) * 5)
+
+    def test_factors_flow_into_the_runner(self):
+        from repro.experiments.runner import build_work_factors
+        factors = tuple(float(1 + i % 3) for i in range(16))
+        wf = build_work_factors(self.make(work_factors=factors))
+        assert wf.dtype == np.float64
+        assert tuple(wf) == factors
+        assert build_work_factors(self.make()) is None
+
 
 def _sample_specs():
     yield ScenarioSpec(name="tiny", mesh=MeshSpec(nx=16, sd_nx=4))
@@ -351,6 +408,11 @@ def _sample_specs():
                                                parts=(0, 1, 1, 0)))
     yield ScenarioSpec(name="backend", mesh=MeshSpec(nx=8, sd_nx=2),
                        kernel_backend="fft")
+    yield ScenarioSpec(name="costed", mesh=MeshSpec(nx=8, sd_nx=2),
+                       cluster=ClusterSpec(num_nodes=2,
+                                           memory=MemorySpec()),
+                       cost_model="hierarchy",
+                       work_factors=(1.0, 2.0, 1.5, 0.5))
     yield ScenarioSpec(
         name="drifting",
         mesh=MeshSpec(nx=8, sd_nx=2),

@@ -71,7 +71,10 @@ class TestMidHorizonCut:
         from repro.service.arrivals import generate_arrivals
         from repro.service.manager import JobManager
 
-        spec = build("service_overload")
+        # cost model pinned to flat: the hand-rolled JobManager below
+        # prices with the FLAT default, so run_service must too even
+        # under a REPRO_COST_MODEL override
+        spec = build("service_overload").replace(cost_model="flat")
 
         def run(cut):
             flops = {}

@@ -160,5 +160,5 @@ class TestRegistryScenarios:
         # admitted jobs' tail wait is bounded by the finite queues
         assert s["p99_wait"] < 0.5 * rec.spec["horizon"]
 
-    def test_schema_is_v6(self):
-        assert SCHEMA == "repro.experiments/v6"
+    def test_schema_is_v7(self):
+        assert SCHEMA == "repro.experiments/v7"

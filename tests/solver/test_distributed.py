@@ -248,9 +248,12 @@ class TestSpawnOverhead:
         parts = block_partition(8, 8, 1)
 
         def makespan(cores, overhead):
+            # cost model pinned: the spawn/compute ratio below is tuned
+            # against flat task times (hierarchy-priced tasks run long
+            # enough that the spawner always keeps 4 cores fed)
             return DistributedSolver(
                 model, grid, sg, parts, num_nodes=1, cores_per_node=cores,
-                compute_numerics=False,
+                compute_numerics=False, cost_model="flat",
                 spawn_overhead=overhead).run(None, 3).makespan
 
         ideal = makespan(1, 0.0) / makespan(4, 0.0)
